@@ -1,0 +1,197 @@
+// Command tracesim is a standalone trace-driven cache simulator in the
+// mould of the modified DineroIII the paper used: it replays a binary
+// address trace (the internal/trace format) through a two-level cache
+// hierarchy and reports hit/miss counts with compulsory/capacity/conflict
+// classification of the second-level misses in a single pass.
+//
+// Usage:
+//
+//	tracesim [-machine r8000|r10000] [-scale N] [-tlb entries]
+//	         [-l1i size,line,assoc] [-l1d size,line,assoc] [-l2 size,line,assoc]
+//	         [-pagesize N -placement identity|sequential|random|coloring]
+//	         trace-file (or - for stdin)
+//
+// Generate traces with the trace package's Writer, e.g. from an
+// instrumented workload (see examples/tracegen in the package docs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"threadsched/internal/cache"
+	"threadsched/internal/machine"
+	"threadsched/internal/trace"
+	"threadsched/internal/vm"
+)
+
+func main() {
+	machName := flag.String("machine", "r8000", "base machine model: r8000 or r10000")
+	scale := flag.Uint64("scale", 1, "cache scale divisor (power of two)")
+	l1i := flag.String("l1i", "", "override L1I as size,line,assoc (bytes)")
+	l1d := flag.String("l1d", "", "override L1D as size,line,assoc")
+	l2 := flag.String("l2", "", "override L2 as size,line,assoc")
+	pageSize := flag.Uint64("pagesize", 0, "simulate a physically indexed L2 with this page size")
+	tlbEntries := flag.Int("tlb", 0, "simulate a fully-associative data TLB with this many entries")
+	placement := flag.String("placement", "identity", "page placement: identity, sequential, random, coloring")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracesim [flags] trace-file")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var m machine.Machine
+	switch strings.ToLower(*machName) {
+	case "r8000":
+		m = machine.R8000()
+	case "r10000":
+		m = machine.R10000()
+	default:
+		fatal("unknown machine %q", *machName)
+	}
+	if *scale > 1 {
+		m = m.Scaled(*scale)
+	}
+	cfg := m.Caches
+	for _, o := range []struct {
+		spec string
+		dst  *cache.Config
+	}{{*l1i, &cfg.L1I}, {*l1d, &cfg.L1D}, {*l2, &cfg.L2}} {
+		if o.spec == "" {
+			continue
+		}
+		c, err := parseCache(o.spec, o.dst.Name, o.dst.Classify)
+		if err != nil {
+			fatal("%v", err)
+		}
+		*o.dst = c
+	}
+
+	var pt *vm.PageTable
+	if *pageSize > 0 {
+		var pol vm.Policy
+		switch strings.ToLower(*placement) {
+		case "identity":
+			pol = vm.IdentityPolicy{}
+		case "sequential":
+			pol = vm.SequentialPolicy{}
+		case "random":
+			pol = vm.RandomPolicy{Seed: 1}
+		case "coloring":
+			colors := cfg.L2.Size / uint64(max(1, cfg.L2.Assoc)) / *pageSize
+			pol = vm.ColoringPolicy{Colors: max64(1, colors)}
+		default:
+			fatal("unknown placement %q", *placement)
+		}
+		var err error
+		pt, err = vm.NewPageTable(*pageSize, pol)
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
+
+	h, err := cache.NewHierarchy(cfg, pt)
+	if err != nil {
+		fatal("bad cache configuration: %v", err)
+	}
+	var tlb *vm.TLB
+	if *tlbEntries > 0 {
+		pg := *pageSize
+		if pg == 0 {
+			pg = vm.DefaultPageSize
+		}
+		tlb, err = vm.NewTLB(*tlbEntries, 0, pg)
+		if err != nil {
+			fatal("%v", err)
+		}
+		h.AttachTLB(tlb)
+	}
+
+	var in io.Reader
+	if name := flag.Arg(0); name == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(name)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	r := trace.NewReader(in)
+	if err := r.ForEach(func(ref trace.Ref) error {
+		h.Record(ref)
+		return nil
+	}); err != nil {
+		fatal("reading trace: %v", err)
+	}
+
+	report(os.Stdout, h, cfg, pt)
+	if tlb != nil {
+		fmt.Printf("dtlb: %d entries, %d accesses, %d misses, rate %.2f%%\n",
+			*tlbEntries, tlb.Accesses(), tlb.Misses(), tlb.MissRate())
+	}
+}
+
+func parseCache(spec, name string, classify bool) (cache.Config, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 3 {
+		return cache.Config{}, fmt.Errorf("cache spec %q: want size,line,assoc", spec)
+	}
+	var vals [3]uint64
+	for i, p := range parts {
+		v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return cache.Config{}, fmt.Errorf("cache spec %q: %v", spec, err)
+		}
+		vals[i] = v
+	}
+	c := cache.Config{Name: name, Size: vals[0], LineSize: vals[1], Assoc: int(vals[2]), Classify: classify}
+	return c, c.Validate()
+}
+
+func report(w io.Writer, h *cache.Hierarchy, cfg cache.HierarchyConfig, pt *vm.PageTable) {
+	refs := h.Refs()
+	fmt.Fprintf(w, "references: total %d (ifetch %d, load %d, store %d)\n",
+		refs.Total(), refs.IFetches(), refs.Loads(), refs.Stores())
+	for _, lvl := range []*cache.Cache{h.L1I(), h.L1D(), h.L2()} {
+		st := lvl.Stats()
+		fmt.Fprintf(w, "%-4s %-28s accesses %12d  misses %12d  rate %6.2f%%  writebacks %d\n",
+			lvl.Config().Name, lvl.Config().String(), st.Accesses, st.Misses, st.MissRate(), st.Writebacks)
+	}
+	st := h.L2().Stats()
+	if cfg.L2.Classify {
+		fmt.Fprintf(w, "L2 miss classification: compulsory %d, capacity %d, conflict %d\n",
+			st.Compulsory, st.Capacity, st.Conflict)
+	}
+	if pt != nil {
+		fmt.Fprintf(w, "vm: policy %s, %d pages mapped, %d frame collisions\n",
+			pt.PolicyName(), pt.Mapped(), pt.Collisions())
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracesim: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"threadsched/internal/cache"
+	"threadsched/internal/machine"
+	"threadsched/internal/trace"
+)
+
+func TestParseCache(t *testing.T) {
+	c, err := parseCache("2097152,128,4", "L2", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size != 2<<20 || c.LineSize != 128 || c.Assoc != 4 || !c.Classify || c.Name != "L2" {
+		t.Fatalf("parsed %+v", c)
+	}
+}
+
+func TestParseCacheErrors(t *testing.T) {
+	for _, spec := range []string{"", "1,2", "a,b,c", "1024,32,1,9", "1000,32,1"} {
+		if _, err := parseCache(spec, "L1", false); err == nil {
+			t.Errorf("parseCache(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestParseCacheWhitespace(t *testing.T) {
+	c, err := parseCache(" 1024 , 32 , 2 ", "L1D", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size != 1024 || c.Assoc != 2 {
+		t.Fatalf("parsed %+v", c)
+	}
+}
+
+func TestReport(t *testing.T) {
+	m := machine.R8000().Scaled(64)
+	h := cache.MustNewHierarchy(m.Caches, nil)
+	h.Record(trace.Ref{Kind: trace.IFetch, Addr: 0, Size: 4})
+	h.Record(trace.Ref{Kind: trace.Load, Addr: 0x1000, Size: 8})
+	h.Record(trace.Ref{Kind: trace.Store, Addr: 0x2000, Size: 8})
+	var buf bytes.Buffer
+	report(&buf, h, m.Caches, nil)
+	out := buf.String()
+	for _, want := range []string{
+		"total 3 (ifetch 1, load 1, store 1)",
+		"L1I", "L1D", "L2",
+		"classification: compulsory 3, capacity 0, conflict 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+
+	"threadsched/internal/trace"
+)
+
+func TestKindFilter(t *testing.T) {
+	load := trace.Ref{Kind: trace.Load}
+	fetch := trace.Ref{Kind: trace.IFetch}
+	all, err := kindFilter("all")
+	if err != nil || !all(load) || !all(fetch) {
+		t.Error("all filter")
+	}
+	data, err := kindFilter("data")
+	if err != nil || !data(load) || data(fetch) {
+		t.Error("data filter")
+	}
+	ifetch, err := kindFilter("ifetch")
+	if err != nil || ifetch(load) || !ifetch(fetch) {
+		t.Error("ifetch filter")
+	}
+	if _, err := kindFilter("bogus"); err == nil {
+		t.Error("bogus kind accepted")
+	}
+}
+
+func TestBytesStr(t *testing.T) {
+	cases := map[uint64]string{
+		100:     "100B",
+		1 << 10: "1K",
+		1 << 20: "1M",
+		3 << 20: "3M",
+		1500:    "1500B",
+	}
+	for in, want := range cases {
+		if got := bytesStr(in); got != want {
+			t.Errorf("bytesStr(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package threadsched_test
+
+import (
+	"fmt"
+
+	"threadsched"
+)
+
+// The paper's §2.1 transformation: replace a dot-product inner loop with
+// one fine-grained thread per (i, j), hinted with the two vectors'
+// addresses.
+func Example() {
+	const n = 8
+	at := make([]float64, n*n) // Aᵀ: row i of A stored contiguously
+	b := make([]float64, n*n)  // B: column j stored contiguously
+	c := make([]float64, n*n)
+	for i := range at {
+		at[i], b[i] = 1, 2
+	}
+
+	s := threadsched.New(threadsched.Config{CacheSize: 1 << 16})
+	dot := func(i, j int) {
+		var sum float64
+		for k := 0; k < n; k++ {
+			sum += at[i*n+k] * b[j*n+k]
+		}
+		c[i*n+j] = sum
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s.Fork(dot, i, j, threadsched.Hint(&at[i*n]), threadsched.Hint(&b[j*n]), 0)
+		}
+	}
+	s.Run(false)
+
+	fmt.Println(c[0], s.Stats().TotalRun)
+	// Output: 16 64
+}
+
+// Threads that must respect dependences use the DepScheduler (the
+// extension the paper's §6 leaves open): here a three-stage pipeline.
+func ExampleDepScheduler() {
+	d := threadsched.NewDep(threadsched.Config{})
+	var log []string
+	say := func(what string) threadsched.Func {
+		return func(int, int) { log = append(log, what) }
+	}
+	load := d.Fork(say("load"), 0, 0, 0, 0, 0)
+	transform := d.Fork(say("transform"), 0, 0, 0, 0, 0, load)
+	d.Fork(say("store"), 0, 0, 0, 0, 0, transform)
+	if err := d.Run(); err != nil {
+		panic(err)
+	}
+	fmt.Println(log)
+	// Output: [load transform store]
+}
+
+// Workloads with more than three locality dimensions use the
+// k-dimensional scheduler (§2.3's general algorithm).
+func ExampleKScheduler() {
+	s := threadsched.NewK(threadsched.KConfig{K: 5, CacheSize: 1 << 20})
+	ran := 0
+	for i := 0; i < 4; i++ {
+		s.Fork(func(int, int) { ran++ }, i, 0,
+			uint64(i), uint64(i)*2, uint64(i)*3, uint64(i)*4, uint64(i)*5)
+	}
+	s.Run(false)
+	fmt.Println(ran, s.K())
+	// Output: 4 5
+}

@@ -1,0 +1,59 @@
+// Matrix multiply at paper scale on the host machine: runs the §4.2
+// variants — interchanged, transposed, tiled, threaded — over real memory
+// and reports wall-clock times, reproducing Table 2's shape with your
+// machine's caches instead of an SGI's.
+//
+//	go run ./examples/matmul [-n 1024] [-cache <L2/L3 bytes>] [-tile 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"threadsched"
+	"threadsched/internal/apps/matmul"
+)
+
+func main() {
+	n := flag.Int("n", 1024, "matrix dimension (paper: 1024)")
+	cacheSize := flag.Uint64("cache", 2<<20, "scheduling target cache size in bytes (set to your LLC)")
+	tile := flag.Int("tile", 0, "cache tile edge (0 = derive from -cache)")
+	flag.Parse()
+
+	A := make([]float64, *n**n)
+	B := make([]float64, *n**n)
+	C := make([]float64, *n**n)
+	matmul.Fill(A, *n, 1.0)
+	matmul.Fill(B, *n, 2.0)
+	if *tile == 0 {
+		*tile = matmul.TileFor(*cacheSize)
+	}
+
+	run := func(name string, fn func()) float64 {
+		start := time.Now()
+		fn()
+		d := time.Since(start)
+		fmt.Printf("  %-20s %8.3fs   (C[n,n]=%.3f)\n", name, d.Seconds(), C[*n**n-1])
+		return d.Seconds()
+	}
+
+	fmt.Printf("matrix multiply, n=%d (data %.1f MB, 3 matrices), tile=%d\n",
+		*n, float64(*n**n*8)/(1<<20), *tile)
+	base := run("interchanged", func() { matmul.Interchanged(C, A, B, *n) })
+	run("transposed", func() { matmul.Transposed(C, A, B, *n) })
+	run("tiled interchanged", func() { matmul.TiledInterchanged(C, A, B, *n, *tile) })
+	run("tiled transposed", func() { matmul.TiledTransposed(C, A, B, *n, *tile) })
+
+	sched := threadsched.New(threadsched.Config{
+		CacheSize: *cacheSize,
+		BlockSize: *cacheSize / 2, // the paper's matmul configuration (§4.2)
+	})
+	thr := run("threaded", func() { matmul.Threaded(C, A, B, *n, sched) })
+	rs := sched.LastRun()
+	fmt.Printf("threaded scheduling: %d threads in %d bins (avg %.0f/bin); speedup over untiled %.2fx\n",
+		rs.Threads, rs.Bins, rs.AvgPerBin, base/thr)
+	fmt.Println("(paper, Table 2: threaded beat untiled 5.1x on the R8000, 2.2x on the R10000;")
+	fmt.Println(" modern CPUs hide much of the effect behind large LLCs and prefetchers —")
+	fmt.Println(" run `locality-bench -exp table2` for the simulated 1996 machines)")
+}

@@ -1,0 +1,78 @@
+// Multigrid: the deployment §4.3 motivates — a geometric V-cycle Poisson
+// solver whose red-black smoothing sweeps run as fine-grained,
+// locality-scheduled line threads on every grid level ("In practical
+// multigrid solvers, iters ≈ 5").
+//
+//	go run ./examples/multigrid [-n 1025] [-cache 2097152]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"threadsched"
+	"threadsched/internal/apps/pde"
+)
+
+func main() {
+	n := flag.Int("n", 1025, "grid size, must be 2^k+1")
+	cacheSize := flag.Uint64("cache", 2<<20, "scheduling target cache size in bytes")
+	flag.Parse()
+
+	// Manufactured problem: u* = x(1−x)y(1−y), f = −Δu*.
+	h := 1.0 / float64(*n-1)
+	b := make([]float64, *n**n)
+	exact := make([]float64, *n**n)
+	for j := 1; j < *n-1; j++ {
+		for i := 1; i < *n-1; i++ {
+			x, y := float64(i)*h, float64(j)*h
+			exact[j**n+i] = x * (1 - x) * y * (1 - y)
+			b[j**n+i] = h * h * 2 * (x*(1-x) + y*(1-y))
+		}
+	}
+
+	solve := func(name string, sched *threadsched.Scheduler) []float64 {
+		mg, err := pde.NewMultigrid(*n, sched)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		u, cycles := mg.Solve(b, 1e-10, 50)
+		fmt.Printf("  %-10s %8.3fs  %d V-cycles  residual %.2e\n",
+			name, time.Since(start).Seconds(), cycles, mg.ResidualNorm())
+		return u
+	}
+
+	fmt.Printf("multigrid Poisson solve, n=%d (%d levels of red-black smoothing)\n",
+		*n, levels(*n))
+	us := solve("sequential", nil)
+	ut := solve("threaded", threadsched.New(threadsched.Config{CacheSize: *cacheSize}))
+
+	var worst float64
+	for k := range us {
+		if us[k] != ut[k] {
+			log.Fatalf("threaded solve diverged at %d", k)
+		}
+		if d := us[k] - exact[k]; d > worst || -d > worst {
+			if d < 0 {
+				d = -d
+			}
+			worst = d
+		}
+	}
+	fmt.Printf("threaded == sequential bit-for-bit; max error vs exact solution %.2e (O(h²) = %.2e)\n",
+		worst, h*h)
+}
+
+func levels(n int) int {
+	l := 0
+	for ; n >= 3; n = (n-1)/2 + 1 {
+		l++
+		if n == 3 {
+			break
+		}
+	}
+	return l
+}

@@ -1,0 +1,56 @@
+// Barnes–Hut N-body with locality scheduling (§4.4): each time step forks
+// one thread per body, hinted with the body's x/y/z position, so bodies
+// that are close in space — and traverse largely the same octree nodes —
+// run consecutively. This is the paper's irregular, dynamic workload where
+// compile-time tiling is impossible.
+//
+//	go run ./examples/nbody [-bodies 64000] [-steps 4] [-cache 2097152]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"threadsched"
+	"threadsched/internal/apps/nbody"
+)
+
+func main() {
+	bodies := flag.Int("bodies", 64000, "number of bodies (paper: 64000)")
+	steps := flag.Int("steps", 4, "time steps (paper: 4)")
+	cacheSize := flag.Uint64("cache", 2<<20, "scheduling target cache size in bytes")
+	flag.Parse()
+
+	run := func(name string, s *nbody.System, step func(*nbody.System)) (float64, [3]float64) {
+		start := time.Now()
+		for i := 0; i < *steps; i++ {
+			step(s)
+		}
+		d := time.Since(start).Seconds()
+		fmt.Printf("  %-11s %8.3fs\n", name, d)
+		return d, s.Bodies[0].Pos
+	}
+
+	fmt.Printf("Barnes-Hut, %d bodies, %d steps, θ=%.1f\n", *bodies, *steps,
+		nbody.NewSystem(1, 1).Theta)
+
+	unSys := nbody.NewSystem(*bodies, 7)
+	unT, unPos := run("unthreaded", unSys, func(s *nbody.System) {
+		nbody.StepUnthreaded(s, nil)
+	})
+
+	sched := threadsched.NewForCache(*cacheSize)
+	thSys := nbody.NewSystem(*bodies, 7)
+	thT, thPos := run("threaded", thSys, func(s *nbody.System) {
+		nbody.StepThreaded(s, sched, nil)
+	})
+
+	if unPos != thPos {
+		panic("threaded trajectory diverged — forces must come from the tree snapshot")
+	}
+	rs := sched.LastRun()
+	fmt.Printf("last step: %d body threads in %d bins (avg %.0f/bin); speedup %.2fx\n",
+		rs.Threads, rs.Bins, rs.AvgPerBin, unT/thT)
+	fmt.Println("(paper, Table 8: threaded was 4% faster on the R8000, 15% on the R10000)")
+}

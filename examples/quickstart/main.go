@@ -1,0 +1,76 @@
+// Quickstart: the paper's §2.1 example — replace a matrix multiply's
+// dot-product inner loop with one fine-grained thread per (i, j), hinted
+// with the addresses of the two vectors it reads, and let the scheduler
+// run threads bin by bin so vector pairs are reused while cache-resident.
+//
+//	go run ./examples/quickstart [-n 512] [-cache 2097152]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"threadsched"
+)
+
+func main() {
+	n := flag.Int("n", 512, "matrix dimension")
+	cacheSize := flag.Uint64("cache", 2<<20, "second-level cache size in bytes")
+	flag.Parse()
+
+	// at is Aᵀ (row i of A contiguous), b is B (column j contiguous),
+	// both column-major in the paper's Fortran sense.
+	at := make([]float64, *n**n)
+	b := make([]float64, *n**n)
+	c := make([]float64, *n**n)
+	for i := range at {
+		at[i] = float64(i%13) * 0.25
+		b[i] = float64(i%7) * 0.5
+	}
+
+	// Sequential baseline: dot products in row-major order.
+	size := *n
+	start := time.Now()
+	for i := 0; i < size; i++ {
+		for j := 0; j < size; j++ {
+			c[i*size+j] = dot(at[i*size:(i+1)*size], b[j*size:(j+1)*size])
+		}
+	}
+	seq := time.Since(start)
+	checksum := c[size*size-1]
+
+	// Threaded: same dot products, scheduled for locality. The closure is
+	// hoisted so forking allocates nothing.
+	s := threadsched.New(threadsched.Config{CacheSize: *cacheSize})
+	body := func(i, j int) {
+		c[i*size+j] = dot(at[i*size:(i+1)*size], b[j*size:(j+1)*size])
+	}
+	start = time.Now()
+	for i := 0; i < size; i++ {
+		for j := 0; j < size; j++ {
+			s.Fork(body, i, j, threadsched.Hint(&at[i*size]), threadsched.Hint(&b[j*size]), 0)
+		}
+	}
+	s.Run(false)
+	thr := time.Since(start)
+	if c[size*size-1] != checksum {
+		panic("threaded result differs from sequential")
+	}
+
+	rs := s.LastRun()
+	fmt.Printf("n=%d: %d dot-product threads in %d bins (avg %.0f threads/bin)\n",
+		size, rs.Threads, rs.Bins, rs.AvgPerBin)
+	fmt.Printf("sequential: %v\n", seq.Round(time.Millisecond))
+	fmt.Printf("threaded:   %v  (%.2fx)\n", thr.Round(time.Millisecond),
+		seq.Seconds()/thr.Seconds())
+	fmt.Println("(the threaded win grows once the vectors outgrow your last-level cache)")
+}
+
+func dot(x, y []float64) float64 {
+	var sum float64
+	for k := range x {
+		sum += x[k] * y[k]
+	}
+	return sum
+}

@@ -1,0 +1,59 @@
+// SMP: the paper's §7 conjecture, demonstrated — one threaded Barnes–Hut
+// step on a simulated multiprocessor with coherent private caches, under
+// three dispatch disciplines: intact locality bins, thread scatter, and
+// Cilk-style work stealing. Locality bins keep the parallel speedup of
+// the others while avoiding most cache misses and coherence traffic.
+//
+//	go run ./examples/smp [-bodies 8000] [-procs 4] [-scale 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"threadsched/internal/machine"
+	"threadsched/internal/smp"
+	"threadsched/internal/stealing"
+)
+
+func main() {
+	bodies := flag.Int("bodies", 8000, "number of bodies")
+	procs := flag.Int("procs", 4, "simulated processors")
+	scale := flag.Uint64("scale", 16, "cache scale divisor (power of two)")
+	flag.Parse()
+
+	m := machine.R8000().Scaled(*scale)
+	cfg := smp.Config{Procs: *procs, Machine: m, Coherence: true}
+
+	fmt.Printf("Barnes-Hut step, %d bodies, %d processors (%s, %d KB private L2 each)\n\n",
+		*bodies, *procs, m.Name, m.L2CacheSize()>>10)
+	fmt.Printf("  %-22s %12s %14s %9s\n", "dispatch", "L2 misses", "invalidations", "speedup")
+
+	row := func(name string, r smp.Result) {
+		fmt.Printf("  %-22s %12d %14d %8.2fx\n",
+			name, r.L2Misses, r.Stats.Invalidations, r.Speedup())
+	}
+
+	loc, err := smp.NBodyExperiment(cfg, *bodies, smp.LocalityBins, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	row("locality bins", loc)
+
+	scat, err := smp.NBodyExperiment(cfg, *bodies, smp.Scatter, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	row("scatter", scat)
+
+	ws, steals, err := stealing.NBodyExperiment(cfg, *bodies, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	row(fmt.Sprintf("work stealing (%d st)", steals), ws)
+
+	fmt.Println("\n(locality bins: each bin runs whole on one processor, so the per-bin")
+	fmt.Println(" working set owns one cache; scatter and stealing split spatial")
+	fmt.Println(" neighbours across processors and pay for it in misses and false sharing)")
+}

@@ -1,0 +1,3 @@
+module threadsched
+
+go 1.22

@@ -1,0 +1,68 @@
+// Package matmul implements the paper's §4.2 workload: n×n matrix multiply
+// C = A·B over column-major float64 matrices (the Fortran layout the paper
+// uses), in all five evaluated variants:
+//
+//   - Interchanged: the loop-interchanged j,k,i nest, B[k,j] registered —
+//     the paper's best untiled baseline.
+//   - Transposed: A transposed before and after, dot products over two
+//     sequentially stored vectors, C[i,j] registered.
+//   - Tiled interchanged / tiled transposed: blocked versions standing in
+//     for the KAP/SGI compiler tilings, with register blocking.
+//   - Threaded: the transposed algorithm with the inner dot-product loop
+//     replaced by a fine-grained thread per (i,j), hinted with the column
+//     addresses of Aᵀ and B (§2.1, §4.2).
+//
+// Each variant exists in a native form (plain slices, for wall-clock
+// benchmarking on the host) and a traced form (instrumented against
+// internal/sim, for cache simulation).
+package matmul
+
+// Idx returns the column-major index of element (i, j) of an n×n matrix.
+func Idx(n, i, j int) int { return j*n + i }
+
+// Fill initializes an n×n column-major matrix with a deterministic,
+// non-degenerate pattern.
+func Fill(m []float64, n int, seed float64) {
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			m[Idx(n, i, j)] = seed + float64(i%13) - float64(j%7)*0.5
+		}
+	}
+}
+
+// Reference computes C = A·B with the textbook triple loop; used by tests
+// as the independent oracle.
+func Reference(C, A, B []float64, n int) {
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			var sum float64
+			for k := 0; k < n; k++ {
+				sum += A[Idx(n, i, k)] * B[Idx(n, k, j)]
+			}
+			C[Idx(n, i, j)] = sum
+		}
+	}
+}
+
+// DefaultTile is the cache tile edge used by the tiled variants when the
+// caller passes 0; sized so a 3-matrix tile working set fits a scaled L2.
+const DefaultTile = 64
+
+// TileFor returns a cache tile edge for an L2 of the given byte size: the
+// largest power of two such that three tile²×8-byte blocks fit in half the
+// cache, leaving room for streaming traffic. Minimum RegisterBlock.
+func TileFor(l2Size uint64) int {
+	tile := 1
+	for uint64(3*(tile*2)*(tile*2)*8) <= l2Size/2 {
+		tile *= 2
+	}
+	if tile < RegisterBlock {
+		tile = RegisterBlock
+	}
+	return tile
+}
+
+// RegisterBlock is the register-tile edge used by the tiled variants'
+// innermost kernel; 3×3 gives the paper's 9 multiply-adds per 6 loads
+// (§4.2's discussion of the KAP inner loop).
+const RegisterBlock = 3

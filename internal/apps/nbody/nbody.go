@@ -1,0 +1,189 @@
+// Package nbody implements the paper's §4.4 workload: a three-dimensional
+// N-body simulation using the Barnes–Hut algorithm. Each time step builds
+// an octree over the bodies and computes every body's acceleration by
+// traversing the tree with the opening-angle criterion; new positions are
+// then integrated. Force calculation dominates (the paper profiles >88%
+// of the time there) and has no dependencies between bodies, because the
+// traversal reads only the tree's snapshot of positions.
+//
+// Two variants, as evaluated in Tables 8 and 9:
+//
+//   - Unthreaded: bodies processed in array order.
+//   - Threaded: one fine-grained thread per body, hinted with the body's
+//     x, y, z coordinates normalized to the unit cube and scaled to the
+//     scheduling plane, so bodies that are near each other in space — and
+//     therefore traverse largely the same tree nodes — run consecutively.
+//
+// This is the paper's irregular, dynamic program: the tree is rebuilt
+// every iteration and no compile-time reference information exists, which
+// is exactly where hint-based runtime scheduling applies and static tiling
+// does not.
+package nbody
+
+import "math"
+
+// Body is one simulated particle.
+type Body struct {
+	Pos  [3]float64
+	Vel  [3]float64
+	Mass float64
+}
+
+// System is an N-body problem instance.
+type System struct {
+	Bodies []Body
+	// Theta is the Barnes–Hut opening angle; smaller is more accurate.
+	Theta float64
+	// Eps is the gravitational softening length.
+	Eps float64
+	// DT is the integration time step.
+	DT float64
+	// G is the gravitational constant (1 in model units).
+	G float64
+}
+
+// rng is a small deterministic generator (xorshift64*) so systems are
+// reproducible without importing math/rand.
+type rng uint64
+
+func (r *rng) next() uint64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = rng(x)
+	return x * 0x2545f4914f6cdd1d
+}
+
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// NewSystem builds a clustered n-body system: bodies drawn from a Plummer
+// sphere (the standard Barnes–Hut benchmark distribution), truncated and
+// rescaled into the unit cube, with small random velocities. Deterministic
+// in seed.
+func NewSystem(n int, seed uint64) *System {
+	r := rng(seed*2654435761 + 1)
+	s := &System{
+		Bodies: make([]Body, n),
+		Theta:  0.7,
+		Eps:    1e-3,
+		DT:     1e-3,
+		G:      1,
+	}
+	for i := range s.Bodies {
+		// Plummer radius: r = (u^(-2/3) - 1)^(-1/2), truncated.
+		u := r.float()
+		if u < 1e-6 {
+			u = 1e-6
+		}
+		rad := 1 / math.Sqrt(math.Pow(u, -2.0/3.0)-1)
+		if rad > 4 {
+			rad = 4
+		}
+		rad /= 10 // keep the cluster well inside the unit cube
+		cosT := 2*r.float() - 1
+		sinT := math.Sqrt(1 - cosT*cosT)
+		phi := 2 * math.Pi * r.float()
+		s.Bodies[i] = Body{
+			Pos: [3]float64{
+				0.5 + rad*sinT*math.Cos(phi),
+				0.5 + rad*sinT*math.Sin(phi),
+				0.5 + rad*cosT,
+			},
+			Vel: [3]float64{
+				(r.float() - 0.5) * 1e-2,
+				(r.float() - 0.5) * 1e-2,
+				(r.float() - 0.5) * 1e-2,
+			},
+			Mass: 1.0 / float64(n),
+		}
+	}
+	return s
+}
+
+// Bounds returns the min corner and edge length of the cubic bounding box
+// of all bodies (with a small margin so boundary bodies insert cleanly).
+func (s *System) Bounds() (min [3]float64, edge float64) {
+	min = s.Bodies[0].Pos
+	max := min
+	for _, b := range s.Bodies[1:] {
+		for d := 0; d < 3; d++ {
+			if b.Pos[d] < min[d] {
+				min[d] = b.Pos[d]
+			}
+			if b.Pos[d] > max[d] {
+				max[d] = b.Pos[d]
+			}
+		}
+	}
+	for d := 0; d < 3; d++ {
+		if e := max[d] - min[d]; e > edge {
+			edge = e
+		}
+	}
+	if edge == 0 {
+		edge = 1
+	}
+	edge *= 1.0001
+	return
+}
+
+// DirectAccel computes body i's acceleration by direct O(n) summation —
+// the oracle the tree code is validated against.
+func (s *System) DirectAccel(i int) [3]float64 {
+	var acc [3]float64
+	bi := &s.Bodies[i]
+	for j := range s.Bodies {
+		if j == i {
+			continue
+		}
+		bj := &s.Bodies[j]
+		dx := bj.Pos[0] - bi.Pos[0]
+		dy := bj.Pos[1] - bi.Pos[1]
+		dz := bj.Pos[2] - bi.Pos[2]
+		d2 := dx*dx + dy*dy + dz*dz + s.Eps*s.Eps
+		inv := s.G * bj.Mass / (d2 * math.Sqrt(d2))
+		acc[0] += dx * inv
+		acc[1] += dy * inv
+		acc[2] += dz * inv
+	}
+	return acc
+}
+
+// DirectAccelAt computes the acceleration an observer at pos feels from
+// every body, by direct summation.
+func (s *System) DirectAccelAt(pos [3]float64) [3]float64 {
+	var acc [3]float64
+	for j := range s.Bodies {
+		bj := &s.Bodies[j]
+		dx := bj.Pos[0] - pos[0]
+		dy := bj.Pos[1] - pos[1]
+		dz := bj.Pos[2] - pos[2]
+		d2 := dx*dx + dy*dy + dz*dz
+		if d2 == 0 {
+			continue
+		}
+		d2 += s.Eps * s.Eps
+		inv := s.G * bj.Mass / (d2 * math.Sqrt(d2))
+		acc[0] += dx * inv
+		acc[1] += dy * inv
+		acc[2] += dz * inv
+	}
+	return acc
+}
+
+// TotalMass returns the summed mass, an invariant of the simulation.
+func (s *System) TotalMass() float64 {
+	var m float64
+	for _, b := range s.Bodies {
+		m += b.Mass
+	}
+	return m
+}
+
+// Clone deep-copies the system for comparing variants on identical input.
+func (s *System) Clone() *System {
+	c := *s
+	c.Bodies = append([]Body(nil), s.Bodies...)
+	return &c
+}

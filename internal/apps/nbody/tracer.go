@@ -1,0 +1,130 @@
+package nbody
+
+import (
+	"threadsched/internal/sim"
+	"threadsched/internal/vm"
+)
+
+// Tracer charges the N-body computation's memory traffic and instruction
+// work to a model CPU. A nil *Tracer is valid everywhere and costs only a
+// branch, so the native benchmarks and the cache-simulated runs share one
+// implementation of the tree and integrator (the irregular structure makes
+// duplicated twins error-prone, and §4.4's comparison needs both variants
+// to execute identical arithmetic).
+type Tracer struct {
+	cpu      *sim.CPU
+	bodyBase uint64
+	nodeBase uint64
+}
+
+// Simulated layout: bodies are 64-byte records (3 position + 3 velocity
+// words + mass + pad); tree nodes are 128-byte records (com, mass, cell
+// geometry, eight children).
+const (
+	bodyStride = 64
+	nodeStride = 128
+)
+
+// Instruction budgets per event.
+const (
+	interactInstr = 20
+	visitInstr    = 10
+	insertInstr   = 15
+	updateInstr   = 12
+	pcVisit       = 0x100
+	pcInteract    = 0x180
+	pcInsert      = 0x200
+	pcUpdate      = 0x280
+)
+
+// NewTracer reserves simulated memory for n bodies and a generous tree
+// arena, and returns a tracer charging to cpu.
+func NewTracer(cpu *sim.CPU, as *vm.AddressSpace, n int) *Tracer {
+	return &Tracer{
+		cpu:      cpu,
+		bodyBase: as.Alloc(uint64(n)*bodyStride, 64),
+		nodeBase: as.Alloc(uint64(4*n+64)*nodeStride, 128),
+	}
+}
+
+// BodyAddr returns the simulated address of body i's record.
+func (tr *Tracer) BodyAddr(i int) uint64 { return tr.bodyBase + uint64(i)*bodyStride }
+
+func (tr *Tracer) nodeAddr(k int32) uint64 { return tr.nodeBase + uint64(k)*nodeStride }
+
+// loadBodyPos charges reading body i's position (3 words).
+func (tr *Tracer) loadBodyPos(i int) {
+	if tr == nil {
+		return
+	}
+	a := tr.BodyAddr(i)
+	tr.cpu.Load(a, 8)
+	tr.cpu.Load(a+8, 8)
+	tr.cpu.Load(a+16, 8)
+}
+
+// loadBodyVel charges reading body i's velocity.
+func (tr *Tracer) loadBodyVel(i int) {
+	if tr == nil {
+		return
+	}
+	a := tr.BodyAddr(i) + 24
+	tr.cpu.Load(a, 8)
+	tr.cpu.Load(a+8, 8)
+	tr.cpu.Load(a+16, 8)
+}
+
+// storeBody charges writing body i's position and velocity back.
+func (tr *Tracer) storeBody(i int) {
+	if tr == nil {
+		return
+	}
+	a := tr.BodyAddr(i)
+	for off := uint64(0); off < 48; off += 8 {
+		tr.cpu.Store(a+off, 8)
+	}
+}
+
+// loadNode charges the traversal touch of node k: com + mass + geometry +
+// the children words, and the visit instructions.
+func (tr *Tracer) loadNode(k int32) {
+	if tr == nil {
+		return
+	}
+	tr.cpu.Exec(pcVisit, visitInstr)
+	a := tr.nodeAddr(k)
+	tr.cpu.Load(a, 8)     // com.x (line-sharing covers com.y/z)
+	tr.cpu.Load(a+24, 8)  // mass
+	tr.cpu.Load(a+32, 8)  // half
+	tr.cpu.Load(a+64, 32) // children
+}
+
+// storeNode charges an update of node k's aggregate fields.
+func (tr *Tracer) storeNode(k int32) {
+	if tr == nil {
+		return
+	}
+	tr.cpu.Exec(pcInsert, insertInstr)
+	a := tr.nodeAddr(k)
+	tr.cpu.Store(a, 24)    // com
+	tr.cpu.Store(a+24, 8)  // mass
+	tr.cpu.Store(a+64, 32) // children
+}
+
+// interact charges one body–node interaction's arithmetic.
+func (tr *Tracer) interact() {
+	if tr == nil {
+		return
+	}
+	tr.cpu.Exec(pcInteract, interactInstr)
+}
+
+// update charges one body's position/velocity integration.
+func (tr *Tracer) update(i int) {
+	if tr == nil {
+		return
+	}
+	tr.cpu.Exec(pcUpdate, updateInstr)
+	tr.loadBodyVel(i)
+	tr.storeBody(i)
+}

@@ -1,0 +1,253 @@
+package nbody
+
+import "math"
+
+// The Barnes–Hut octree. Internal nodes hold aggregate mass and center of
+// mass; leaves hold a snapshot of one body's position and mass (taken at
+// build time, so force evaluation depends only on the tree, never on the
+// mutating body array — this is what makes per-body threads independent).
+
+const (
+	noChild = int32(-1)
+	// maxDepth bounds insertion recursion; past it, coincident bodies
+	// chain as an overflow list on the leaf.
+	maxDepth = 48
+)
+
+type node struct {
+	// center and half describe the cell cube.
+	center [3]float64
+	half   float64
+	// com and mass aggregate the subtree (for a leaf: the body snapshot).
+	com  [3]float64
+	mass float64
+	// children index Tree.nodes; all noChild for a leaf.
+	children [8]int32
+	// leaf is true for nodes holding bodies directly.
+	leaf bool
+	// next chains coincident bodies that exceeded maxDepth (rare).
+	next int32
+}
+
+// Tree is a built Barnes–Hut octree.
+type Tree struct {
+	nodes []node
+	root  int32
+	// Min and Edge record the bounding cube the tree was built in.
+	Min  [3]float64
+	Edge float64
+}
+
+// Nodes returns the number of tree nodes allocated.
+func (t *Tree) Nodes() int { return len(t.nodes) }
+
+func (t *Tree) alloc(center [3]float64, half float64) int32 {
+	t.nodes = append(t.nodes, node{center: center, half: half, leaf: true, next: noChild})
+	n := &t.nodes[len(t.nodes)-1]
+	for i := range n.children {
+		n.children[i] = noChild
+	}
+	return int32(len(t.nodes) - 1)
+}
+
+// octant returns which child cube of c contains p, and that cube's center.
+func octant(c [3]float64, half float64, p [3]float64) (int, [3]float64) {
+	idx := 0
+	q := half / 2
+	var cc [3]float64
+	for d := 0; d < 3; d++ {
+		if p[d] >= c[d] {
+			idx |= 1 << d
+			cc[d] = c[d] + q
+		} else {
+			cc[d] = c[d] - q
+		}
+	}
+	return idx, cc
+}
+
+// Build constructs the octree for the system's current positions. tr may
+// be nil; when present the build's memory traffic is charged to it.
+func Build(s *System, tr *Tracer) *Tree {
+	min, edge := s.Bounds()
+	t := &Tree{Min: min, Edge: edge}
+	t.nodes = make([]node, 0, 2*len(s.Bodies)+8)
+	center := [3]float64{min[0] + edge/2, min[1] + edge/2, min[2] + edge/2}
+	t.root = t.alloc(center, edge/2)
+	t.nodes[t.root].mass = 0
+	first := true
+	for i := range s.Bodies {
+		b := &s.Bodies[i]
+		tr.loadBodyPos(i)
+		if first {
+			// Root starts as a leaf holding the first body.
+			r := &t.nodes[t.root]
+			r.com = b.Pos
+			r.mass = b.Mass
+			tr.storeNode(t.root)
+			first = false
+			continue
+		}
+		t.insert(t.root, b.Pos, b.Mass, 0, tr)
+	}
+	return t
+}
+
+// insert adds a body snapshot below node k.
+func (t *Tree) insert(k int32, pos [3]float64, mass float64, depth int, tr *Tracer) {
+	tr.loadNode(k)
+	n := &t.nodes[k]
+	if n.leaf {
+		if n.mass == 0 {
+			// Empty leaf: take the body.
+			n.com = pos
+			n.mass = mass
+			tr.storeNode(k)
+			return
+		}
+		if depth >= maxDepth {
+			// Coincident overflow: chain a pseudo-leaf.
+			ov := t.alloc(n.center, n.half)
+			n = &t.nodes[k] // alloc may have moved the slice
+			t.nodes[ov].com = pos
+			t.nodes[ov].mass = mass
+			t.nodes[ov].next = n.next
+			n.next = ov
+			tr.storeNode(k)
+			return
+		}
+		// Occupied leaf: split — push the resident body down, then
+		// re-insert the new one at this (now internal) node.
+		oldCom, oldMass := n.com, n.mass
+		n.leaf = false
+		n.com = [3]float64{}
+		n.mass = 0
+		t.pushDown(k, oldCom, oldMass, depth, tr)
+		t.insert(k, pos, mass, depth, tr)
+		return
+	}
+	// Internal: update aggregate, descend.
+	invM := n.mass + mass
+	for d := 0; d < 3; d++ {
+		n.com[d] = (n.com[d]*n.mass + pos[d]*mass) / invM
+	}
+	n.mass = invM
+	tr.storeNode(k)
+	idx, cc := octant(n.center, n.half, pos)
+	child := n.children[idx]
+	if child == noChild {
+		child = t.alloc(cc, n.half/2)
+		t.nodes[k].children[idx] = child
+		t.nodes[child].com = pos
+		t.nodes[child].mass = mass
+		tr.storeNode(child)
+		return
+	}
+	t.insert(child, pos, mass, depth+1, tr)
+}
+
+// pushDown places an existing body snapshot into the correct child of the
+// freshly split internal node k, and seeds k's aggregate with it.
+func (t *Tree) pushDown(k int32, pos [3]float64, mass float64, depth int, tr *Tracer) {
+	n := &t.nodes[k]
+	n.com = pos
+	n.mass = mass
+	idx, cc := octant(n.center, n.half, pos)
+	child := t.alloc(cc, n.half/2)
+	n = &t.nodes[k]
+	n.children[idx] = child
+	t.nodes[child].com = pos
+	t.nodes[child].mass = mass
+	tr.storeNode(child)
+}
+
+// Accel computes the acceleration at pos (excluding self-interaction via
+// the softening; the caller's own snapshot contributes zero force because
+// the displacement is zero). tr may be nil.
+func (t *Tree) Accel(s *System, pos [3]float64, tr *Tracer) [3]float64 {
+	var acc [3]float64
+	t.accel(t.root, s, pos, &acc, tr)
+	return acc
+}
+
+func (t *Tree) accel(k int32, s *System, pos [3]float64, acc *[3]float64, tr *Tracer) {
+	tr.loadNode(k)
+	n := &t.nodes[k]
+	dx := n.com[0] - pos[0]
+	dy := n.com[1] - pos[1]
+	dz := n.com[2] - pos[2]
+	d2 := dx*dx + dy*dy + dz*dz
+	if n.leaf || (2*n.half)*(2*n.half) < s.Theta*s.Theta*d2 {
+		// Interact with the aggregate (or the single body).
+		tr.interact()
+		if n.mass != 0 && d2 > 0 {
+			d2e := d2 + s.Eps*s.Eps
+			inv := s.G * n.mass / (d2e * math.Sqrt(d2e))
+			acc[0] += dx * inv
+			acc[1] += dy * inv
+			acc[2] += dz * inv
+		}
+		for ov := n.next; ov != noChild; ov = t.nodes[ov].next {
+			tr.loadNode(ov)
+			tr.interact()
+			o := &t.nodes[ov]
+			ox := o.com[0] - pos[0]
+			oy := o.com[1] - pos[1]
+			oz := o.com[2] - pos[2]
+			od2 := ox*ox + oy*oy + oz*oz
+			if od2 == 0 {
+				continue
+			}
+			od2e := od2 + s.Eps*s.Eps
+			inv := s.G * o.mass / (od2e * math.Sqrt(od2e))
+			acc[0] += ox * inv
+			acc[1] += oy * inv
+			acc[2] += oz * inv
+		}
+		return
+	}
+	for _, c := range n.children {
+		if c != noChild {
+			t.accel(c, s, pos, acc, tr)
+		}
+	}
+}
+
+// Mass returns the root aggregate mass; equals the system's total mass.
+func (t *Tree) Mass() float64 { return t.nodes[t.root].mass }
+
+// Contains reports whether pos lies in the tree's bounding cube.
+func (t *Tree) Contains(pos [3]float64) bool {
+	for d := 0; d < 3; d++ {
+		if pos[d] < t.Min[d] || pos[d] > t.Min[d]+t.Edge {
+			return false
+		}
+	}
+	return true
+}
+
+// CountBodies walks the tree counting body snapshots; tests use it to
+// verify every body landed in exactly one leaf (or overflow chain).
+func (t *Tree) CountBodies() int {
+	count := 0
+	var walk func(k int32)
+	walk = func(k int32) {
+		n := &t.nodes[k]
+		for ov := n.next; ov != noChild; ov = t.nodes[ov].next {
+			count++
+		}
+		if n.leaf {
+			if n.mass != 0 {
+				count++
+			}
+			return
+		}
+		for _, c := range n.children {
+			if c != noChild {
+				walk(c)
+			}
+		}
+	}
+	walk(t.root)
+	return count
+}

@@ -1,0 +1,142 @@
+package pde
+
+import (
+	"math"
+	"testing"
+
+	"threadsched/internal/core"
+)
+
+// manufactured problem: u*(x,y) = x(1−x)·y(1−y) on the unit square with
+// u=0 on the boundary solves −Δu = 2[x(1−x)+y(1−y)]; the unscaled 5-point
+// operator's right-hand side is h²·f.
+func manufactured(n int) (b, exact []float64) {
+	h := 1.0 / float64(n-1)
+	b = make([]float64, n*n)
+	exact = make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			x, y := float64(i)*h, float64(j)*h
+			exact[j*n+i] = x * (1 - x) * y * (1 - y)
+			if i > 0 && i < n-1 && j > 0 && j < n-1 {
+				b[j*n+i] = h * h * 2 * (x*(1-x) + y*(1-y))
+			}
+		}
+	}
+	return
+}
+
+func TestNewMultigridValidation(t *testing.T) {
+	for _, n := range []int{0, 3, 4, 6, 100} {
+		if _, err := NewMultigrid(n, nil); err == nil {
+			t.Errorf("NewMultigrid(%d) succeeded, want error", n)
+		}
+	}
+	mg, err := NewMultigrid(33, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mg.Levels() != 5 { // 33, 17, 9, 5, 3
+		t.Errorf("levels = %d, want 5", mg.Levels())
+	}
+}
+
+func TestMultigridSolvesManufacturedProblem(t *testing.T) {
+	n := 65
+	b, exact := manufactured(n)
+	mg, err := NewMultigrid(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, cycles := mg.Solve(b, 1e-10, 50)
+	if cycles >= 50 {
+		t.Fatalf("did not converge in %d cycles (residual %g)", cycles, mg.ResidualNorm())
+	}
+	var worst float64
+	for k := range u {
+		if d := math.Abs(u[k] - exact[k]); d > worst {
+			worst = d
+		}
+	}
+	// Discretization error is O(h²) ≈ 2.4e-4 at n=65; allow some slack.
+	if worst > 5e-4 {
+		t.Fatalf("max error %g exceeds discretization-order bound", worst)
+	}
+}
+
+func TestMultigridConvergesFast(t *testing.T) {
+	// The point of multigrid: residual shrinks by roughly an order of
+	// magnitude per V-cycle, independent of n.
+	for _, n := range []int{33, 65} {
+		b, _ := manufactured(n)
+		mg, err := NewMultigrid(n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(mg.levels[0].b, b)
+		r0 := mg.ResidualNorm()
+		mg.vcycle(0)
+		r1 := mg.ResidualNorm()
+		mg.vcycle(0)
+		r2 := mg.ResidualNorm()
+		if r1 > r0/4 || r2 > r1/4 {
+			t.Errorf("n=%d: residuals %g -> %g -> %g, want ≥4x shrink per cycle",
+				n, r0, r1, r2)
+		}
+	}
+}
+
+func TestMultigridThreadedMatchesSequentialExactly(t *testing.T) {
+	n := 33
+	b, _ := manufactured(n)
+	seq, err := NewMultigrid(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := core.New(core.Config{CacheSize: 1 << 16})
+	thr, err := NewMultigrid(n, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us, cs := seq.Solve(b, 1e-9, 30)
+	ut, ct := thr.Solve(b, 1e-9, 30)
+	if cs != ct {
+		t.Fatalf("cycle counts differ: %d vs %d", cs, ct)
+	}
+	for k := range us {
+		if us[k] != ut[k] {
+			t.Fatalf("u[%d] differs: %v vs %v (line threads must preserve the red-black order)",
+				k, us[k], ut[k])
+		}
+	}
+}
+
+func TestMultigridBeatsPlainRelaxation(t *testing.T) {
+	// At equal smoothing work per fine-grid sweep-equivalent, V-cycles
+	// must reach a far smaller residual than plain red-black relaxation.
+	n := 65
+	b, _ := manufactured(n)
+
+	mg, err := NewMultigrid(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cycles := mg.Solve(b, 1e-9, 50)
+	mgResidual := mg.ResidualNorm()
+
+	// Plain relaxation using the same smoother on the finest grid only,
+	// given several times the multigrid's fine-grid sweep count.
+	plain, err := NewMultigrid(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(plain.levels[0].b, b)
+	sweeps := cycles * (plain.Nu1 + plain.Nu2) * 4
+	plain.smooth(plain.levels[0], sweeps)
+	plainResidual := plain.ResidualNorm()
+
+	if mgResidual*100 > plainResidual {
+		t.Fatalf("multigrid residual %g not ≪ plain relaxation %g (after %d plain sweeps)",
+			mgResidual, plainResidual, sweeps)
+	}
+}

@@ -1,0 +1,208 @@
+package pde
+
+import (
+	"fmt"
+
+	"threadsched/internal/sim"
+	"threadsched/internal/vm"
+)
+
+// TracedMultigrid is the instrumented counterpart of Multigrid: the same
+// V-cycle arithmetic against simulated memory, so the solver's cache
+// behaviour — the deployment §4.3 motivates — can be measured end to end.
+// Instruction budgets follow the traced relaxation kernel's.
+type TracedMultigrid struct {
+	Nu1, Nu2     int
+	CoarseSweeps int
+	// Threads, when non-nil, runs each smoothing sweep as traced
+	// fine-grained line threads.
+	Threads *sim.Threads
+
+	cpu    *sim.CPU
+	levels []*tracedLevel
+}
+
+type tracedLevel struct {
+	n       int
+	u, b, r *sim.F64
+}
+
+const (
+	restrictInstr = 14
+	prolongInstr  = 10
+	pcRestrict    = 0x300
+	pcProlong     = 0x380
+)
+
+// NewTracedMultigrid builds the traced hierarchy for an n×n grid (n =
+// 2^k+1 ≥ 5), allocating every level in simulated memory.
+func NewTracedMultigrid(cpu *sim.CPU, as *vm.AddressSpace, n int) (*TracedMultigrid, error) {
+	if n < 5 || (n-1)&(n-2) != 0 {
+		return nil, fmt.Errorf("pde: multigrid needs n = 2^k+1 ≥ 5, got %d", n)
+	}
+	mg := &TracedMultigrid{Nu1: 2, Nu2: 2, CoarseSweeps: 30, cpu: cpu}
+	for size := n; size >= 3; size = (size-1)/2 + 1 {
+		mg.levels = append(mg.levels, &tracedLevel{
+			n: size,
+			u: sim.NewF64(cpu, as, size*size),
+			b: sim.NewF64(cpu, as, size*size),
+			r: sim.NewF64(cpu, as, size*size),
+		})
+		if size == 3 {
+			break
+		}
+	}
+	return mg, nil
+}
+
+// Levels returns the number of grids.
+func (mg *TracedMultigrid) Levels() int { return len(mg.levels) }
+
+func (mg *TracedMultigrid) smoothLine(l *tracedLevel, j, c int) {
+	n := l.n
+	start := 1 + (j+c+1)%2
+	col := j * n
+	for i := start; i < n-1; i += 2 {
+		mg.cpu.Exec(pcRelax, relaxInstr)
+		k := col + i
+		v := 0.25 * (l.b.Load(k) + l.u.Load(k-1) + l.u.Load(k+1) +
+			l.u.Load(k-n) + l.u.Load(k+n))
+		l.u.Store(k, v)
+	}
+}
+
+func (mg *TracedMultigrid) fusedSmoothStep(l *tracedLevel, j int) {
+	if j >= 1 && j <= l.n-2 {
+		mg.smoothLine(l, j, 0)
+	}
+	if j-1 >= 1 && j-1 <= l.n-2 {
+		mg.smoothLine(l, j-1, 1)
+	}
+}
+
+func (mg *TracedMultigrid) smooth(l *tracedLevel, sweeps int) {
+	if mg.Threads == nil {
+		for s := 0; s < sweeps; s++ {
+			for j := 1; j <= l.n-1; j++ {
+				mg.cpu.Exec(pcLineControl, lineInstr)
+				mg.fusedSmoothStep(l, j)
+			}
+		}
+		return
+	}
+	step := func(j, _ int) {
+		mg.cpu.Exec(pcLineControl, lineInstr)
+		mg.fusedSmoothStep(l, j)
+	}
+	for s := 0; s < sweeps; s++ {
+		for j := 1; j <= l.n-1; j++ {
+			hint := l.u.Addr(min(j, l.n-1) * l.n)
+			mg.Threads.Fork(step, j, 0, hint, 0, 0)
+		}
+		mg.Threads.Run(false)
+	}
+}
+
+func (mg *TracedMultigrid) residual(l *tracedLevel) {
+	n := l.n
+	for j := 1; j < n-1; j++ {
+		for i := 1; i < n-1; i++ {
+			mg.cpu.Exec(pcResid, residInstr)
+			k := j*n + i
+			v := l.b.Load(k) - (4*l.u.Load(k) - l.u.Load(k-1) - l.u.Load(k+1) -
+				l.u.Load(k-n) - l.u.Load(k+n))
+			l.r.Store(k, v)
+		}
+	}
+}
+
+func (mg *TracedMultigrid) restrictTo(fine, coarse *tracedLevel) {
+	nf, nc := fine.n, coarse.n
+	for jc := 1; jc < nc-1; jc++ {
+		for ic := 1; ic < nc-1; ic++ {
+			mg.cpu.Exec(pcRestrict, restrictInstr)
+			i, j := 2*ic, 2*jc
+			k := j*nf + i
+			v := 4*fine.r.Load(k) +
+				2*(fine.r.Load(k-1)+fine.r.Load(k+1)+fine.r.Load(k-nf)+fine.r.Load(k+nf)) +
+				fine.r.Load(k-nf-1) + fine.r.Load(k-nf+1) + fine.r.Load(k+nf-1) + fine.r.Load(k+nf+1)
+			coarse.b.Store(jc*nc+ic, v/16*4)
+		}
+	}
+	for k := 0; k < nc*nc; k++ {
+		coarse.u.Poke(k, 0) // bulk clear, modelled as register writes
+	}
+}
+
+func (mg *TracedMultigrid) prolongAdd(coarse, fine *tracedLevel) {
+	nf, nc := fine.n, coarse.n
+	at := func(ic, jc int) float64 { return coarse.u.Load(jc*nc + ic) }
+	for j := 1; j < nf-1; j++ {
+		for i := 1; i < nf-1; i++ {
+			mg.cpu.Exec(pcProlong, prolongInstr)
+			var v float64
+			ic, jc := i/2, j/2
+			switch {
+			case i%2 == 0 && j%2 == 0:
+				v = at(ic, jc)
+			case i%2 == 1 && j%2 == 0:
+				v = 0.5 * (at(ic, jc) + at(ic+1, jc))
+			case i%2 == 0 && j%2 == 1:
+				v = 0.5 * (at(ic, jc) + at(ic, jc+1))
+			default:
+				v = 0.25 * (at(ic, jc) + at(ic+1, jc) + at(ic, jc+1) + at(ic+1, jc+1))
+			}
+			k := j*nf + i
+			fine.u.Store(k, fine.u.Load(k)+v)
+		}
+	}
+}
+
+func (mg *TracedMultigrid) vcycle(idx int) {
+	l := mg.levels[idx]
+	if idx == len(mg.levels)-1 {
+		mg.smooth(l, mg.CoarseSweeps)
+		return
+	}
+	mg.smooth(l, mg.Nu1)
+	mg.residual(l)
+	mg.restrictTo(l, mg.levels[idx+1])
+	mg.vcycle(idx + 1)
+	mg.prolongAdd(mg.levels[idx+1], l)
+	mg.smooth(l, mg.Nu2)
+}
+
+// Solve mirrors Multigrid.Solve against simulated memory.
+func (mg *TracedMultigrid) Solve(b []float64, tol float64, maxCycles int) ([]float64, int) {
+	fine := mg.levels[0]
+	copy(fine.b.Data(), b)
+	for k := range fine.u.Data() {
+		fine.u.Poke(k, 0)
+	}
+	cycles := 0
+	for ; cycles < maxCycles; cycles++ {
+		if mg.ResidualNorm() <= tol {
+			break
+		}
+		mg.vcycle(0)
+	}
+	out := make([]float64, fine.u.Len())
+	copy(out, fine.u.Data())
+	return out, cycles
+}
+
+// ResidualNorm mirrors Multigrid.ResidualNorm.
+func (mg *TracedMultigrid) ResidualNorm() float64 {
+	fine := mg.levels[0]
+	mg.residual(fine)
+	var worst float64
+	for _, v := range fine.r.Data() {
+		if v < 0 {
+			v = -v
+		}
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}

@@ -1,0 +1,218 @@
+package pde
+
+import (
+	"testing"
+
+	"threadsched/internal/cache"
+	"threadsched/internal/machine"
+	"threadsched/internal/sim"
+	"threadsched/internal/trace"
+	"threadsched/internal/vm"
+)
+
+const (
+	testN     = 65
+	testIters = 5
+)
+
+func TestCacheConsciousMatchesRegularExactly(t *testing.T) {
+	a := NewGrid(testN)
+	b := a.Clone()
+	Regular(a, testIters)
+	CacheConscious(b, testIters)
+	for k := range a.U {
+		if a.U[k] != b.U[k] {
+			t.Fatalf("U[%d]: regular %v, cache-conscious %v", k, a.U[k], b.U[k])
+		}
+		if a.R[k] != b.R[k] {
+			t.Fatalf("R[%d]: regular %v, cache-conscious %v", k, a.R[k], b.R[k])
+		}
+	}
+}
+
+func TestThreadedMatchesRegularExactly(t *testing.T) {
+	a := NewGrid(testN)
+	b := a.Clone()
+	Regular(a, testIters)
+	Threaded(b, testIters, ThreadedScheduler(1<<16))
+	for k := range a.U {
+		if a.U[k] != b.U[k] {
+			t.Fatalf("U[%d]: regular %v, threaded %v", k, a.U[k], b.U[k])
+		}
+		if a.R[k] != b.R[k] {
+			t.Fatalf("R[%d]: regular %v, threaded %v", k, a.R[k], b.R[k])
+		}
+	}
+}
+
+func TestVariantsMatchAcrossSizesAndIters(t *testing.T) {
+	for _, n := range []int{4, 5, 8, 17, 33} {
+		for _, iters := range []int{1, 2, 3} {
+			a := NewGrid(n)
+			b := a.Clone()
+			c := a.Clone()
+			Regular(a, iters)
+			CacheConscious(b, iters)
+			Threaded(c, iters, ThreadedScheduler(1<<14))
+			for k := range a.U {
+				if a.U[k] != b.U[k] || a.U[k] != c.U[k] {
+					t.Fatalf("n=%d iters=%d: U[%d] diverged: %v %v %v",
+						n, iters, k, a.U[k], b.U[k], c.U[k])
+				}
+				if a.R[k] != b.R[k] || a.R[k] != c.R[k] {
+					t.Fatalf("n=%d iters=%d: R[%d] diverged", n, iters, k)
+				}
+			}
+		}
+	}
+}
+
+func TestRelaxationConverges(t *testing.T) {
+	g := NewGrid(33)
+	Regular(g, 1)
+	first := g.ResidualNorm()
+	g2 := NewGrid(33)
+	Regular(g2, 50)
+	later := g2.ResidualNorm()
+	if later >= first {
+		t.Fatalf("residual did not shrink: 1 iter %v, 50 iters %v", first, later)
+	}
+}
+
+func TestBoundaryUntouched(t *testing.T) {
+	g := NewGrid(testN)
+	Regular(g, 3)
+	n := g.N
+	for i := 0; i < n; i++ {
+		for _, k := range []int{g.idx(i, 0), g.idx(i, n-1), g.idx(0, i), g.idx(n-1, i)} {
+			if g.U[k] != 0 {
+				t.Fatalf("boundary U[%d] = %v, want 0", k, g.U[k])
+			}
+		}
+	}
+}
+
+func TestRedBlackColoring(t *testing.T) {
+	// One red sweep of line j must touch only points with (i+j) even.
+	g := NewGrid(9)
+	for k := range g.U {
+		g.U[k] = 0
+	}
+	g.relaxLine(3, 0)
+	for i := 1; i < g.N-1; i++ {
+		k := g.idx(i, 3)
+		touched := g.U[k] != 0
+		isRed := (i+3)%2 == 0
+		if touched != isRed && g.B[k] != 0 {
+			t.Fatalf("row %d: touched=%v but red=%v", i, touched, isRed)
+		}
+	}
+}
+
+func TestTracedMatchesNative(t *testing.T) {
+	want := NewGrid(testN)
+	Regular(want, testIters)
+
+	for _, variant := range []string{"regular", "cc", "threaded"} {
+		cpu := sim.NewCPU(trace.Discard)
+		as := vm.NewAddressSpace()
+		g := NewTracedGrid(cpu, as, testN)
+		switch variant {
+		case "regular":
+			g.Regular(testIters)
+		case "cc":
+			g.CacheConscious(testIters)
+		case "threaded":
+			th := sim.NewThreads(cpu, as, ThreadedScheduler(1<<16))
+			g.Threaded(testIters, th)
+		}
+		for j := 0; j < testN; j++ {
+			for i := 0; i < testN; i++ {
+				if got := g.U.Peek(i, j); got != want.U[want.idx(i, j)] {
+					t.Fatalf("%s: U(%d,%d) = %v, want %v", variant, i, j, got,
+						want.U[want.idx(i, j)])
+				}
+				if got := g.R.Peek(i, j); got != want.R[want.idx(i, j)] {
+					t.Fatalf("%s: R(%d,%d) diverged", variant, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestTracedReferenceShape(t *testing.T) {
+	var counts trace.Counts
+	cpu := sim.NewCPU(&counts)
+	g := NewTracedGrid(cpu, vm.NewAddressSpace(), 17)
+	g.Regular(2)
+	interior := uint64(15 * 15)
+	// Each interior point relaxed twice per iteration? No: once per
+	// iteration (its colour's sweep); 2 iterations → 2 relaxations each,
+	// plus one residual evaluation each.
+	wantStores := 2*interior + interior
+	if counts.Stores() != wantStores {
+		t.Errorf("stores = %d, want %d", counts.Stores(), wantStores)
+	}
+	wantLoads := 2*interior*5 + interior*6
+	if counts.Loads() != wantLoads {
+		t.Errorf("loads = %d, want %d", counts.Loads(), wantLoads)
+	}
+}
+
+// Shape test for Table 5: the fused variants must cut the regular
+// schedule's L2 capacity misses roughly in half (paper: 60% / 50%).
+func TestFusionCutsL2CapacityMisses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaled cache simulation")
+	}
+	n := 257 // 3 arrays × 528 KB ≫ scaled 32 KB L2
+	mach := machine.R8000().Scaled(64)
+
+	run := func(f func(g *TracedGrid, th *sim.Threads)) cache.Summary {
+		h := cache.MustNewHierarchy(mach.Caches, nil)
+		cpu := sim.NewCPU(h)
+		as := vm.NewAddressSpace()
+		g := NewTracedGrid(cpu, as, n)
+		th := sim.NewThreads(cpu, as, ThreadedScheduler(mach.L2CacheSize()))
+		f(g, th)
+		return h.Summarize()
+	}
+
+	regular := run(func(g *TracedGrid, _ *sim.Threads) { g.Regular(5) })
+	cc := run(func(g *TracedGrid, _ *sim.Threads) { g.CacheConscious(5) })
+	threaded := run(func(g *TracedGrid, th *sim.Threads) { g.Threaded(5, th) })
+
+	if regular.L2.Capacity == 0 {
+		t.Fatal("regular run shows no capacity misses; scaling is wrong")
+	}
+	// Paper: CC avoids ~60% of capacity misses, threaded ~50%.
+	if cc.L2.Capacity*3 > regular.L2.Capacity*2 {
+		t.Errorf("cache-conscious capacity misses %d not < 2/3 of regular %d",
+			cc.L2.Capacity, regular.L2.Capacity)
+	}
+	if threaded.L2.Capacity*3 > regular.L2.Capacity*2 {
+		t.Errorf("threaded capacity misses %d not < 2/3 of regular %d",
+			threaded.L2.Capacity, regular.L2.Capacity)
+	}
+	// Threaded carries scheduling overhead: more instructions than CC.
+	if threaded.IFetches == cc.IFetches {
+		t.Error("threaded and CC instruction streams identical; overhead missing")
+	}
+}
+
+func BenchmarkNativeRegular(b *testing.B) {
+	g := NewGrid(257)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Regular(g, 5)
+	}
+}
+
+func BenchmarkNativeThreaded(b *testing.B) {
+	g := NewGrid(257)
+	s := ThreadedScheduler(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Threaded(g, 5, s)
+	}
+}

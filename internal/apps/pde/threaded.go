@@ -1,0 +1,33 @@
+package pde
+
+import "threadsched/internal/core"
+
+// Threaded runs iters iterations forking one fine-grained thread per fused
+// line block (§4.3: "there are ny+1 threads to do the work each
+// iteration"), with the line's base address as a one-dimensional hint.
+// Because the red-black ordering determines when each element may be
+// updated, threads are run once per iteration; the scheduler's
+// allocation-ordered bins and FIFO groups preserve ascending line order,
+// so results are bit-for-bit identical to Regular.
+func Threaded(g *Grid, iters int, sched *core.Scheduler) {
+	const uBase = 0x1000_0000
+	lineBytes := uint64(g.N) * 8
+	step := func(j, lastArg int) { g.fusedStep(j, lastArg == 1) }
+	for it := 0; it < iters; it++ {
+		lastArg := 0
+		if it == iters-1 {
+			lastArg = 1
+		}
+		for j := 1; j <= g.fusedSteps(); j++ {
+			sched.Fork(step, j, lastArg, uBase+uint64(j)*lineBytes, 0, 0)
+		}
+		sched.Run(false)
+	}
+}
+
+// ThreadedScheduler builds the scheduler configuration used for the PDE
+// workload: one-dimensional hints, default block size of half the cache
+// (one line of hints only occupies one dimension of the plane).
+func ThreadedScheduler(l2Size uint64) *core.Scheduler {
+	return core.New(core.Config{CacheSize: l2Size, BlockSize: l2Size / 2})
+}

@@ -1,0 +1,138 @@
+package pde
+
+import (
+	"threadsched/internal/sim"
+	"threadsched/internal/vm"
+)
+
+// TracedGrid is the instrumented counterpart of Grid: the same solver
+// against simulated memory. Instruction budgets: 10 per relaxed point, 12
+// per residual point, 4 per line of loop overhead.
+type TracedGrid struct {
+	CPU     *sim.CPU
+	N       int
+	U, B, R *sim.Matrix
+}
+
+const (
+	relaxInstr    = 10
+	residInstr    = 12
+	lineInstr     = 4
+	pcRelax       = 0x100
+	pcResid       = 0x180
+	pcLineControl = 0x240
+)
+
+// NewTracedGrid allocates the three arrays in simulated memory with the
+// same deterministic right-hand side as NewGrid.
+func NewTracedGrid(cpu *sim.CPU, as *vm.AddressSpace, n int) *TracedGrid {
+	g := &TracedGrid{
+		CPU: cpu,
+		N:   n,
+		U:   sim.NewMatrix(cpu, as, n, n, true),
+		B:   sim.NewMatrix(cpu, as, n, n, true),
+		R:   sim.NewMatrix(cpu, as, n, n, true),
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			g.B.Poke(i, j, float64((i*7+j*3)%11)-5.0)
+		}
+	}
+	return g
+}
+
+func (g *TracedGrid) relaxPoint(i, j int) {
+	g.CPU.Exec(pcRelax, relaxInstr)
+	v := 0.25 * (g.B.Load(i, j) - g.U.Load(i-1, j) - g.U.Load(i+1, j) -
+		g.U.Load(i, j-1) - g.U.Load(i, j+1))
+	g.U.Store(i, j, v)
+}
+
+func (g *TracedGrid) residualPoint(i, j int) {
+	g.CPU.Exec(pcResid, residInstr)
+	v := g.B.Load(i, j) - 4*g.U.Load(i, j) - g.U.Load(i-1, j) - g.U.Load(i+1, j) -
+		g.U.Load(i, j-1) - g.U.Load(i, j+1)
+	g.R.Store(i, j, v)
+}
+
+func (g *TracedGrid) relaxLine(j, c int) {
+	g.CPU.Exec(pcLineControl, lineInstr)
+	start := 1 + (j+c+1)%2
+	for i := start; i < g.N-1; i += 2 {
+		g.relaxPoint(i, j)
+	}
+}
+
+func (g *TracedGrid) residualLine(j int) {
+	g.CPU.Exec(pcLineControl, lineInstr)
+	for i := 1; i < g.N-1; i++ {
+		g.residualPoint(i, j)
+	}
+}
+
+// FusedStep mirrors Grid.fusedStep for the threaded variant.
+func (g *TracedGrid) FusedStep(j int, last bool) {
+	n := g.N
+	if j >= 1 && j <= n-2 {
+		g.relaxLine(j, 0)
+	}
+	if j-1 >= 1 && j-1 <= n-2 {
+		g.relaxLine(j-1, 1)
+	}
+	if last && j-2 >= 1 && j-2 <= n-2 {
+		g.residualLine(j - 2)
+	}
+}
+
+// FusedSteps mirrors Grid.fusedSteps.
+func (g *TracedGrid) FusedSteps() int { return g.N }
+
+// Regular runs the whole-grid-sweep schedule against simulated memory.
+func (g *TracedGrid) Regular(iters int) {
+	for it := 0; it < iters; it++ {
+		for c := 0; c < 2; c++ {
+			for j := 1; j < g.N-1; j++ {
+				g.relaxLine(j, c)
+			}
+		}
+	}
+	for j := 1; j < g.N-1; j++ {
+		g.residualLine(j)
+	}
+}
+
+// CacheConscious runs the fused schedule against simulated memory.
+func (g *TracedGrid) CacheConscious(iters int) {
+	for it := 0; it < iters; it++ {
+		last := it == iters-1
+		for j := 1; j <= g.FusedSteps(); j++ {
+			g.FusedStep(j, last)
+		}
+	}
+}
+
+// Threaded runs the fused schedule with one traced thread per line block,
+// hinted with the line's simulated base address, one scheduler run per
+// iteration.
+func (g *TracedGrid) Threaded(iters int, th *sim.Threads) {
+	for it := 0; it < iters; it++ {
+		last := it == iters-1
+		lastArg := 0
+		if last {
+			lastArg = 1
+		}
+		for j := 1; j <= g.FusedSteps(); j++ {
+			th.Fork(func(j, lastArg int) {
+				g.FusedStep(j, lastArg == 1)
+			}, j, lastArg, g.U.Addr(0, min(j, g.N-1)), 0, 0)
+		}
+		th.Run(false)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

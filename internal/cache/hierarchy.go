@@ -1,0 +1,189 @@
+package cache
+
+import (
+	"fmt"
+
+	"threadsched/internal/trace"
+	"threadsched/internal/vm"
+)
+
+// HierarchyConfig describes the cache hierarchy: split L1 instruction and
+// data caches over a unified L2, matching both SGI systems in the paper,
+// plus an optional L3 (zero Size = absent) for modelling modern machines.
+type HierarchyConfig struct {
+	L1I, L1D, L2 Config
+	// L3 is an optional third level behind the L2; leave zero for the
+	// paper's two-level systems.
+	L3 Config
+}
+
+// HasL3 reports whether a third level is configured.
+func (hc HierarchyConfig) HasL3() bool { return hc.L3.Size != 0 }
+
+// Validate checks all level configurations.
+func (hc HierarchyConfig) Validate() error {
+	levels := []Config{hc.L1I, hc.L1D, hc.L2}
+	if hc.HasL3() {
+		levels = append(levels, hc.L3)
+	}
+	for _, c := range levels {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("%s: %w", c.Name, err)
+		}
+	}
+	return nil
+}
+
+// Hierarchy simulates the cache hierarchy against a reference stream.
+// It implements trace.Recorder. If a page table is attached, the L2 is
+// physically indexed: L1 caches see virtual addresses (they are small
+// enough to be virtually indexed on the modelled machines) while L2 sees
+// translated physical addresses, reproducing the virtual-memory effect the
+// paper discusses in §2.2.
+//
+// Dirty evictions are counted per level (Stats.Writebacks) but writeback
+// traffic does not generate accesses at the next level — DineroIII's
+// demand-fetch accounting, which is what the paper's miss tables report.
+type Hierarchy struct {
+	l1i, l1d, l2 *Cache
+	l3           *Cache // nil for two-level systems
+	pt           *vm.PageTable
+	tlb          *vm.TLB
+	refs         trace.Counts
+}
+
+var _ trace.Recorder = (*Hierarchy)(nil)
+
+// NewHierarchy builds a hierarchy from cfg. pt may be nil for a fully
+// virtually-indexed simulation (the paper's own DineroIII setup).
+func NewHierarchy(cfg HierarchyConfig, pt *vm.PageTable) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{
+		l1i: MustNew(cfg.L1I),
+		l1d: MustNew(cfg.L1D),
+		l2:  MustNew(cfg.L2),
+		pt:  pt,
+	}
+	if cfg.HasL3() {
+		h.l3 = MustNew(cfg.L3)
+	}
+	return h, nil
+}
+
+// MustNewHierarchy is NewHierarchy panicking on error, for fixed machine
+// configurations.
+func MustNewHierarchy(cfg HierarchyConfig, pt *vm.PageTable) *Hierarchy {
+	h, err := NewHierarchy(cfg, pt)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// AttachTLB routes every data reference through a simulated data TLB;
+// its hit/miss counters accumulate on the TLB itself.
+func (h *Hierarchy) AttachTLB(t *vm.TLB) { h.tlb = t }
+
+// Record implements trace.Recorder, presenting one reference to the
+// hierarchy. References spanning a line boundary access each covered line.
+func (h *Hierarchy) Record(r trace.Ref) {
+	h.refs.ByKind[r.Kind]++
+	if h.tlb != nil && r.Kind != trace.IFetch {
+		h.tlb.Access(r.Addr)
+	}
+	l1 := h.l1d
+	write := r.Kind == trace.Store
+	if r.Kind == trace.IFetch {
+		l1 = h.l1i
+		write = false
+	}
+	size := uint64(r.Size)
+	if size == 0 {
+		size = 1
+	}
+	first := l1.LineOf(r.Addr)
+	last := l1.LineOf(r.Addr + size - 1)
+	writeThrough := write && l1.cfg.Write == WriteThroughNoAllocate
+	for ln := first; ln <= last; ln++ {
+		addr := ln << l1.lineShift
+		if ln == first {
+			addr = r.Addr
+		}
+		if !l1.Access(addr, write) || writeThrough {
+			h.accessL2(addr, write)
+		}
+	}
+}
+
+func (h *Hierarchy) accessL2(addr uint64, write bool) {
+	if h.pt != nil {
+		addr = h.pt.Translate(addr)
+	}
+	if !h.l2.Access(addr, write) && h.l3 != nil {
+		h.l3.Access(addr, write)
+	}
+}
+
+// L1I, L1D, and L2 expose the individual levels.
+func (h *Hierarchy) L1I() *Cache { return h.l1i }
+
+// L1D returns the first-level data cache.
+func (h *Hierarchy) L1D() *Cache { return h.l1d }
+
+// L2 returns the unified second-level cache.
+func (h *Hierarchy) L2() *Cache { return h.l2 }
+
+// L3 returns the third-level cache, or nil on two-level systems.
+func (h *Hierarchy) L3() *Cache { return h.l3 }
+
+// Refs returns the reference tally observed so far.
+func (h *Hierarchy) Refs() trace.Counts { return h.refs }
+
+// Summary condenses the hierarchy counters into the rows the paper's miss
+// tables report.
+type Summary struct {
+	IFetches uint64
+	DataRefs uint64
+	// L1Misses is combined I+D first-level misses, as in the paper's
+	// "L1 misses" row.
+	L1Misses uint64
+	// L1Rate is L1 misses per hundred data references (the paper's rate
+	// columns divide by data references).
+	L1Rate float64
+	L2     Stats
+	// L2Rate is L2 misses per hundred data references.
+	L2Rate float64
+	// L3 is the optional third level's counters (zero when absent).
+	L3 Stats
+}
+
+// Summarize computes the table rows from the current counters.
+func (h *Hierarchy) Summarize() Summary {
+	s := Summary{
+		IFetches: h.refs.IFetches(),
+		DataRefs: h.refs.DataRefs(),
+		L1Misses: h.l1i.Stats().Misses + h.l1d.Stats().Misses,
+		L2:       h.l2.Stats(),
+	}
+	if s.DataRefs > 0 {
+		s.L1Rate = 100 * float64(s.L1Misses) / float64(s.DataRefs)
+		s.L2Rate = 100 * float64(s.L2.Misses) / float64(s.DataRefs)
+	}
+	if h.l3 != nil {
+		s.L3 = h.l3.Stats()
+	}
+	return s
+}
+
+// Reset clears all levels and counters.
+func (h *Hierarchy) Reset() {
+	h.l1i.Reset()
+	h.l1d.Reset()
+	h.l2.Reset()
+	if h.l3 != nil {
+		h.l3.Reset()
+	}
+	h.refs = trace.Counts{}
+}

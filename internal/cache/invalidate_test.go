@@ -1,0 +1,54 @@
+package cache
+
+import "testing"
+
+func TestInvalidateRemovesLine(t *testing.T) {
+	c := mustCache(t, Config{Size: 256, LineSize: 32, Assoc: 2})
+	c.Access(0, false)
+	if !c.Invalidate(0) {
+		t.Fatal("resident line not reported invalidated")
+	}
+	if c.Contains(0) {
+		t.Fatal("line survived invalidation")
+	}
+	if c.Invalidate(0) {
+		t.Fatal("absent line reported invalidated")
+	}
+	// Next access misses again.
+	if c.Access(0, false) {
+		t.Fatal("hit after invalidation")
+	}
+}
+
+func TestInvalidateDirtyCountsWriteback(t *testing.T) {
+	c := mustCache(t, Config{Size: 256, LineSize: 32, Assoc: 2})
+	c.Access(0, true)
+	before := c.Stats().Writebacks
+	c.Invalidate(0)
+	if got := c.Stats().Writebacks; got != before+1 {
+		t.Fatalf("writebacks = %d, want %d (dirty invalidation flushes)", got, before+1)
+	}
+	// Clean invalidation does not.
+	c.Access(32, false)
+	c.Invalidate(32)
+	if got := c.Stats().Writebacks; got != before+1 {
+		t.Fatal("clean invalidation counted a writeback")
+	}
+}
+
+func TestInvalidateLeavesOtherLinesIntact(t *testing.T) {
+	c := mustCache(t, Config{Size: 256, LineSize: 32, Assoc: 4})
+	for i := uint64(0); i < 4; i++ {
+		c.Access(i*64, false)
+	}
+	c.Invalidate(2 * 64)
+	for i := uint64(0); i < 4; i++ {
+		want := i != 2
+		if c.Contains(i*64) != want {
+			t.Fatalf("line %d residency = %v, want %v", i, c.Contains(i*64), want)
+		}
+	}
+	if got := c.Config().Size; got != 256 {
+		t.Fatalf("Config().Size = %d", got)
+	}
+}

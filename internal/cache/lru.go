@@ -1,0 +1,108 @@
+package cache
+
+// lruTable is a fully-associative LRU set of line numbers with a fixed
+// capacity, used as the shadow model for capacity-miss classification. It
+// is a hash map from line number to node index plus an intrusive doubly
+// linked recency list, so both hit and miss paths are O(1).
+type lruTable struct {
+	capacity int
+	index    map[uint64]int32
+	nodes    []lruNode
+	head     int32 // most recently used
+	tail     int32 // least recently used
+	free     int32 // head of free list (linked through next)
+}
+
+type lruNode struct {
+	line       uint64
+	prev, next int32
+}
+
+const nilNode = int32(-1)
+
+func newLRUTable(capacity int) *lruTable {
+	if capacity < 1 {
+		capacity = 1
+	}
+	t := &lruTable{
+		capacity: capacity,
+		index:    make(map[uint64]int32, capacity*2),
+		nodes:    make([]lruNode, capacity),
+		head:     nilNode,
+		tail:     nilNode,
+	}
+	// Thread the free list through the node slab.
+	for i := range t.nodes {
+		t.nodes[i].next = int32(i + 1)
+	}
+	t.nodes[capacity-1].next = nilNode
+	t.free = 0
+	return t
+}
+
+// touch records a reference to line ln, returning true if it was resident
+// (a shadow hit). On a miss the line is inserted, evicting the LRU entry
+// if the table is full.
+func (t *lruTable) touch(ln uint64) bool {
+	if idx, ok := t.index[ln]; ok {
+		t.moveToFront(idx)
+		return true
+	}
+	idx := t.free
+	if idx == nilNode {
+		// Evict LRU.
+		idx = t.tail
+		delete(t.index, t.nodes[idx].line)
+		t.unlink(idx)
+	} else {
+		t.free = t.nodes[idx].next
+	}
+	t.nodes[idx].line = ln
+	t.pushFront(idx)
+	t.index[ln] = idx
+	return false
+}
+
+// contains reports residency without touching recency; for tests.
+func (t *lruTable) contains(ln uint64) bool {
+	_, ok := t.index[ln]
+	return ok
+}
+
+// len returns the number of resident lines.
+func (t *lruTable) len() int { return len(t.index) }
+
+func (t *lruTable) unlink(idx int32) {
+	n := &t.nodes[idx]
+	if n.prev != nilNode {
+		t.nodes[n.prev].next = n.next
+	} else {
+		t.head = n.next
+	}
+	if n.next != nilNode {
+		t.nodes[n.next].prev = n.prev
+	} else {
+		t.tail = n.prev
+	}
+}
+
+func (t *lruTable) pushFront(idx int32) {
+	n := &t.nodes[idx]
+	n.prev = nilNode
+	n.next = t.head
+	if t.head != nilNode {
+		t.nodes[t.head].prev = idx
+	}
+	t.head = idx
+	if t.tail == nilNode {
+		t.tail = idx
+	}
+}
+
+func (t *lruTable) moveToFront(idx int32) {
+	if t.head == idx {
+		return
+	}
+	t.unlink(idx)
+	t.pushFront(idx)
+}

@@ -1,0 +1,99 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLRUTableBasics(t *testing.T) {
+	lt := newLRUTable(3)
+	for _, ln := range []uint64{1, 2, 3} {
+		if lt.touch(ln) {
+			t.Fatalf("cold touch of %d hit", ln)
+		}
+	}
+	if lt.len() != 3 {
+		t.Fatalf("len = %d, want 3", lt.len())
+	}
+	if !lt.touch(1) {
+		t.Fatal("warm touch of 1 missed")
+	}
+	// Insert 4: evicts LRU, which is 2 (order now 1,3,2 from MRU).
+	if lt.touch(4) {
+		t.Fatal("cold touch of 4 hit")
+	}
+	if lt.contains(2) {
+		t.Fatal("2 not evicted")
+	}
+	for _, ln := range []uint64{1, 3, 4} {
+		if !lt.contains(ln) {
+			t.Fatalf("%d evicted unexpectedly", ln)
+		}
+	}
+}
+
+func TestLRUTableCapacityOne(t *testing.T) {
+	lt := newLRUTable(1)
+	lt.touch(10)
+	if !lt.touch(10) {
+		t.Fatal("re-touch missed")
+	}
+	lt.touch(11)
+	if lt.contains(10) {
+		t.Fatal("10 survived eviction in capacity-1 table")
+	}
+	if !lt.contains(11) {
+		t.Fatal("11 missing")
+	}
+}
+
+func TestLRUTableZeroCapacityClamped(t *testing.T) {
+	lt := newLRUTable(0)
+	lt.touch(1)
+	if lt.len() != 1 {
+		t.Fatalf("len = %d, want 1", lt.len())
+	}
+}
+
+// Property: the table never exceeds capacity and exactly matches a naive
+// reference implementation.
+func TestLRUTableMatchesReferenceProperty(t *testing.T) {
+	f := func(seed int64, capSel uint8) bool {
+		capacity := int(capSel%16) + 1
+		lt := newLRUTable(capacity)
+		var ref []uint64 // MRU first
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 500; i++ {
+			ln := uint64(rng.Intn(capacity * 3))
+			// Reference model.
+			refHit := false
+			for j, v := range ref {
+				if v == ln {
+					ref = append(ref[:j], ref[j+1:]...)
+					refHit = true
+					break
+				}
+			}
+			ref = append([]uint64{ln}, ref...)
+			if len(ref) > capacity {
+				ref = ref[:capacity]
+			}
+			if lt.touch(ln) != refHit {
+				return false
+			}
+			if lt.len() != len(ref) {
+				return false
+			}
+		}
+		for _, v := range ref {
+			if !lt.contains(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

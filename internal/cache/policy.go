@@ -1,0 +1,59 @@
+package cache
+
+// Replacement and write policies, for DineroIII-style configuration
+// sweeps beyond the paper's fixed LRU/write-back setup. The experiments
+// in the paper all use LRU write-allocate caches (the defaults here); the
+// extra policies support the ablation harness and make the simulator a
+// general substrate.
+
+// Replacement selects the victim line within a set.
+type Replacement int
+
+const (
+	// LRU evicts the least-recently-used line (default; what the paper's
+	// machines and DineroIII runs model).
+	LRU Replacement = iota
+	// FIFO evicts the oldest-allocated line; hits do not refresh.
+	FIFO
+	// RandomRepl evicts a deterministically pseudo-random way.
+	RandomRepl
+)
+
+// String names the replacement policy.
+func (r Replacement) String() string {
+	switch r {
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	case RandomRepl:
+		return "random"
+	default:
+		return "replacement?"
+	}
+}
+
+// WritePolicy selects write handling.
+type WritePolicy int
+
+const (
+	// WriteBackAllocate: writes allocate on miss and dirty the line;
+	// dirty evictions count as writebacks (default).
+	WriteBackAllocate WritePolicy = iota
+	// WriteThroughNoAllocate: writes never allocate; every write
+	// propagates to the next level (the hierarchy issues it), and lines
+	// are never dirty.
+	WriteThroughNoAllocate
+)
+
+// String names the write policy.
+func (w WritePolicy) String() string {
+	switch w {
+	case WriteBackAllocate:
+		return "wb+wa"
+	case WriteThroughNoAllocate:
+		return "wt+nwa"
+	default:
+		return "write?"
+	}
+}

@@ -1,0 +1,178 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"threadsched/internal/trace"
+)
+
+func TestPolicyStrings(t *testing.T) {
+	if LRU.String() != "lru" || FIFO.String() != "fifo" || RandomRepl.String() != "random" {
+		t.Error("replacement names")
+	}
+	if WriteBackAllocate.String() != "wb+wa" || WriteThroughNoAllocate.String() != "wt+nwa" {
+		t.Error("write policy names")
+	}
+	if Replacement(9).String() != "replacement?" || WritePolicy(9).String() != "write?" {
+		t.Error("unknown policy names")
+	}
+}
+
+func TestFIFOHitsDoNotRefresh(t *testing.T) {
+	// 2-way single-set cache. Under FIFO, re-touching the oldest line
+	// does not save it from eviction; under LRU it does.
+	fifoCfg := Config{Size: 64, LineSize: 32, Assoc: 2, Repl: FIFO}
+	fifo := mustCache(t, fifoCfg)
+	fifo.Access(0*32, false) // allocate A (oldest)
+	fifo.Access(2*32, false) // allocate B
+	fifo.Access(0*32, false) // hit A — no refresh under FIFO
+	fifo.Access(4*32, false) // allocate C: evicts B (insertion order A,B → tail is A)...
+	// Insertion-at-head order: after A,B the set is [B,A]; C evicts A.
+	if fifo.Contains(0 * 32) {
+		t.Fatal("FIFO kept the re-touched oldest line; hits must not refresh")
+	}
+	if !fifo.Contains(2 * 32) {
+		t.Fatal("FIFO evicted the newer line")
+	}
+
+	lru := mustCache(t, Config{Size: 64, LineSize: 32, Assoc: 2, Repl: LRU})
+	lru.Access(0*32, false)
+	lru.Access(2*32, false)
+	lru.Access(0*32, false) // refresh A
+	lru.Access(4*32, false) // evicts B
+	if !lru.Contains(0 * 32) {
+		t.Fatal("LRU evicted the refreshed line")
+	}
+}
+
+func TestRandomReplacementFillsInvalidFirst(t *testing.T) {
+	c := mustCache(t, Config{Size: 128, LineSize: 32, Assoc: 4, Repl: RandomRepl})
+	for i := uint64(0); i < 4; i++ {
+		c.Access(i*4*32, false) // all map to set 0 (single set? 128/32/4 = 1 set)
+	}
+	// All four distinct lines must be resident: invalid ways fill first.
+	for i := uint64(0); i < 4; i++ {
+		if !c.Contains(i * 4 * 32) {
+			t.Fatalf("line %d not resident after cold fill", i)
+		}
+	}
+	// A fifth line evicts exactly one of them.
+	c.Access(16*32, false)
+	resident := 0
+	for i := uint64(0); i < 5; i++ {
+		if c.Contains(i * 4 * 32) {
+			resident++
+		}
+	}
+	if !c.Contains(16 * 32) {
+		t.Fatal("new line not allocated")
+	}
+	if resident != 4 {
+		t.Fatalf("%d lines resident, want 4", resident)
+	}
+}
+
+func TestRandomReplacementDeterministic(t *testing.T) {
+	run := func() Stats {
+		c := mustCache(t, Config{Size: 128, LineSize: 32, Assoc: 4, Repl: RandomRepl})
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 2000; i++ {
+			c.Access(uint64(rng.Intn(32))*32, rng.Intn(4) == 0)
+		}
+		return c.Stats()
+	}
+	if run() != run() {
+		t.Fatal("random replacement not deterministic across runs")
+	}
+}
+
+func TestWriteThroughNoAllocate(t *testing.T) {
+	c := mustCache(t, Config{Size: 128, LineSize: 32, Assoc: 1, Write: WriteThroughNoAllocate})
+	// Write miss: counted, not allocated.
+	if c.Access(0, true) {
+		t.Fatal("write miss reported as hit")
+	}
+	if c.Contains(0) {
+		t.Fatal("write miss allocated under no-allocate")
+	}
+	// Read allocates; subsequent write hits but the line stays clean.
+	c.Access(0, false)
+	if !c.Access(0, true) {
+		t.Fatal("write to resident line missed")
+	}
+	// Force eviction; a clean line must not write back.
+	c.Access(4*32, false)
+	if got := c.Stats().Writebacks; got != 0 {
+		t.Fatalf("writebacks = %d under write-through", got)
+	}
+}
+
+func TestHierarchyWriteThroughL1SendsWritesToL2(t *testing.T) {
+	cfg := HierarchyConfig{
+		L1I: Config{Name: "L1I", Size: 256, LineSize: 32, Assoc: 1},
+		L1D: Config{Name: "L1D", Size: 256, LineSize: 32, Assoc: 1, Write: WriteThroughNoAllocate},
+		L2:  Config{Name: "L2", Size: 1024, LineSize: 64, Assoc: 2},
+	}
+	h := MustNewHierarchy(cfg, nil)
+	h.Record(trace.Ref{Kind: trace.Load, Addr: 0, Size: 8}) // L1D+L2 cold
+	for i := 0; i < 5; i++ {
+		h.Record(trace.Ref{Kind: trace.Store, Addr: 0, Size: 8}) // L1D hits, write-through
+	}
+	if got := h.L2().Stats().Writes; got != 5 {
+		t.Fatalf("L2 writes = %d, want 5 (write-through)", got)
+	}
+	if got := h.L2().Stats().Accesses; got != 6 {
+		t.Fatalf("L2 accesses = %d, want 6", got)
+	}
+}
+
+// Property: at equal geometry, for any stream, cold misses are identical
+// across replacement policies (first touches miss regardless), and total
+// misses are at least the distinct-line count.
+func TestPoliciesShareColdMissesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		mk := func(r Replacement) *Cache {
+			return MustNew(Config{Size: 256, LineSize: 32, Assoc: 2, Repl: r, Classify: true})
+		}
+		lru, fifo, rnd := mk(LRU), mk(FIFO), mk(RandomRepl)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 2000; i++ {
+			addr := uint64(rng.Intn(64)) * 32
+			w := rng.Intn(3) == 0
+			lru.Access(addr, w)
+			fifo.Access(addr, w)
+			rnd.Access(addr, w)
+		}
+		a, b, c := lru.Stats(), fifo.Stats(), rnd.Stats()
+		if a.Compulsory != b.Compulsory || b.Compulsory != c.Compulsory {
+			return false
+		}
+		return a.Misses >= a.Compulsory && b.Misses >= b.Compulsory && c.Misses >= c.Compulsory
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: on a cyclic stream one line larger than a set (the classic
+// LRU worst case), FIFO never does worse than LRU, and both miss every
+// access after warmup.
+func TestCyclicThrashBehavior(t *testing.T) {
+	lru := MustNew(Config{Size: 128, LineSize: 32, Assoc: 4, Repl: LRU})
+	fifo := MustNew(Config{Size: 128, LineSize: 32, Assoc: 4, Repl: FIFO})
+	for round := 0; round < 50; round++ {
+		for ln := uint64(0); ln < 5; ln++ { // 5 lines, 4 ways, one set
+			lru.Access(ln*32, false)
+			fifo.Access(ln*32, false)
+		}
+	}
+	if hits := lru.Stats().Accesses - lru.Stats().Misses; hits != 0 {
+		t.Fatalf("LRU got %d hits on a cyclic over-capacity stream, want 0", hits)
+	}
+	if fifo.Stats().Misses > lru.Stats().Misses {
+		t.Fatalf("FIFO (%d) missed more than LRU (%d) on the cyclic stream",
+			fifo.Stats().Misses, lru.Stats().Misses)
+	}
+}

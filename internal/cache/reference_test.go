@@ -1,0 +1,98 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refCache is a deliberately naive set-associative LRU model: per set, a
+// slice ordered most-recent-first. The real Cache must agree with it
+// hit-for-hit on arbitrary streams.
+type refCache struct {
+	lineSize uint64
+	sets     []([]uint64)
+	ways     int
+	dirty    map[uint64]bool
+	wb       uint64
+}
+
+func newRefCache(cfg Config) *refCache {
+	ways := cfg.Assoc
+	if ways <= 0 {
+		ways = int(cfg.Lines())
+	}
+	return &refCache{
+		lineSize: cfg.LineSize,
+		sets:     make([][]uint64, cfg.Sets()),
+		ways:     ways,
+		dirty:    make(map[uint64]bool),
+	}
+}
+
+func (r *refCache) access(addr uint64, write bool) bool {
+	ln := addr / r.lineSize
+	si := ln % uint64(len(r.sets))
+	set := r.sets[si]
+	for i, v := range set {
+		if v == ln {
+			set = append(append([]uint64{ln}, set[:i]...), set[i+1:]...)
+			r.sets[si] = set
+			if write {
+				r.dirty[ln] = true
+			}
+			return true
+		}
+	}
+	set = append([]uint64{ln}, set...)
+	if len(set) > r.ways {
+		victim := set[len(set)-1]
+		if r.dirty[victim] {
+			r.wb++
+			delete(r.dirty, victim)
+		}
+		set = set[:len(set)-1]
+	}
+	r.sets[si] = set
+	if write {
+		r.dirty[ln] = true
+	} else {
+		delete(r.dirty, ln)
+	}
+	return false
+}
+
+// Property: the production cache matches the naive model access by
+// access — hits, misses, and writeback counts — for random geometries and
+// streams.
+func TestCacheMatchesReferenceModelProperty(t *testing.T) {
+	f := func(seed int64, sizeSel, lineSel, assocSel uint8) bool {
+		lineSize := uint64(16) << (lineSel % 3)           // 16/32/64
+		size := lineSize * 8 << (sizeSel % 4)             // 8..64 lines
+		assoc := []int{1, 2, 4, 0}[assocSel%4]            // incl. fully assoc
+		if assoc > 0 && size/lineSize < uint64(assoc)*2 { // keep ≥2 sets
+			assoc = 1
+		}
+		cfg := Config{Name: "T", Size: size, LineSize: lineSize, Assoc: assoc}
+		if cfg.Validate() != nil {
+			return true // skip impossible geometry draws
+		}
+		real, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		ref := newRefCache(cfg)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 3000; i++ {
+			addr := uint64(rng.Intn(int(size * 4)))
+			write := rng.Intn(3) == 0
+			if real.Access(addr, write) != ref.access(addr, write) {
+				return false
+			}
+		}
+		return real.Stats().Writebacks == ref.wb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

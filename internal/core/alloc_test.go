@@ -1,0 +1,95 @@
+package core
+
+import "testing"
+
+// The paper's design goal is fork overhead far below a cache miss; in Go
+// terms the fork path must not allocate in steady state (free lists
+// recycle groups and bins, §3.2's amortization).
+func TestForkRunSteadyStateAllocationFree(t *testing.T) {
+	s := New(Config{CacheSize: 1 << 20, BlockSize: 1 << 16})
+	null := func(int, int) {}
+	cycle := func() {
+		for j := 0; j < 1024; j++ {
+			s.Fork(null, j, 0, uint64(j%16)<<16, uint64((j/16)%16)<<16, 0)
+		}
+		s.Run(false)
+	}
+	cycle() // warm free lists
+	avg := testing.AllocsPerRun(20, cycle)
+	// One slice allocation (the tour's bin slice) per Run is acceptable;
+	// per-thread allocations are not.
+	if avg > 8 {
+		t.Fatalf("steady-state fork/run cycle allocates %.1f objects per 1024 threads", avg)
+	}
+}
+
+func TestKeepRunDoesNotGrow(t *testing.T) {
+	s := New(Config{CacheSize: 1 << 20})
+	for j := 0; j < 256; j++ {
+		s.Fork(func(int, int) {}, j, 0, uint64(j)<<12, 0, 0)
+	}
+	s.Run(true)
+	avg := testing.AllocsPerRun(20, func() { s.Run(true) })
+	if avg > 4 {
+		t.Fatalf("keep re-run allocates %.1f objects", avg)
+	}
+	if s.Pending() != 256 {
+		t.Fatalf("keep destroyed the schedule: pending %d", s.Pending())
+	}
+}
+
+func TestInitDiscardsPendingThreads(t *testing.T) {
+	s := New(Config{CacheSize: 1 << 20})
+	ran := 0
+	s.Fork(func(int, int) { ran++ }, 0, 0, 0, 0, 0)
+	s.Init(0, 0) // th_init resets the tables
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d after Init", s.Pending())
+	}
+	s.Run(false)
+	if ran != 0 {
+		t.Fatal("discarded thread ran")
+	}
+}
+
+func TestWorkersWithKeep(t *testing.T) {
+	s := New(Config{CacheSize: 1 << 20, BlockSize: 1 << 14, Workers: 4})
+	var counts [64]int32
+	for j := 0; j < 64; j++ {
+		j := j
+		s.Fork(func(a1, _ int) { counts[a1]++ }, j, 0, uint64(j)<<14, 0, 0)
+	}
+	// Workers run bins concurrently but each bin serially; with one
+	// thread per bin there is no intra-bin concurrency, yet counts are
+	// per-thread slots so no two goroutines touch the same one... except
+	// the increment itself: each slot is written by exactly one thread
+	// per run, so plain increments are safe across runs (Run joins all
+	// workers before returning).
+	s.Run(true)
+	s.Run(false)
+	for j, c := range counts {
+		if c != 2 {
+			t.Fatalf("thread %d ran %d times under workers+keep", j, c)
+		}
+	}
+}
+
+func TestWorkersTourCombination(t *testing.T) {
+	for _, tour := range []TourOrder{TourMorton, TourHilbert} {
+		s := New(Config{CacheSize: 1 << 20, BlockSize: 1 << 12, Workers: 3, Tour: tour})
+		var total int32
+		done := make(chan struct{}, 512)
+		for j := 0; j < 512; j++ {
+			s.Fork(func(int, int) { done <- struct{}{} }, j, 0,
+				uint64(j)<<12, uint64(j%7)<<12, 0)
+		}
+		s.Run(false)
+		close(done)
+		for range done {
+			total++
+		}
+		if total != 512 {
+			t.Fatalf("tour %v with workers ran %d threads, want 512", tour, total)
+		}
+	}
+}

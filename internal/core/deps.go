@@ -1,0 +1,192 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DepScheduler extends the thread package with dependence constraints —
+// the capability §6 lists as an open problem: "it would not be convenient
+// to program algorithms that have complex dependencies. Methods to
+// specify dependencies and ways to implement them efficiently remain to
+// be demonstrated."
+//
+// A thread may name previously forked threads it must run after. Run
+// executes a locality-greedy topological order: bins are visited in the
+// usual ready-list order and every runnable (dependence-satisfied) thread
+// of a bin executes before the scheduler moves on; threads whose
+// predecessors are still pending stay queued and their bin is revisited.
+// Independent threads therefore keep the paper's bin clustering, and
+// dependent ones are delayed exactly as long as the DAG requires.
+type DepScheduler struct {
+	sched *Scheduler // reuses binning via an internal fork of metadata
+
+	blockShift uint
+	fold       bool
+
+	threads []depThread
+	bins    []*depBin
+	binIdx  map[binKey]int
+	pending int
+}
+
+// ThreadID names a forked thread within one DepScheduler run.
+type ThreadID int
+
+type depThread struct {
+	fn         Func
+	arg1, arg2 int
+	bin        int
+	// waits is the number of unfinished predecessors.
+	waits int
+	// dependents are thread IDs to notify on completion.
+	dependents []ThreadID
+	done       bool
+}
+
+type depBin struct {
+	key     binKey
+	queue   []ThreadID // forked order
+	next    int        // first unexecuted index
+	blocked int        // queued threads currently waiting on predecessors
+}
+
+// ErrDependencyCycle reports that Run found threads that can never become
+// runnable.
+var ErrDependencyCycle = errors.New("core: dependency cycle among threads")
+
+// NewDep returns a dependence-aware scheduler configured like New.
+func NewDep(cfg Config) *DepScheduler {
+	s := New(cfg)
+	return &DepScheduler{
+		sched:      s,
+		blockShift: s.blockShift,
+		fold:       cfg.FoldSymmetric,
+		binIdx:     make(map[binKey]int),
+	}
+}
+
+// BlockSize returns the per-dimension block size in effect.
+func (d *DepScheduler) BlockSize() uint64 { return d.sched.BlockSize() }
+
+// Pending returns the number of threads forked but not run.
+func (d *DepScheduler) Pending() int { return d.pending }
+
+// BinsUsed returns the number of bins holding threads.
+func (d *DepScheduler) BinsUsed() int { return len(d.bins) }
+
+// Fork schedules f(arg1, arg2) with the usual address hints, to run only
+// after every thread in deps has completed. It returns the new thread's
+// ID. Unknown (future) IDs in deps are an error at Run time; IDs from a
+// previous Run are invalid.
+func (d *DepScheduler) Fork(f Func, arg1, arg2 int, h1, h2, h3 uint64, deps ...ThreadID) ThreadID {
+	key := binKey{h1 >> d.blockShift, h2 >> d.blockShift, h3 >> d.blockShift}
+	if d.fold {
+		sortKey(&key)
+	}
+	bi, ok := d.binIdx[key]
+	if !ok {
+		bi = len(d.bins)
+		d.binIdx[key] = bi
+		d.bins = append(d.bins, &depBin{key: key})
+	}
+	id := ThreadID(len(d.threads))
+	t := depThread{fn: f, arg1: arg1, arg2: arg2, bin: bi}
+	for _, dep := range deps {
+		if dep < 0 || int(dep) >= len(d.threads) {
+			// Defer the error to Run by marking an impossible wait; a
+			// panic here would be hostile in library code.
+			t.waits = -1
+			break
+		}
+		if !d.threads[dep].done {
+			t.waits++
+			d.threads[dep].dependents = append(d.threads[dep].dependents, id)
+		}
+	}
+	d.threads = append(d.threads, t)
+	d.bins[bi].queue = append(d.bins[bi].queue, id)
+	if t.waits != 0 {
+		d.bins[bi].blocked++
+	}
+	d.pending++
+	return id
+}
+
+// Run executes all threads in a locality-greedy topological order,
+// destroying the schedule. It fails (leaving unexecuted threads
+// unexecuted) if dependencies are invalid or cyclic.
+func (d *DepScheduler) Run() error {
+	for _, t := range d.threads {
+		if t.waits < 0 {
+			d.reset()
+			return fmt.Errorf("core: thread depends on an unknown thread ID")
+		}
+	}
+	remaining := d.pending
+	for remaining > 0 {
+		ranThisRound := 0
+		for _, b := range d.bins {
+			ranThisRound += d.drainBin(b)
+		}
+		if ranThisRound == 0 {
+			d.reset()
+			return ErrDependencyCycle
+		}
+		remaining -= ranThisRound
+	}
+	d.reset()
+	return nil
+}
+
+// drainBin runs every currently runnable thread of the bin, in forked
+// order, including threads unblocked by work done within this drain.
+func (d *DepScheduler) drainBin(b *depBin) int {
+	ran := 0
+	for {
+		progressed := false
+		// Advance the frontier past executed threads and run runnable
+		// ones at the frontier; scan the tail for runnable stragglers.
+		for i := b.next; i < len(b.queue); i++ {
+			id := b.queue[i]
+			t := &d.threads[id]
+			if t.done {
+				if i == b.next {
+					b.next++
+				}
+				continue
+			}
+			if t.waits > 0 {
+				continue
+			}
+			d.execute(id)
+			ran++
+			progressed = true
+			if i == b.next {
+				b.next++
+			}
+		}
+		if !progressed {
+			return ran
+		}
+	}
+}
+
+// execute runs one thread and notifies dependents.
+func (d *DepScheduler) execute(id ThreadID) {
+	t := &d.threads[id]
+	t.fn(t.arg1, t.arg2)
+	t.done = true
+	d.pending--
+	for _, dep := range t.dependents {
+		d.threads[dep].waits--
+	}
+}
+
+// reset discards all thread state; IDs from before are invalid.
+func (d *DepScheduler) reset() {
+	d.threads = d.threads[:0]
+	d.bins = d.bins[:0]
+	d.binIdx = make(map[binKey]int)
+	d.pending = 0
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDepSchedulerRespectsChain(t *testing.T) {
+	d := NewDep(Config{CacheSize: 1 << 20, BlockSize: 1 << 12})
+	var order []int
+	// A chain scattered across far-apart bins, forked in reverse-friendly
+	// hint order: dependencies must still serialize it.
+	var prev ThreadID = -1
+	for i := 0; i < 20; i++ {
+		i := i
+		hint := uint64((19 - i)) << 12 // reverse bin order vs dependence order
+		var deps []ThreadID
+		if prev >= 0 {
+			deps = append(deps, prev)
+		}
+		prev = d.Fork(func(a1, _ int) { order = append(order, a1) }, i, 0, hint, 0, 0, deps...)
+	}
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("chain executed out of order: %v", order)
+		}
+	}
+}
+
+func TestDepSchedulerIndependentThreadsKeepBinOrder(t *testing.T) {
+	d := NewDep(Config{CacheSize: 1 << 20, BlockSize: 1 << 12})
+	var order []int
+	// Two bins, threads forked interleaved; with no deps the execution
+	// must be clustered by bin like the plain scheduler.
+	for i := 0; i < 10; i++ {
+		i := i
+		d.Fork(func(a1, _ int) { order = append(order, a1) }, i, 0,
+			uint64(i%2)<<12, 0, 0)
+	}
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Bin of even i first (allocated first), then odd.
+	want := []int{0, 2, 4, 6, 8, 1, 3, 5, 7, 9}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDepSchedulerDiamond(t *testing.T) {
+	d := NewDep(Config{})
+	seen := map[string]int{}
+	step := 0
+	mark := func(name string) func(int, int) {
+		return func(int, int) { seen[name] = step; step++ }
+	}
+	a := d.Fork(mark("a"), 0, 0, 0, 0, 0)
+	b := d.Fork(mark("b"), 0, 0, 0, 0, 0, a)
+	c := d.Fork(mark("c"), 0, 0, 0, 0, 0, a)
+	d.Fork(mark("d"), 0, 0, 0, 0, 0, b, c)
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !(seen["a"] < seen["b"] && seen["a"] < seen["c"] &&
+		seen["b"] < seen["d"] && seen["c"] < seen["d"]) {
+		t.Fatalf("diamond order violated: %v", seen)
+	}
+}
+
+func TestDepSchedulerCycleImpossibleButSelfDepDetected(t *testing.T) {
+	// Forward references are rejected, so true cycles cannot be built;
+	// a dependence on a not-yet-forked ID errors out.
+	d := NewDep(Config{})
+	d.Fork(func(int, int) {}, 0, 0, 0, 0, 0, ThreadID(5))
+	if err := d.Run(); err == nil {
+		t.Fatal("unknown dependency accepted")
+	}
+	if d.Pending() != 0 {
+		t.Fatal("failed run left threads pending")
+	}
+}
+
+func TestDepSchedulerDepOnCompletedFromSameRun(t *testing.T) {
+	d := NewDep(Config{})
+	ran := 0
+	a := d.Fork(func(int, int) { ran++ }, 0, 0, 0, 0, 0)
+	d.Fork(func(int, int) { ran++ }, 0, 0, 0, 0, 0, a, a) // duplicate deps fine
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 2 {
+		t.Fatalf("ran %d", ran)
+	}
+}
+
+// The §6 demonstration: a dependence-correct threaded SOR. Thread (it, j)
+// depends on (it, j−1) — the within-sweep chain, which also protects the
+// right neighbour's old value — and on (it−1, j+1). Any schedule
+// respecting these is bit-for-bit the sequential sweep, while the bins
+// still clump spatially adjacent columns.
+func TestDepSchedulerWavefrontSORMatchesSequential(t *testing.T) {
+	n, iters := 64, 6
+	relax := func(a []float64, j int) {
+		col := a[j*n : (j+1)*n]
+		left := a[(j-1)*n : j*n]
+		right := a[(j+1)*n : (j+2)*n]
+		for i := 1; i < n-1; i++ {
+			col[i] = 0.2 * (col[i] + col[i+1] + col[i-1] + right[i] + left[i])
+		}
+	}
+	seq := make([]float64, n*n)
+	thr := make([]float64, n*n)
+	for k := range seq {
+		v := float64((k*7)%13) - 6
+		seq[k] = v
+		thr[k] = v
+	}
+	for it := 0; it < iters; it++ {
+		for j := 1; j < n-1; j++ {
+			relax(seq, j)
+		}
+	}
+
+	d := NewDep(Config{CacheSize: 1 << 14, BlockSize: 1 << 13})
+	const base = 0x1000_0000
+	colBytes := uint64(n) * 8
+	ids := make([][]ThreadID, iters)
+	for it := range ids {
+		ids[it] = make([]ThreadID, n)
+	}
+	body := func(j, _ int) { relax(thr, j) }
+	for it := 0; it < iters; it++ {
+		for j := 1; j < n-1; j++ {
+			var deps []ThreadID
+			if j > 1 {
+				deps = append(deps, ids[it][j-1])
+			}
+			if it > 0 && j+1 < n-1 {
+				deps = append(deps, ids[it-1][j+1])
+			}
+			ids[it][j] = d.Fork(body, j, 0, base+uint64(j)*colBytes, 0, 0, deps...)
+		}
+	}
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for k := range seq {
+		if seq[k] != thr[k] {
+			t.Fatalf("wavefront SOR diverged at %d: %v vs %v", k, seq[k], thr[k])
+		}
+	}
+}
+
+// Property: for random DAGs (edges only to earlier threads), every thread
+// runs exactly once and after all of its predecessors.
+func TestDepSchedulerTopologicalProperty(t *testing.T) {
+	f := func(seed int64, blockSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDep(Config{CacheSize: 1 << 20, BlockSize: 1 << (8 + blockSel%10)})
+		n := rng.Intn(150) + 1
+		pos := make([]int, n) // execution step per thread
+		step := 0
+		deps := make([][]ThreadID, n)
+		ids := make([]ThreadID, n)
+		for i := 0; i < n; i++ {
+			for k := 0; k < rng.Intn(4); k++ {
+				if i > 0 {
+					deps[i] = append(deps[i], ids[rng.Intn(i)])
+				}
+			}
+			ids[i] = d.Fork(func(a1, _ int) { pos[a1] = step; step++ }, i, 0,
+				rng.Uint64()%(1<<20), rng.Uint64()%(1<<20), 0, deps[i]...)
+		}
+		if d.Run() != nil {
+			return false
+		}
+		if step != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for _, dep := range deps[i] {
+				if pos[int(dep)] >= pos[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,181 @@
+package core
+
+import "math/bits"
+
+// KScheduler generalizes the thread package to arbitrary hint
+// dimensionality, §2.3's "algorithm for k addresses … a k-dimensional
+// block in a k-dimensional space. The sizes of the block dimensions
+// should be set such that the sum of the k dimensions of the block is
+// less than or equal to the cache size."
+//
+// The fixed-k Scheduler keeps the C package's flat 3-D hash table and
+// zero-allocation fork path; KScheduler trades a little fork cost (one
+// key copy and a map probe) for unbounded k. Applications with at most
+// three hints should prefer Scheduler.
+type KScheduler struct {
+	k          int
+	blockShift uint
+	blockSize  uint64
+	fold       bool
+
+	bins    map[uint64][]*kbin // hash of folded key -> chained bins
+	ready   []*kbin            // allocation order
+	pending int
+
+	totalForked uint64
+	totalRun    uint64
+	lastRun     RunStats
+}
+
+type kbin struct {
+	key     []uint64
+	recs    []threadRec
+	threads int
+}
+
+// KConfig parameterizes a KScheduler.
+type KConfig struct {
+	// K is the hint dimensionality; must be >= 1.
+	K int
+	// CacheSize is the target cache capacity; 0 selects DefaultCacheSize.
+	CacheSize uint64
+	// BlockSize overrides the default per-dimension block size
+	// (CacheSize/K rounded down to a power of two); rounded down to a
+	// power of two itself.
+	BlockSize uint64
+	// FoldSymmetric places hint permutations in the same bin by sorting
+	// block coordinates.
+	FoldSymmetric bool
+}
+
+// NewK returns a k-dimensional scheduler.
+func NewK(cfg KConfig) *KScheduler {
+	if cfg.K < 1 {
+		cfg.K = 1
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = DefaultCacheSize
+	}
+	block := cfg.BlockSize
+	if block == 0 {
+		block = DefaultBlockSize(cfg.CacheSize, cfg.K)
+	} else {
+		block = floorPow2(block)
+	}
+	return &KScheduler{
+		k:          cfg.K,
+		blockShift: uint(bits.TrailingZeros64(block)),
+		blockSize:  block,
+		fold:       cfg.FoldSymmetric,
+		bins:       make(map[uint64][]*kbin),
+	}
+}
+
+// K returns the hint dimensionality.
+func (s *KScheduler) K() int { return s.k }
+
+// BlockSize returns the per-dimension block size in effect.
+func (s *KScheduler) BlockSize() uint64 { return s.blockSize }
+
+// Pending returns the number of threads forked but not yet run.
+func (s *KScheduler) Pending() int { return s.pending }
+
+// Fork schedules f(arg1, arg2) under the given hints. Missing trailing
+// hints are zero, as in th_fork; extra hints are ignored.
+func (s *KScheduler) Fork(f Func, arg1, arg2 int, hints ...uint64) {
+	key := make([]uint64, s.k)
+	for i := 0; i < s.k && i < len(hints); i++ {
+		key[i] = hints[i] >> s.blockShift
+	}
+	if s.fold {
+		insertionSort(key)
+	}
+	b := s.lookup(key)
+	b.recs = append(b.recs, threadRec{fn: f, arg1: arg1, arg2: arg2})
+	b.threads++
+	s.pending++
+	s.totalForked++
+}
+
+func (s *KScheduler) lookup(key []uint64) *kbin {
+	h := hashKey(key)
+	for _, b := range s.bins[h] {
+		if equalKey(b.key, key) {
+			return b
+		}
+	}
+	b := &kbin{key: key}
+	s.bins[h] = append(s.bins[h], b)
+	s.ready = append(s.ready, b)
+	return b
+}
+
+// Run executes all scheduled threads bin by bin in allocation order,
+// destroying (keep=false) or retaining (keep=true) the schedule.
+func (s *KScheduler) Run(keep bool) {
+	s.lastRun = RunStats{Threads: s.pending, Bins: len(s.ready)}
+	for i, b := range s.ready {
+		if i == 0 || b.threads < s.lastRun.MinPerBin {
+			s.lastRun.MinPerBin = b.threads
+		}
+		if b.threads > s.lastRun.MaxPerBin {
+			s.lastRun.MaxPerBin = b.threads
+		}
+		for j := range b.recs {
+			r := &b.recs[j]
+			r.fn(r.arg1, r.arg2)
+		}
+		s.totalRun += uint64(len(b.recs))
+	}
+	if len(s.ready) > 0 {
+		s.lastRun.AvgPerBin = float64(s.lastRun.Threads) / float64(len(s.ready))
+	}
+	if !keep {
+		s.bins = make(map[uint64][]*kbin)
+		s.ready = s.ready[:0]
+		s.pending = 0
+	}
+}
+
+// LastRun returns the occupancy snapshot of the most recent Run.
+func (s *KScheduler) LastRun() RunStats { return s.lastRun }
+
+// BinsUsed returns the number of bins currently holding threads.
+func (s *KScheduler) BinsUsed() int { return len(s.ready) }
+
+// TotalForked and TotalRun report lifetime thread counts.
+func (s *KScheduler) TotalForked() uint64 { return s.totalForked }
+
+// TotalRun reports the lifetime count of executed threads (re-executions
+// under keep included).
+func (s *KScheduler) TotalRun() uint64 { return s.totalRun }
+
+// hashKey mixes the block coordinates with an FNV-1a-style fold.
+func hashKey(key []uint64) uint64 {
+	h := uint64(1469598103934665603)
+	for _, v := range key {
+		h ^= v
+		h *= 1099511628211
+	}
+	return h
+}
+
+func equalKey(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func insertionSort(v []uint64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

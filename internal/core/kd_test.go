@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKSchedulerRunsEveryThreadOnce(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 5, 8} {
+		s := NewK(KConfig{K: k, CacheSize: 1 << 20})
+		const n = 500
+		counts := make([]int, n)
+		rng := rand.New(rand.NewSource(int64(k)))
+		for i := 0; i < n; i++ {
+			hints := make([]uint64, k)
+			for d := range hints {
+				hints[d] = rng.Uint64() % (1 << 22)
+			}
+			s.Fork(func(a1, _ int) { counts[a1]++ }, i, 0, hints...)
+		}
+		if s.Pending() != n {
+			t.Fatalf("k=%d: pending %d", k, s.Pending())
+		}
+		s.Run(false)
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("k=%d: thread %d ran %d times", k, i, c)
+			}
+		}
+		if s.Pending() != 0 || s.BinsUsed() != 0 {
+			t.Fatalf("k=%d: schedule not destroyed", k)
+		}
+	}
+}
+
+func TestKSchedulerDefaultBlock(t *testing.T) {
+	s := NewK(KConfig{K: 5, CacheSize: 1 << 20})
+	// 1M/5 = 209715 → 131072.
+	if s.BlockSize() != 1<<17 {
+		t.Fatalf("block = %d, want 2^17", s.BlockSize())
+	}
+	if s.K() != 5 {
+		t.Fatalf("K = %d", s.K())
+	}
+	// K < 1 clamps to 1.
+	if NewK(KConfig{}).K() != 1 {
+		t.Fatal("K not clamped to 1")
+	}
+}
+
+func TestKSchedulerClustering(t *testing.T) {
+	// Threads in the same 5-D block share a bin; one coordinate one block
+	// away does not.
+	s := NewK(KConfig{K: 5, CacheSize: 1 << 20, BlockSize: 1 << 16})
+	h := []uint64{1, 2, 3, 4, 5}
+	s.Fork(func(int, int) {}, 0, 0, h...)
+	s.Fork(func(int, int) {}, 0, 0, 10, 20, 30, 40, 50)
+	if s.BinsUsed() != 1 {
+		t.Fatalf("bins = %d, want 1", s.BinsUsed())
+	}
+	s.Fork(func(int, int) {}, 0, 0, 1, 2, 3, 4, 5+1<<16)
+	if s.BinsUsed() != 2 {
+		t.Fatalf("bins = %d, want 2", s.BinsUsed())
+	}
+}
+
+func TestKSchedulerShortAndLongHints(t *testing.T) {
+	s := NewK(KConfig{K: 3, CacheSize: 1 << 20, BlockSize: 1 << 18})
+	ran := 0
+	s.Fork(func(int, int) { ran++ }, 0, 0)                  // no hints: zero-padded
+	s.Fork(func(int, int) { ran++ }, 0, 0, 1, 2)            // short
+	s.Fork(func(int, int) { ran++ }, 0, 0, 1, 2, 3, 4, 5)   // extra ignored
+	s.Fork(func(int, int) { ran++ }, 0, 0, 1<<18, 2, 3, 99) // different block
+	if s.BinsUsed() != 2 {
+		t.Fatalf("bins = %d, want 2 (three zero-block threads + one offset)", s.BinsUsed())
+	}
+	s.Run(false)
+	if ran != 4 {
+		t.Fatalf("ran %d, want 4", ran)
+	}
+}
+
+func TestKSchedulerFolding(t *testing.T) {
+	s := NewK(KConfig{K: 4, CacheSize: 1 << 24, BlockSize: 1 << 10, FoldSymmetric: true})
+	s.Fork(func(int, int) {}, 0, 0, 1<<10, 2<<10, 3<<10, 4<<10)
+	s.Fork(func(int, int) {}, 0, 0, 4<<10, 3<<10, 2<<10, 1<<10)
+	if s.BinsUsed() != 1 {
+		t.Fatalf("folded bins = %d, want 1", s.BinsUsed())
+	}
+}
+
+func TestKSchedulerKeep(t *testing.T) {
+	s := NewK(KConfig{K: 2, CacheSize: 1 << 16})
+	runs := 0
+	s.Fork(func(int, int) { runs++ }, 0, 0, 1, 2)
+	s.Run(true)
+	s.Run(false)
+	s.Run(false)
+	if runs != 2 {
+		t.Fatalf("ran %d times, want 2", runs)
+	}
+	if s.TotalForked() != 1 || s.TotalRun() != 2 {
+		t.Fatalf("lifetime counts: %d forked, %d run", s.TotalForked(), s.TotalRun())
+	}
+}
+
+func TestKSchedulerLastRun(t *testing.T) {
+	s := NewK(KConfig{K: 2, CacheSize: 1 << 20, BlockSize: 1 << 10})
+	for i := 0; i < 10; i++ {
+		s.Fork(func(int, int) {}, 0, 0, 0, 0)
+	}
+	s.Fork(func(int, int) {}, 0, 0, 5<<10, 0)
+	s.Run(false)
+	rs := s.LastRun()
+	if rs.Threads != 11 || rs.Bins != 2 || rs.MinPerBin != 1 || rs.MaxPerBin != 10 {
+		t.Fatalf("last run = %+v", rs)
+	}
+	if rs.AvgPerBin != 5.5 {
+		t.Fatalf("avg = %v", rs.AvgPerBin)
+	}
+}
+
+// Property: the 3-hint KScheduler bins exactly like the fixed Scheduler
+// (without folding, modulo hash-table layout): same bin count for the
+// same hint stream.
+func TestKSchedulerMatchesFixedSchedulerBins(t *testing.T) {
+	f := func(seed int64, blockSel uint8) bool {
+		block := uint64(1) << (10 + blockSel%10)
+		fixed := New(Config{CacheSize: 1 << 22, BlockSize: block})
+		kd := NewK(KConfig{K: 3, CacheSize: 1 << 22, BlockSize: block})
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 200; i++ {
+			h1, h2, h3 := rng.Uint64()%(1<<24), rng.Uint64()%(1<<24), rng.Uint64()%(1<<24)
+			fixed.Fork(func(int, int) {}, i, 0, h1, h2, h3)
+			kd.Fork(func(int, int) {}, i, 0, h1, h2, h3)
+		}
+		return fixed.Stats().BinsUsed == kd.BinsUsed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every thread runs exactly once at any dimensionality.
+func TestKSchedulerEveryThreadOnceProperty(t *testing.T) {
+	f := func(seed int64, kSel, blockSel uint8, fold bool) bool {
+		k := int(kSel%7) + 1
+		s := NewK(KConfig{
+			K:             k,
+			CacheSize:     1 << 22,
+			BlockSize:     1 << (8 + blockSel%14),
+			FoldSymmetric: fold,
+		})
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(300) + 1
+		counts := make([]int, n)
+		for i := 0; i < n; i++ {
+			hints := make([]uint64, rng.Intn(k+2)) // may be short or long
+			for d := range hints {
+				hints[d] = rng.Uint64() % (1 << 26)
+			}
+			s.Fork(func(a1, _ int) { counts[a1]++ }, i, 0, hints...)
+		}
+		s.Run(false)
+		for _, c := range counts {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import "testing"
+
+func TestRunEachHookSequence(t *testing.T) {
+	s := New(Config{CacheSize: 1 << 20, BlockSize: 1 << 12})
+	var order []int
+	for b := 0; b < 4; b++ {
+		for j := 0; j < 3; j++ {
+			b := b
+			s.Fork(func(int, int) { order = append(order, b) }, 0, 0, uint64(b)<<12, 0, 0)
+		}
+	}
+	var hooks []int
+	var hookThreads []int
+	s.RunEach(false, func(bin, threads int) {
+		hooks = append(hooks, bin)
+		hookThreads = append(hookThreads, threads)
+	})
+	if len(hooks) != 4 {
+		t.Fatalf("hook called %d times, want 4", len(hooks))
+	}
+	for i, h := range hooks {
+		if h != i {
+			t.Fatalf("hook bin indices %v, want ascending", hooks)
+		}
+		if hookThreads[i] != 3 {
+			t.Fatalf("hook thread counts %v, want all 3", hookThreads)
+		}
+	}
+	if len(order) != 12 {
+		t.Fatalf("ran %d threads", len(order))
+	}
+	if s.Pending() != 0 {
+		t.Fatal("RunEach(false) did not release")
+	}
+	rs := s.LastRun()
+	if rs.Bins != 4 || rs.Threads != 12 || rs.MinPerBin != 3 || rs.MaxPerBin != 3 {
+		t.Fatalf("LastRun = %+v", rs)
+	}
+}
+
+func TestRunEachKeepAndNilHook(t *testing.T) {
+	s := New(Config{})
+	ran := 0
+	s.Fork(func(int, int) { ran++ }, 0, 0, 0, 0, 0)
+	s.RunEach(true, nil)
+	s.RunEach(false, nil)
+	if ran != 2 {
+		t.Fatalf("ran %d times, want 2", ran)
+	}
+}
+
+func TestRunEachIgnoresWorkers(t *testing.T) {
+	// RunEach must be sequential even when Workers is configured, so
+	// per-bin processor switching stays deterministic.
+	s := New(Config{CacheSize: 1 << 20, BlockSize: 1 << 12, Workers: 8})
+	var order []int
+	for b := 0; b < 8; b++ {
+		b := b
+		s.Fork(func(int, int) { order = append(order, b) }, 0, 0, uint64(b)<<12, 0, 0)
+	}
+	s.RunEach(false, nil) // appends to a shared slice: only safe sequentially
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order %v not sequential", order)
+		}
+	}
+}
+
+func TestDepSchedulerAccessors(t *testing.T) {
+	d := NewDep(Config{CacheSize: 1 << 20, BlockSize: 1 << 14})
+	if d.BlockSize() != 1<<14 {
+		t.Fatalf("BlockSize = %d", d.BlockSize())
+	}
+	d.Fork(func(int, int) {}, 0, 0, 0, 0, 0)
+	d.Fork(func(int, int) {}, 0, 0, 1<<14, 0, 0)
+	if d.BinsUsed() != 2 {
+		t.Fatalf("BinsUsed = %d", d.BinsUsed())
+	}
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulerCacheSizeAccessor(t *testing.T) {
+	s := New(Config{CacheSize: 3 << 20})
+	if s.CacheSize() != 3<<20 {
+		t.Fatalf("CacheSize = %d", s.CacheSize())
+	}
+}
+
+func TestFloorPow2(t *testing.T) {
+	cases := map[uint64]uint64{0: 0, 1: 1, 2: 2, 3: 2, 1023: 512, 1024: 1024}
+	for in, want := range cases {
+		if got := floorPow2(in); got != want {
+			t.Errorf("floorPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// threadRec is one scheduled thread: "a void function pointer and the two
+// arguments arg1 and arg2 supplied by the user to th_fork" (§3.2).
+type threadRec struct {
+	fn         Func
+	arg1, arg2 int
+}
+
+// group batches thread records within a bin: "an array of these structures
+// plus an integer to count the number of threads actually in the group and
+// a pointer to the next thread group in the bin" (§3.2).
+type group struct {
+	recs []threadRec
+	next *group
+}
+
+// binKey is the block coordinate triple identifying a bin.
+type binKey [MaxHints]uint64
+
+// bin carries the paper's three link fields and search key (§3.2): the
+// hash-collision chain, the thread-group chain, and the ready-list link.
+type bin struct {
+	key       binKey
+	hashNext  *bin
+	groups    *group // first thread group
+	tail      *group // last thread group (append point)
+	readyNext *bin
+	threads   int
+}
+
+// Scheduler is the thread package. It is not safe for concurrent Fork
+// calls; like the paper's package it is a sequential-program facility
+// (Run may fan bins out to workers when configured).
+type Scheduler struct {
+	cfg        Config
+	blockShift uint
+	hashDim    int
+	hashMask   uint64
+	table      []*bin // hashDim³ cells, 3-D array flattened
+
+	readyHead *bin
+	readyTail *bin
+	binsUsed  int
+	pending   int
+
+	freeBins   *bin
+	freeGroups *group
+
+	totalForked uint64
+	totalRun    uint64
+	runs        uint64
+	lastRun     RunStats
+}
+
+// RunStats snapshots one Run call's bin occupancy, taken before the bins
+// are released; the paper quotes exactly these figures per workload (§4.2:
+// "1,048,576 threads distributed in 81 bins for an average of 12,945
+// threads per bin").
+type RunStats struct {
+	// Threads is the number of threads executed by the run.
+	Threads int
+	// Bins is the number of non-empty bins visited.
+	Bins int
+	// MinPerBin and MaxPerBin bound the per-bin thread counts.
+	MinPerBin, MaxPerBin int
+	// AvgPerBin is Threads / Bins.
+	AvgPerBin float64
+}
+
+// New returns a Scheduler configured by cfg.
+func New(cfg Config) *Scheduler {
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = DefaultCacheSize
+	}
+	if cfg.Dims <= 0 {
+		cfg.Dims = MaxHints
+	}
+	if cfg.GroupSize <= 0 {
+		cfg.GroupSize = DefaultGroupSize
+	}
+	s := &Scheduler{cfg: cfg}
+	s.Init(cfg.BlockSize, uint64(cfg.HashDim))
+	return s
+}
+
+// Init is th_init(blocksize, hashsize): set the block size and hash table
+// size, 0 selecting the configuration-dependent defaults. It may be called
+// more than once; pending threads are discarded (the C package reset its
+// tables on reconfiguration).
+func (s *Scheduler) Init(blockSize, hashDim uint64) {
+	if blockSize == 0 {
+		blockSize = DefaultBlockSize(s.cfg.CacheSize, s.cfg.Dims)
+	} else {
+		blockSize = floorPow2(blockSize)
+	}
+	if hashDim == 0 {
+		hashDim = DefaultHashDim
+	} else {
+		hashDim = floorPow2(hashDim)
+	}
+	s.cfg.BlockSize = blockSize
+	s.blockShift = uint(trailingZeros(blockSize))
+	s.hashDim = int(hashDim)
+	s.hashMask = hashDim - 1
+	s.table = make([]*bin, hashDim*hashDim*hashDim)
+	s.readyHead, s.readyTail = nil, nil
+	s.binsUsed = 0
+	s.pending = 0
+	s.freeBins = nil
+	s.freeGroups = nil
+}
+
+func trailingZeros(v uint64) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// BlockSize returns the per-dimension block size currently in effect.
+func (s *Scheduler) BlockSize() uint64 { return s.cfg.BlockSize }
+
+// CacheSize returns the cache capacity the scheduler was configured for.
+func (s *Scheduler) CacheSize() uint64 { return s.cfg.CacheSize }
+
+// HashDim returns the per-dimension hash table size currently in effect.
+func (s *Scheduler) HashDim() int { return s.hashDim }
+
+// Pending returns the number of threads forked but not yet run.
+func (s *Scheduler) Pending() int { return s.pending }
+
+// Fork is th_fork(f, arg1, arg2, hint1, hint2, hint3): create and schedule
+// a thread to call f(arg1, arg2). The hints are memory addresses used as
+// scheduling hints; pass 0 for unused trailing dimensions (§3.1).
+func (s *Scheduler) Fork(f Func, arg1, arg2 int, hint1, hint2, hint3 uint64) {
+	key := binKey{hint1 >> s.blockShift, hint2 >> s.blockShift, hint3 >> s.blockShift}
+	if s.cfg.FoldSymmetric {
+		sortKey(&key)
+	}
+	b := s.lookupBin(key)
+	g := b.tail
+	if g == nil || len(g.recs) == cap(g.recs) {
+		g = s.newGroup()
+		if b.tail == nil {
+			b.groups = g
+		} else {
+			b.tail.next = g
+		}
+		b.tail = g
+	}
+	g.recs = append(g.recs, threadRec{fn: f, arg1: arg1, arg2: arg2})
+	b.threads++
+	s.pending++
+	s.totalForked++
+}
+
+// lookupBin finds or creates the bin for key, hashing each block
+// coordinate by mask into the 3-D table and chaining collisions.
+func (s *Scheduler) lookupBin(key binKey) *bin {
+	idx := ((key[0]&s.hashMask)*uint64(s.hashDim)+(key[1]&s.hashMask))*uint64(s.hashDim) +
+		(key[2] & s.hashMask)
+	for b := s.table[idx]; b != nil; b = b.hashNext {
+		if b.key == key {
+			return b
+		}
+	}
+	b := s.newBin(key)
+	b.hashNext = s.table[idx]
+	s.table[idx] = b
+	// "Each time a new bin is allocated, it is added to the end of this
+	// [ready] list" (§3.2).
+	if s.readyTail == nil {
+		s.readyHead = b
+	} else {
+		s.readyTail.readyNext = b
+	}
+	s.readyTail = b
+	s.binsUsed++
+	return b
+}
+
+func (s *Scheduler) newBin(key binKey) *bin {
+	b := s.freeBins
+	if b != nil {
+		s.freeBins = b.hashNext
+		*b = bin{key: key}
+		return b
+	}
+	return &bin{key: key}
+}
+
+func (s *Scheduler) newGroup() *group {
+	g := s.freeGroups
+	if g != nil {
+		s.freeGroups = g.next
+		g.next = nil
+		g.recs = g.recs[:0]
+		return g
+	}
+	return &group{recs: make([]threadRec, 0, s.cfg.GroupSize)}
+}
+
+// Run is th_run(keep): run all threads that have been scheduled by Fork,
+// then return. The thread specifications are destroyed if keep is false,
+// or saved to allow re-execution otherwise (§3.1).
+func (s *Scheduler) Run(keep bool) {
+	order := s.tour()
+	s.snapshotRun(order)
+	if s.cfg.Workers > 1 && len(order) > 1 {
+		s.runParallel(order)
+	} else {
+		for _, b := range order {
+			s.runBin(b)
+		}
+	}
+	s.runs++
+	if !keep {
+		s.release()
+	}
+}
+
+// RunEach is Run with a per-bin hook: beforeBin is invoked before each
+// bin executes, with the bin's index in tour order and its thread count.
+// It always runs bins sequentially on the calling goroutine (Workers is
+// ignored), which is what deterministic simulations — e.g. the SMP model
+// that re-routes each bin's reference stream to a different simulated
+// processor — need.
+func (s *Scheduler) RunEach(keep bool, beforeBin func(bin, threads int)) {
+	order := s.tour()
+	s.snapshotRun(order)
+	for i, b := range order {
+		if beforeBin != nil {
+			beforeBin(i, b.threads)
+		}
+		s.runBin(b)
+	}
+	s.runs++
+	if !keep {
+		s.release()
+	}
+}
+
+func (s *Scheduler) snapshotRun(order []*bin) {
+	s.lastRun = RunStats{Threads: s.pending, Bins: len(order)}
+	for i, b := range order {
+		if i == 0 || b.threads < s.lastRun.MinPerBin {
+			s.lastRun.MinPerBin = b.threads
+		}
+		if b.threads > s.lastRun.MaxPerBin {
+			s.lastRun.MaxPerBin = b.threads
+		}
+	}
+	if len(order) > 0 {
+		s.lastRun.AvgPerBin = float64(s.pending) / float64(len(order))
+	}
+}
+
+// tour returns the bins in execution order.
+func (s *Scheduler) tour() []*bin {
+	bins := make([]*bin, 0, s.binsUsed)
+	for b := s.readyHead; b != nil; b = b.readyNext {
+		bins = append(bins, b)
+	}
+	switch s.cfg.Tour {
+	case TourMorton:
+		sort.SliceStable(bins, func(i, j int) bool {
+			return morton3(bins[i].key) < morton3(bins[j].key)
+		})
+	case TourHilbert:
+		sort.SliceStable(bins, func(i, j int) bool {
+			return hilbertLess(bins[i].key, bins[j].key)
+		})
+	}
+	return bins
+}
+
+// runBin executes every thread of one bin, group FIFO order within the
+// bin; "the scheduling order of threads in the same bin can be arbitrary"
+// (§2.3) — we use fork order.
+func (s *Scheduler) runBin(b *bin) {
+	n := uint64(0)
+	for g := b.groups; g != nil; g = g.next {
+		for i := range g.recs {
+			r := &g.recs[i]
+			r.fn(r.arg1, r.arg2)
+		}
+		n += uint64(len(g.recs))
+	}
+	atomic.AddUint64(&s.totalRun, n)
+}
+
+// runParallel executes bins across Workers goroutines; each bin runs
+// entirely on one worker so the per-bin working set still fits one cache.
+func (s *Scheduler) runParallel(order []*bin) {
+	var next int64 = -1
+	var wg sync.WaitGroup
+	workers := s.cfg.Workers
+	if workers > len(order) {
+		workers = len(order)
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := atomic.AddInt64(&next, 1)
+				if i >= int64(len(order)) {
+					return
+				}
+				s.runBin(order[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// release destroys thread specifications after a non-keep run, recycling
+// bins and groups through the free lists and clearing the hash table.
+func (s *Scheduler) release() {
+	for b := s.readyHead; b != nil; {
+		nextBin := b.readyNext
+		for g := b.groups; g != nil; {
+			nextGroup := g.next
+			g.next = s.freeGroups
+			s.freeGroups = g
+			g = nextGroup
+		}
+		b.groups, b.tail = nil, nil
+		b.readyNext = nil
+		b.hashNext = s.freeBins
+		s.freeBins = b
+		b = nextBin
+	}
+	for i := range s.table {
+		s.table[i] = nil
+	}
+	s.readyHead, s.readyTail = nil, nil
+	s.binsUsed = 0
+	s.pending = 0
+}
+
+func sortKey(k *binKey) {
+	// Sorting network for three elements.
+	if k[0] > k[1] {
+		k[0], k[1] = k[1], k[0]
+	}
+	if k[1] > k[2] {
+		k[1], k[2] = k[2], k[1]
+	}
+	if k[0] > k[1] {
+		k[0], k[1] = k[1], k[0]
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+// Stats reports scheduler occupancy, matching the figures quoted in the
+// paper's text (e.g. matmul: "1,048,576 threads distributed in 81 bins for
+// an average of 12,945 threads per bin", §4.2).
+type Stats struct {
+	// Pending is the number of threads currently scheduled but not run
+	// (or retained by keep).
+	Pending int
+	// BinsUsed is the number of bins holding at least one thread.
+	BinsUsed int
+	// MinPerBin and MaxPerBin bound the per-bin thread counts.
+	MinPerBin, MaxPerBin int
+	// AvgPerBin is Pending / BinsUsed.
+	AvgPerBin float64
+	// TotalForked and TotalRun count threads over the scheduler's
+	// lifetime (TotalRun counts re-executions under keep).
+	TotalForked, TotalRun uint64
+	// Runs is the number of completed Run calls.
+	Runs uint64
+	// BlockSize and HashDim echo the configuration in effect.
+	BlockSize uint64
+	HashDim   int
+}
+
+// Stats returns a snapshot of scheduler occupancy.
+func (s *Scheduler) Stats() Stats {
+	st := Stats{
+		Pending:     s.pending,
+		BinsUsed:    s.binsUsed,
+		TotalForked: s.totalForked,
+		TotalRun:    s.totalRun,
+		Runs:        s.runs,
+		BlockSize:   s.cfg.BlockSize,
+		HashDim:     s.hashDim,
+	}
+	first := true
+	for b := s.readyHead; b != nil; b = b.readyNext {
+		if first || b.threads < st.MinPerBin {
+			st.MinPerBin = b.threads
+		}
+		if first || b.threads > st.MaxPerBin {
+			st.MaxPerBin = b.threads
+		}
+		first = false
+	}
+	if st.BinsUsed > 0 {
+		st.AvgPerBin = float64(st.Pending) / float64(st.BinsUsed)
+	}
+	return st
+}
+
+// LastRun returns the occupancy snapshot of the most recent Run call.
+func (s *Scheduler) LastRun() RunStats { return s.lastRun }
+
+// BinOccupancy returns the per-bin thread counts in ready-list order; used
+// by the harness to report thread distribution uniformity (§4.2, §4.4).
+func (s *Scheduler) BinOccupancy() []int {
+	out := make([]int, 0, s.binsUsed)
+	for b := s.readyHead; b != nil; b = b.readyNext {
+		out = append(out, b.threads)
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package core
+
+// Space-filling-curve bin tours. §2.3 frames scheduling as "finding a tour
+// of points in a two-dimensional plane" with a cluster property and notes
+// the traversal should preferably follow the shortest path; the C package
+// settles for allocation order. These curves are the natural better-tour
+// ablation: Morton interleaving and a 3-D Hilbert curve both visit nearby
+// blocks consecutively, and the Hilbert curve has no long jumps.
+
+const curveBits = 21 // 3×21 = 63 bits of interleaved index
+
+// morton3 interleaves the low curveBits bits of the three block
+// coordinates into a Z-order index.
+func morton3(k binKey) uint64 {
+	return spread(k[0]) | spread(k[1])<<1 | spread(k[2])<<2
+}
+
+// spread distributes the low 21 bits of v so consecutive bits land three
+// apart (the classic bit-dilation used for Morton codes).
+func spread(v uint64) uint64 {
+	v &= (1 << curveBits) - 1
+	v = (v | v<<32) & 0x1f00000000ffff
+	v = (v | v<<16) & 0x1f0000ff0000ff
+	v = (v | v<<8) & 0x100f00f00f00f00f
+	v = (v | v<<4) & 0x10c30c30c30c30c3
+	v = (v | v<<2) & 0x1249249249249249
+	return v
+}
+
+// hilbertLess orders two bin keys by their 3-D Hilbert curve index.
+func hilbertLess(a, b binKey) bool { return hilbert3(a) < hilbert3(b) }
+
+// hilbert3 computes the Hilbert curve index of the block coordinates using
+// Skilling's transpose algorithm: the coordinates are converted in place to
+// the "transposed" Hilbert representation and then undilated into a single
+// index.
+func hilbert3(k binKey) uint64 {
+	const n = MaxHints
+	var x [n]uint64
+	for i := range x {
+		x[i] = k[i] & ((1 << curveBits) - 1)
+	}
+
+	// Inverse undo excess work (Skilling 2004, AIP Conf. Proc. 707).
+	m := uint64(1) << (curveBits - 1)
+	// Inverse undo.
+	for q := m; q > 1; q >>= 1 {
+		p := q - 1
+		for i := 0; i < n; i++ {
+			if x[i]&q != 0 {
+				x[0] ^= p // invert
+			} else { // exchange
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+	// Gray encode.
+	for i := 1; i < n; i++ {
+		x[i] ^= x[i-1]
+	}
+	var t uint64
+	for q := m; q > 1; q >>= 1 {
+		if x[n-1]&q != 0 {
+			t ^= q - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		x[i] ^= t
+	}
+
+	// Undilate the transposed representation into one index: bit b of
+	// axis i becomes bit b*n + (n-1-i) of the result.
+	var h uint64
+	for b := 0; b < curveBits; b++ {
+		for i := 0; i < n; i++ {
+			bit := (x[i] >> uint(b)) & 1
+			h |= bit << uint(b*n+(n-1-i))
+		}
+	}
+	return h
+}

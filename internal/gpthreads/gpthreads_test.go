@@ -1,0 +1,135 @@
+package gpthreads
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"threadsched/internal/core"
+)
+
+func TestRunsEveryThreadOnce(t *testing.T) {
+	s := New(core.Config{CacheSize: 1 << 20, BlockSize: 1 << 14})
+	const n = 500
+	var counts [n]int32
+	for i := 0; i < n; i++ {
+		i := i
+		s.Fork(func() { atomic.AddInt32(&counts[i], 1) }, uint64(i)<<10, 0, 0)
+	}
+	if s.Pending() != n {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	s.Run()
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("thread %d ran %d times", i, c)
+		}
+	}
+	if s.Pending() != 0 || s.BinsUsed() != 0 {
+		t.Fatal("schedule not destroyed")
+	}
+}
+
+func TestBinsJoinBeforeNextBin(t *testing.T) {
+	// Record which bin each execution belonged to: no bin's thread may
+	// start before all of the previous bin's threads finished.
+	s := New(core.Config{CacheSize: 1 << 20, BlockSize: 1 << 12})
+	var mu sync.Mutex
+	var order []int
+	const perBin, bins = 8, 4
+	for j := 0; j < perBin; j++ {
+		for b := 0; b < bins; b++ {
+			b := b
+			s.Fork(func() {
+				mu.Lock()
+				order = append(order, b)
+				mu.Unlock()
+			}, uint64(b)<<12, 0, 0)
+		}
+	}
+	s.Run()
+	seen := map[int]bool{}
+	last := -1
+	for _, b := range order {
+		if b != last {
+			if seen[b] {
+				t.Fatalf("bin %d resumed after another bin ran: %v", b, order)
+			}
+			seen[b] = true
+			last = b
+		}
+	}
+}
+
+func TestThreadsMaySynchronize(t *testing.T) {
+	// The point of a general-purpose package: threads in one bin can
+	// block on each other mid-execution without deadlocking the run.
+	s := New(core.Config{CacheSize: 1 << 20, BlockSize: 1 << 20})
+	ch := make(chan int, 1)
+	var got int
+	s.Fork(func() { ch <- 42 }, 0, 0, 0)
+	s.Fork(func() { got = <-ch }, 1, 0, 0)
+	s.Run()
+	if got != 42 {
+		t.Fatalf("synchronized value = %d", got)
+	}
+}
+
+func TestBinParallelismLimit(t *testing.T) {
+	s := New(core.Config{CacheSize: 1 << 20, BlockSize: 1 << 20})
+	s.BinParallelism = 1
+	var cur, maxCur int32
+	for i := 0; i < 50; i++ {
+		s.Fork(func() {
+			c := atomic.AddInt32(&cur, 1)
+			for {
+				m := atomic.LoadInt32(&maxCur)
+				if c <= m || atomic.CompareAndSwapInt32(&maxCur, m, c) {
+					break
+				}
+			}
+			atomic.AddInt32(&cur, -1)
+		}, 0, 0, 0)
+	}
+	s.Run()
+	if maxCur != 1 {
+		t.Fatalf("max concurrency %d with BinParallelism=1", maxCur)
+	}
+}
+
+func TestFoldingSharesBins(t *testing.T) {
+	s := New(core.Config{CacheSize: 1 << 20, BlockSize: 1 << 12, FoldSymmetric: true})
+	s.Fork(func() {}, 1<<12, 5<<12, 0)
+	s.Fork(func() {}, 5<<12, 1<<12, 0)
+	if s.BinsUsed() != 1 {
+		t.Fatalf("bins = %d, want 1", s.BinsUsed())
+	}
+}
+
+func TestBlockSizeDefaults(t *testing.T) {
+	s := New(core.Config{CacheSize: 3 << 20})
+	want := core.DefaultBlockSize(3<<20, core.MaxHints)
+	if s.BlockSize() != want {
+		t.Fatalf("block = %d, want %d", s.BlockSize(), want)
+	}
+}
+
+// Property: same binning as the core scheduler for identical hints.
+func TestBinningMatchesCoreProperty(t *testing.T) {
+	f := func(hints [][3]uint64) bool {
+		if len(hints) == 0 {
+			return true
+		}
+		gp := New(core.Config{CacheSize: 1 << 22, BlockSize: 1 << 14})
+		cs := core.New(core.Config{CacheSize: 1 << 22, BlockSize: 1 << 14})
+		for _, h := range hints {
+			gp.Fork(func() {}, h[0], h[1], h[2])
+			cs.Fork(func(int, int) {}, 0, 0, h[0], h[1], h[2])
+		}
+		return gp.BinsUsed() == cs.Stats().BinsUsed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

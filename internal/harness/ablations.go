@@ -1,0 +1,174 @@
+package harness
+
+import (
+	"fmt"
+
+	"threadsched/internal/apps/matmul"
+	"threadsched/internal/apps/sor"
+	"threadsched/internal/cache"
+	"threadsched/internal/core"
+	"threadsched/internal/sim"
+	"threadsched/internal/smp"
+	"threadsched/internal/stealing"
+	"threadsched/internal/tables"
+	"threadsched/internal/trace"
+	"threadsched/internal/vm"
+)
+
+// Ablations runs the design-choice experiments DESIGN.md calls out and
+// that go beyond the paper's own tables: bin tour order, symmetric hint
+// folding, and page-placement effects on a physically indexed L2.
+func (c Config) Ablations(prog Progress) *tables.Table {
+	t := &tables.Table{
+		ID:      "Ablations",
+		Title:   "Design-choice experiments (scaled geometry)",
+		Columns: []string{"experiment", "setting", "metric", "value"},
+	}
+
+	// Bin tour order on the N-body workload (true 3-D bin structure).
+	m := c.NBodyR8000()
+	for _, tour := range []core.TourOrder{core.TourAllocation, core.TourMorton, core.TourHilbert} {
+		prog.printf("ablation: tour %v", tour)
+		r := c.RunNBodyThreadedTour(m, tour)
+		t.AddRow("bin tour (N-body)", tour.String(), "L2 misses",
+			fmt.Sprintf("%d", r.Summary.L2.Misses))
+	}
+
+	// Symmetric hint folding: bins used for a symmetric hint pattern.
+	for _, fold := range []bool{false, true} {
+		s := core.New(core.Config{CacheSize: 1 << 20, BlockSize: 1 << 16, FoldSymmetric: fold})
+		for j := 0; j < 4096; j++ {
+			s.Fork(func(int, int) {}, j, 0, uint64(j%16)<<16, uint64((j/16)%16)<<16, 0)
+		}
+		setting := "off"
+		if fold {
+			setting = "on"
+		}
+		t.AddRow("hint folding", setting, "bins used", fmt.Sprintf("%d", s.Stats().BinsUsed))
+		s.Run(false)
+	}
+
+	// Page placement under a physically indexed L2 (threaded SOR trace).
+	for _, pol := range []vm.Policy{vm.IdentityPolicy{}, vm.SequentialPolicy{}, vm.RandomPolicy{Seed: 9}} {
+		prog.printf("ablation: placement %s", pol.Name())
+		pt, err := vm.NewPageTable(vm.DefaultPageSize, pol)
+		if err != nil {
+			panic(err) // static policies; cannot fail
+		}
+		sm := c.R8000()
+		h := cache.MustNewHierarchy(sm.Caches, pt)
+		cpu := sim.NewCPU(h)
+		as := vm.NewAddressSpace()
+		tr := sor.NewTracedArray(cpu, as, c.SORN)
+		th := sim.NewThreads(cpu, as, sor.ThreadedScheduler(sm.L2CacheSize()))
+		tr.Threaded(min(c.SORIters, 10), th)
+		st := h.L2().Stats()
+		t.AddRow("page placement (SOR)", pol.Name(), "L2 conflict misses",
+			fmt.Sprintf("%d", st.Conflict))
+	}
+
+	// Per-bin working sets (the mechanism behind Figure 4): with block =
+	// C/2 per dimension, each matmul bin's distinct-line footprint must
+	// sit at or under the cache size.
+	prog.printf("ablation: bin footprint")
+	maxFP, avgFP, fpBins := c.matmulBinFootprints()
+	sm := c.R8000()
+	t.AddRow("bin footprint (matmul)", fmt.Sprintf("%d bins", fpBins), "max / avg bytes vs C",
+		fmt.Sprintf("%d / %d vs %d", maxFP, avgFP, sm.L2CacheSize()))
+
+	// SMP extension (§7): locality-bin dispatch vs thread scatter on a
+	// 4-processor machine with coherent private caches.
+	nb := c.NBodyN / 2
+	for _, pol := range []smp.Policy{smp.LocalityBins, smp.Scatter} {
+		prog.printf("ablation: smp %v", pol)
+		r, err := smp.NBodyExperiment(smp.Config{Procs: 4, Machine: m, Coherence: true}, nb, pol, 42)
+		if err != nil {
+			panic(err) // config is static and valid
+		}
+		t.AddRow("SMP 4-proc (N-body)", pol.String(), "L2 misses / invalidations / speedup",
+			fmt.Sprintf("%d / %d / %.2fx", r.L2Misses, r.Stats.Invalidations, r.Speedup()))
+	}
+
+	// Work stealing (the modern default scheduler, cf. the paper's Cilk
+	// citation) on the same multiprocessor, same workload.
+	prog.printf("ablation: work stealing")
+	ws, steals, err := stealing.NBodyExperiment(
+		smp.Config{Procs: 4, Machine: m, Coherence: true}, nb, 42)
+	if err != nil {
+		panic(err)
+	}
+	t.AddRow("SMP 4-proc (N-body)", fmt.Sprintf("work-stealing (%d steals)", steals),
+		"L2 misses / invalidations / speedup",
+		fmt.Sprintf("%d / %d / %.2fx", ws.L2Misses, ws.Stats.Invalidations, ws.Speedup()))
+
+	t.AddNote("tour orders ablate §2.3's 'preferably the shortest path'; folding ablates its 50%% bin reduction;")
+	t.AddNote("page placement ablates §2.2's virtual-memory effect on physically indexed caches;")
+	t.AddNote("the SMP rows demonstrate §7's future-work conjecture (bin-granular dispatch on coherent private caches)")
+	return t
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// lineFootprint counts distinct cache lines touched, resettable per bin.
+type lineFootprint struct {
+	shift uint
+	lines map[uint64]struct{}
+}
+
+func (f *lineFootprint) Record(r trace.Ref) {
+	if r.Kind == trace.IFetch {
+		return // the shared text segment is not part of a bin's data set
+	}
+	f.lines[r.Addr>>f.shift] = struct{}{}
+}
+
+func (f *lineFootprint) bytes() uint64 { return uint64(len(f.lines)) << f.shift }
+
+func (f *lineFootprint) reset() { f.lines = make(map[uint64]struct{}) }
+
+// matmulBinFootprints runs the threaded matmul and measures each bin's
+// distinct-data-line footprint, returning the max and mean in bytes and
+// the bin count.
+func (c Config) matmulBinFootprints() (maxBytes, avgBytes uint64, bins int) {
+	m := c.R8000()
+	fp := &lineFootprint{shift: 7, lines: make(map[uint64]struct{})} // 128 B lines
+	cpu := sim.NewCPU(fp)
+	as := vm.NewAddressSpace()
+	tr := matmul.NewTraced(cpu, as, c.MatmulN)
+	sched := matmul.ThreadedScheduler(m.L2CacheSize())
+	th := sim.NewThreads(cpu, as, sched)
+
+	var sizes []uint64
+	flush := func() {
+		if len(fp.lines) > 0 {
+			sizes = append(sizes, fp.bytes())
+		}
+		fp.reset()
+	}
+	tr.ThreadedEach(th, func(bin, threads int) { flush() })
+	flush()
+
+	if len(sizes) < 3 {
+		return 0, 0, 0
+	}
+	// The first segment holds the pre-run transpose and fork traffic, and
+	// the last mixes the final bin with the post-run transpose; measure
+	// the clean interior bins.
+	sizes = sizes[1 : len(sizes)-1]
+	var sum uint64
+	for _, s := range sizes {
+		if s > maxBytes {
+			maxBytes = s
+		}
+		sum += s
+	}
+	if len(sizes) == 0 {
+		return 0, 0, 0
+	}
+	return maxBytes, sum / uint64(len(sizes)), len(sizes)
+}

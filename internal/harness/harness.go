@@ -1,0 +1,159 @@
+// Package harness runs the paper's experiments — Tables 1 through 9 and
+// Figure 4 — against the reproduction's simulator stack and renders
+// paper-vs-measured tables.
+//
+// Geometry scaling: by default every experiment runs at laptop scale with
+// cache capacities divided by Config.Scale and workload data shrunk to
+// preserve the paper's data-to-cache ratios, so the *shape* of each result
+// (who wins, by what factor, where the crossover falls) is reproduced in
+// seconds instead of hours. Config.Full() selects the paper's exact sizes.
+package harness
+
+import (
+	"time"
+
+	"threadsched/internal/cache"
+	"threadsched/internal/core"
+	"threadsched/internal/machine"
+	"threadsched/internal/sim"
+	"threadsched/internal/vm"
+)
+
+// Config selects workload sizes and cache scaling for the experiments.
+type Config struct {
+	// Scale divides cache capacities (power of two). Workload sizes below
+	// should shrink consistently; the constructors handle this.
+	Scale uint64
+	// NBodyScale is the cache scale for the N-body experiments. The
+	// Barnes–Hut traversal footprint shrinks only logarithmically in n,
+	// so N-body scales less aggressively than the dense kernels.
+	NBodyScale uint64
+
+	MatmulN    int
+	PDEN       int
+	PDEIters   int
+	SORN       int
+	SORIters   int
+	SORStrip   int // 0 = derive from cache size
+	NBodyN     int
+	NBodySteps int
+
+	// Table1Threads is the null-thread count for the overhead benchmark.
+	Table1Threads int
+}
+
+// Scaled returns the default laptop-scale configuration: caches ÷16
+// (N-body ÷16), matmul n=256 (paper 1024), PDE n=513 (paper 2049), SOR
+// n=501 (paper 2005), N-body 8,000 bodies (paper 64,000). Every data:cache
+// ratio matches the paper's.
+func Scaled() Config {
+	return Config{
+		Scale:         16,
+		NBodyScale:    16,
+		MatmulN:       256,
+		PDEN:          513,
+		PDEIters:      5,
+		SORN:          501,
+		SORIters:      30,
+		NBodyN:        8000,
+		NBodySteps:    4,
+		Table1Threads: 1 << 20,
+	}
+}
+
+// Quick returns a further-reduced configuration used by the Go benchmark
+// harness (bench_test.go), where each experiment may run several times:
+// caches ÷64, matmul n=128, PDE n=257, SOR n=251, N-body 4,000 bodies.
+func Quick() Config {
+	return Config{
+		Scale:         64,
+		NBodyScale:    16,
+		MatmulN:       128,
+		PDEN:          257,
+		PDEIters:      5,
+		SORN:          251,
+		SORIters:      10,
+		NBodyN:        4000,
+		NBodySteps:    2,
+		Table1Threads: 1 << 17,
+	}
+}
+
+// Full returns the paper's exact sizes. Simulating the matmul trace at
+// n=1024 processes several billion references per variant; expect hours.
+func Full() Config {
+	return Config{
+		Scale:         1,
+		NBodyScale:    1,
+		MatmulN:       1024,
+		PDEN:          2049,
+		PDEIters:      5,
+		SORN:          2005,
+		SORIters:      30,
+		SORStrip:      18,
+		NBodyN:        64000,
+		NBodySteps:    4,
+		Table1Threads: 1 << 20,
+	}
+}
+
+// R8000 returns the scaled R8000 model for dense-kernel experiments.
+func (c Config) R8000() machine.Machine { return machine.R8000().Scaled(c.Scale) }
+
+// R10000 returns the scaled R10000 model.
+func (c Config) R10000() machine.Machine { return machine.R10000().Scaled(c.Scale) }
+
+// NBodyR8000 and NBodyR10000 return the N-body-scaled machines.
+func (c Config) NBodyR8000() machine.Machine { return machine.R8000().Scaled(c.NBodyScale) }
+
+// NBodyR10000 returns the N-body-scaled R10000 model.
+func (c Config) NBodyR10000() machine.Machine { return machine.R10000().Scaled(c.NBodyScale) }
+
+// SimResult is one traced run through one machine model.
+type SimResult struct {
+	Machine      machine.Machine
+	Instructions uint64
+	Summary      cache.Summary
+	// Time is the cost-model estimate (the paper's crude analysis).
+	Time time.Duration
+	// Sched holds the last scheduler run's occupancy for threaded
+	// variants (zero otherwise).
+	Sched core.RunStats
+}
+
+// Seconds returns the modelled time in seconds.
+func (r SimResult) Seconds() float64 { return r.Time.Seconds() }
+
+// runner is a traced workload variant: given a CPU and address space,
+// execute and return the scheduler if one was used (else nil).
+type runner func(cpu *sim.CPU, as *vm.AddressSpace) *core.Scheduler
+
+// simulate runs one traced variant against one machine model.
+func simulate(m machine.Machine, fn runner) SimResult {
+	h := cache.MustNewHierarchy(m.Caches, nil)
+	cpu := sim.NewCPU(h)
+	as := vm.NewAddressSpace()
+	sched := fn(cpu, as)
+	res := SimResult{
+		Machine:      m,
+		Instructions: cpu.Instructions,
+		Summary:      h.Summarize(),
+	}
+	cm := machine.CostModel{Machine: m}
+	res.Time = cm.Estimate3(res.Instructions, res.Summary.L1Misses,
+		res.Summary.L2.Misses, res.Summary.L3.Misses)
+	if sched != nil {
+		res.Sched = sched.LastRun()
+	}
+	return res
+}
+
+// Progress is an optional sink for per-run progress lines (nil to
+// suppress); the CLI points it at stderr for the long sweeps.
+type Progress func(format string, args ...any)
+
+func (p Progress) printf(format string, args ...any) {
+	if p != nil {
+		p(format, args...)
+	}
+}

@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"threadsched/internal/apps/sor"
+	"threadsched/internal/cache"
+	"threadsched/internal/machine"
+	"threadsched/internal/sim"
+	"threadsched/internal/trace"
+	"threadsched/internal/vm"
+)
+
+// The full pipeline, both ways: an instrumented kernel driving the
+// hierarchy directly must produce byte-identical statistics to the same
+// kernel's trace written to the binary format and replayed — the
+// Pixie-file-then-DineroIII path of cmd/tracesim.
+func TestTraceFileReplayMatchesDirectSimulation(t *testing.T) {
+	mach := machine.R8000().Scaled(64)
+	n, iters := 101, 3
+
+	// Direct: kernel -> hierarchy.
+	direct := cache.MustNewHierarchy(mach.Caches, nil)
+	cpuD := sim.NewCPU(direct)
+	sor.NewTracedArray(cpuD, vm.NewAddressSpace(), n).Untiled(iters)
+
+	// Via file: kernel -> trace bytes -> replayed hierarchy.
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	cpuF := sim.NewCPU(w)
+	sor.NewTracedArray(cpuF, vm.NewAddressSpace(), n).Untiled(iters)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	replayed := cache.MustNewHierarchy(mach.Caches, nil)
+	r := trace.NewReader(&buf)
+	if err := r.ForEach(func(ref trace.Ref) error {
+		replayed.Record(ref)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if cpuD.Instructions != cpuF.Instructions {
+		t.Fatalf("instruction counts differ: %d vs %d", cpuD.Instructions, cpuF.Instructions)
+	}
+	for _, pair := range []struct {
+		name string
+		a, b cache.Stats
+	}{
+		{"L1I", direct.L1I().Stats(), replayed.L1I().Stats()},
+		{"L1D", direct.L1D().Stats(), replayed.L1D().Stats()},
+		{"L2", direct.L2().Stats(), replayed.L2().Stats()},
+	} {
+		if pair.a != pair.b {
+			t.Errorf("%s stats differ:\ndirect   %+v\nreplayed %+v", pair.name, pair.a, pair.b)
+		}
+	}
+	if direct.Refs() != replayed.Refs() {
+		t.Errorf("reference tallies differ: %+v vs %+v", direct.Refs(), replayed.Refs())
+	}
+}
+
+// A hand-checked miniature pipeline: a known access pattern through a
+// tiny hierarchy must produce exactly the predicted classified misses and
+// modelled time.
+func TestPipelineHandChecked(t *testing.T) {
+	cfg := cache.HierarchyConfig{
+		L1I: cache.Config{Name: "L1I", Size: 128, LineSize: 32, Assoc: 1},
+		L1D: cache.Config{Name: "L1D", Size: 128, LineSize: 32, Assoc: 1},
+		L2:  cache.Config{Name: "L2", Size: 512, LineSize: 64, Assoc: 2, Classify: true},
+	}
+	h := cache.MustNewHierarchy(cfg, nil)
+	cpu := sim.NewCPU(h)
+
+	// 4 instructions at pc 0: one L1I line, one cold L2 miss.
+	cpu.Exec(0, 4)
+	// Two loads in one 64-byte L2 line but two 32-byte L1D lines:
+	// 2 L1D cold misses, 1 L2 cold miss (second access hits).
+	cpu.Load(0x1000, 8)
+	cpu.Load(0x1020, 8)
+	// A store to the same line: L1D hit, no L2 traffic.
+	cpu.Store(0x1000, 8)
+
+	sum := h.Summarize()
+	if sum.IFetches != 1 { // one I-line touch recorded
+		t.Errorf("ifetch refs = %d, want 1", sum.IFetches)
+	}
+	if cpu.Instructions != 4 {
+		t.Errorf("instructions = %d, want 4", cpu.Instructions)
+	}
+	if sum.DataRefs != 3 {
+		t.Errorf("data refs = %d, want 3", sum.DataRefs)
+	}
+	if got := h.L1D().Stats().Misses; got != 2 {
+		t.Errorf("L1D misses = %d, want 2", got)
+	}
+	l2 := h.L2().Stats()
+	if l2.Accesses != 3 { // ifetch miss + two L1D misses
+		t.Errorf("L2 accesses = %d, want 3", l2.Accesses)
+	}
+	if l2.Misses != 2 || l2.Compulsory != 2 || l2.Capacity != 0 || l2.Conflict != 0 {
+		t.Errorf("L2 stats = %+v, want 2 compulsory misses", l2)
+	}
+
+	// Crude model: (4 instr + 3 L1-miss·7) cycles at 75 MHz + 2 L2 misses.
+	cm := machine.CostModel{Machine: machine.R8000(), Crude: true}
+	got := cm.Estimate(cpu.Instructions, 3, 2)
+	cycle := 1e9 / 75e6 // ns
+	wantNS := (4 + 3*7) * cycle
+	wantNS += 2 * 1060
+	if gotNS := float64(got.Nanoseconds()); gotNS < wantNS-2 || gotNS > wantNS+2 {
+		t.Errorf("modelled time = %vns, want %.0fns", gotNS, wantNS)
+	}
+}

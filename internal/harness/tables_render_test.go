@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every experiment builder must produce a well-formed table at the Quick
+// geometry: expected row counts, paper values present, no empty cells in
+// the first column.
+func TestAllExperimentTablesRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every simulation")
+	}
+	c := Quick()
+	c.Table1Threads = 1 << 14
+	var prog Progress
+
+	cases := []struct {
+		name     string
+		build    func() interface{ String() string }
+		rows     int
+		contains []string
+	}{
+		{"table1", func() interface{ String() string } { return c.Table1() }, 4, []string{"Fork", "1.38"}},
+		{"table2", func() interface{ String() string } { return c.Table2(prog) }, 5, []string{"Interchanged", "102.98", "scheduler:"}},
+		{"table3", func() interface{ String() string } { return c.Table3(prog) }, 9, []string{"L2 capacity", "68025"}},
+		{"table4", func() interface{ String() string } { return c.Table4(prog) }, 3, []string{"Cache-conscious", "5.21"}},
+		{"table5", func() interface{ String() string } { return c.Table5(prog) }, 9, []string{"5251"}},
+		{"table6", func() interface{ String() string } { return c.Table6(prog) }, 3, []string{"Hand tiled", "26.90"}},
+		{"table7", func() interface{ String() string } { return c.Table7(prog) }, 9, []string{"7294"}},
+		{"table8", func() interface{ String() string } { return c.Table8(prog) }, 2, []string{"153.81"}},
+		{"table9", func() interface{ String() string } { return c.Table9(prog) }, 9, []string{"1131"}},
+		{"figure4", func() interface{ String() string } { return c.Figure4(prog) }, 8, []string{"C/32", "4C"}},
+		{"ablations", func() interface{ String() string } { return c.Ablations(prog) }, 12, []string{"hilbert", "work-stealing", "bin footprint"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			out := tc.build().String()
+			for _, want := range tc.contains {
+				if !strings.Contains(out, want) {
+					t.Errorf("%s output missing %q:\n%s", tc.name, want, out)
+				}
+			}
+			// Count body rows: lines after the separator, before notes.
+			lines := strings.Split(out, "\n")
+			rows := 0
+			inBody := false
+			for _, l := range lines {
+				switch {
+				case strings.HasPrefix(strings.TrimSpace(l), "---"):
+					inBody = true
+				case strings.HasPrefix(strings.TrimSpace(l), "note:"), strings.TrimSpace(l) == "":
+					inBody = false
+				case inBody:
+					rows++
+				}
+			}
+			if rows != tc.rows {
+				t.Errorf("%s has %d body rows, want %d:\n%s", tc.name, rows, tc.rows, out)
+			}
+		})
+	}
+}

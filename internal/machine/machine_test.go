@@ -1,0 +1,164 @@
+package machine
+
+import (
+	"testing"
+	"time"
+
+	"threadsched/internal/cache"
+)
+
+func TestR8000Geometry(t *testing.T) {
+	m := R8000()
+	if m.Caches.L2.Size != 2<<20 || m.Caches.L2.Assoc != 4 || m.Caches.L2.LineSize != 128 {
+		t.Errorf("R8000 L2 = %+v", m.Caches.L2)
+	}
+	if m.Caches.L1D.Size != 16<<10 || m.Caches.L1D.LineSize != 32 {
+		t.Errorf("R8000 L1D = %+v", m.Caches.L1D)
+	}
+	if err := m.Caches.Validate(); err != nil {
+		t.Fatalf("R8000 caches invalid: %v", err)
+	}
+	if m.L2CacheSize() != 2<<20 {
+		t.Errorf("L2CacheSize = %d", m.L2CacheSize())
+	}
+	// 75 MHz → 13.33 ns.
+	if ct := m.CycleTime(); ct < 13*time.Nanosecond || ct > 14*time.Nanosecond {
+		t.Errorf("cycle time = %v", ct)
+	}
+}
+
+func TestR10000Geometry(t *testing.T) {
+	m := R10000()
+	if m.Caches.L2.Size != 1<<20 || m.Caches.L2.Assoc != 2 {
+		t.Errorf("R10000 L2 = %+v", m.Caches.L2)
+	}
+	if m.Caches.L1I.LineSize != 64 || m.Caches.L1D.LineSize != 32 {
+		t.Errorf("R10000 L1 lines = %d/%d", m.Caches.L1I.LineSize, m.Caches.L1D.LineSize)
+	}
+	if err := m.Caches.Validate(); err != nil {
+		t.Fatalf("R10000 caches invalid: %v", err)
+	}
+}
+
+func TestScaledPreservesShape(t *testing.T) {
+	m := R8000().Scaled(16)
+	if m.Caches.L2.Size != 128<<10 {
+		t.Errorf("scaled L2 = %d, want 128K", m.Caches.L2.Size)
+	}
+	if m.Caches.L2.Assoc != 4 || m.Caches.L2.LineSize != 128 {
+		t.Errorf("scaling changed L2 geometry: %+v", m.Caches.L2)
+	}
+	// L1 scales by √factor: 16 KB / 4 = 4 KB.
+	if m.Caches.L1D.Size != 4<<10 {
+		t.Errorf("scaled L1D = %d, want 4K", m.Caches.L1D.Size)
+	}
+	if err := m.Caches.Validate(); err != nil {
+		t.Fatalf("scaled caches invalid: %v", err)
+	}
+	// Penalties and clock are unchanged: time ratios still hold.
+	if m.L2MissTime != R8000().L2MissTime || m.ClockHz != R8000().ClockHz {
+		t.Error("scaling changed timing parameters")
+	}
+}
+
+func TestScaledClampsTinyCaches(t *testing.T) {
+	m := R8000().Scaled(1 << 12) // absurd factor
+	if err := m.Caches.Validate(); err != nil {
+		t.Fatalf("extreme scaling produced invalid caches: %v", err)
+	}
+	// Every cache must still hold at least 4 lines per way.
+	for _, c := range []cache.Config{m.Caches.L1I, m.Caches.L1D, m.Caches.L2} {
+		ways := uint64(1)
+		if c.Assoc > 0 {
+			ways = uint64(c.Assoc)
+		}
+		if c.Lines() < 4*ways {
+			t.Errorf("%s clamped too small: %d lines", c.Name, c.Lines())
+		}
+	}
+}
+
+func TestScaledIdentity(t *testing.T) {
+	if m := R8000().Scaled(1); m.Name != "R8000" {
+		t.Error("Scaled(1) must be the identity")
+	}
+}
+
+func TestScaledRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two factor")
+		}
+	}()
+	R8000().Scaled(3)
+}
+
+func TestCostModelEstimate(t *testing.T) {
+	cm := CostModel{Machine: R8000(), Crude: true}
+	// 75M instructions at 75MHz = 1s.
+	got := cm.Estimate(75_000_000, 0, 0)
+	if got < 999*time.Millisecond || got > 1001*time.Millisecond {
+		t.Errorf("pure-instruction estimate = %v, want ~1s", got)
+	}
+	// 1M L2 misses at 1.06µs = 1.06s.
+	got = cm.Estimate(0, 0, 1_000_000)
+	if got < 1059*time.Millisecond || got > 1061*time.Millisecond {
+		t.Errorf("L2-miss estimate = %v, want ~1.06s", got)
+	}
+	// L1 misses: 7 cycles each.
+	got = cm.Estimate(0, 75_000_000/7, 0)
+	if got < 999*time.Millisecond || got > 1001*time.Millisecond {
+		t.Errorf("L1-miss estimate = %v, want ~1s", got)
+	}
+}
+
+func TestCostModelEstimateSummary(t *testing.T) {
+	cm := CostModel{Machine: R10000(), Crude: true}
+	s := cache.Summary{IFetches: 195_000_000, L1Misses: 0}
+	got := cm.EstimateSummary(s)
+	if got < 999*time.Millisecond || got > 1001*time.Millisecond {
+		t.Errorf("summary estimate = %v, want ~1s", got)
+	}
+}
+
+// The calibrated model must reproduce the paper's measured Table 2 matmul
+// times from the paper's own Table 3 miss counts (that is what its
+// parameters are fitted to).
+func TestCalibratedModelReproducesTable2(t *testing.T) {
+	cases := []struct {
+		mach             Machine
+		instr, l1, l2    uint64
+		measured, within float64
+	}{
+		// R8000, untiled / tiled / threaded (counts in thousands ×1000).
+		{R8000(), 5388645e3, 408756e3, 68225e3, 102.98, 0.15},
+		{R8000(), 2184458e3, 215652e3, 738e3, 16.61, 0.30},
+		{R8000(), 3929858e3, 414741e3, 1872e3, 20.32, 0.30},
+		// R10000 reuses the R8000 miss counts (the paper simulated only
+		// the R8000); the exposure factor absorbs the difference.
+		{R10000(), 5388645e3, 408756e3, 68225e3, 36.63, 0.25},
+	}
+	for i, c := range cases {
+		got := CostModel{Machine: c.mach}.Estimate(c.instr, c.l1, c.l2).Seconds()
+		if rel := (got - c.measured) / c.measured; rel > c.within || rel < -c.within {
+			t.Errorf("case %d (%s): model %.2fs vs measured %.2fs (%.0f%% off)",
+				i, c.mach.Name, got, c.measured, 100*rel)
+		}
+	}
+}
+
+func TestThreadOverheadMatchesTable1(t *testing.T) {
+	// Table 1: total overhead 1.60µs (R8000) and 1.09µs (R10000).
+	r8 := CostModel{Machine: R8000()}.ThreadOverhead(1)
+	if r8 != 1600*time.Nanosecond {
+		t.Errorf("R8000 per-thread overhead = %v, want 1.6µs", r8)
+	}
+	r10 := CostModel{Machine: R10000()}.ThreadOverhead(1)
+	if r10 != 1090*time.Nanosecond {
+		t.Errorf("R10000 per-thread overhead = %v, want 1.09µs", r10)
+	}
+	// The paper's claim: one thread costs less than two L2 misses.
+	if r8 > 2*R8000().L2MissTime {
+		t.Error("R8000 thread overhead exceeds two L2 misses")
+	}
+}

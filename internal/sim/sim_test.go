@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"testing"
+
+	"threadsched/internal/core"
+	"threadsched/internal/trace"
+	"threadsched/internal/vm"
+)
+
+func TestExecCountsInstructionsAndTouchesLines(t *testing.T) {
+	var c trace.Counts
+	cpu := NewCPU(&c)
+	cpu.Exec(0, 4) // 16 bytes from an aligned pc: one I-line
+	if cpu.Instructions != 4 {
+		t.Fatalf("instructions = %d, want 4", cpu.Instructions)
+	}
+	if c.IFetches() != 1 {
+		t.Fatalf("ifetches = %d, want 1 (one line)", c.IFetches())
+	}
+	cpu.Exec(0, 16) // 64 bytes: two lines
+	if c.IFetches() != 3 {
+		t.Fatalf("ifetches = %d, want 3", c.IFetches())
+	}
+	if cpu.Instructions != 20 {
+		t.Fatalf("instructions = %d, want 20", cpu.Instructions)
+	}
+}
+
+func TestExecLineSpanUnaligned(t *testing.T) {
+	var c trace.Counts
+	cpu := NewCPU(&c)
+	// 2 instructions starting 4 bytes before a line boundary span 2 lines.
+	cpu.Exec(28, 2)
+	if c.IFetches() != 2 {
+		t.Fatalf("ifetches = %d, want 2", c.IFetches())
+	}
+}
+
+func TestExecZeroAndNegative(t *testing.T) {
+	cpu := NewCPU(nil)
+	cpu.Exec(0, 0)
+	cpu.Exec(0, -5)
+	if cpu.Instructions != 0 {
+		t.Fatalf("instructions = %d, want 0", cpu.Instructions)
+	}
+}
+
+func TestNilRecorderDiscards(t *testing.T) {
+	cpu := NewCPU(nil)
+	cpu.Load(100, 8)
+	cpu.Store(200, 8)
+	cpu.Exec(0, 10)
+	if cpu.Instructions != 10 {
+		t.Fatalf("instructions = %d", cpu.Instructions)
+	}
+	if cpu.Recorder() != trace.Discard {
+		t.Fatal("nil recorder not replaced with Discard")
+	}
+}
+
+func TestF64LoadStoreEmitsRefs(t *testing.T) {
+	var c trace.Counts
+	cpu := NewCPU(&c)
+	as := vm.NewAddressSpace()
+	a := NewF64(cpu, as, 10)
+	a.Store(3, 1.5)
+	if got := a.Load(3); got != 1.5 {
+		t.Fatalf("Load = %v", got)
+	}
+	if c.Loads() != 1 || c.Stores() != 1 {
+		t.Fatalf("refs = %+v", c)
+	}
+	if a.Addr(4) != a.Addr(3)+8 {
+		t.Fatal("element addresses not 8 bytes apart")
+	}
+	if a.Base() != a.Addr(0) {
+		t.Fatal("base != Addr(0)")
+	}
+	if a.Len() != 10 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+}
+
+func TestPeekPokeSilent(t *testing.T) {
+	var c trace.Counts
+	cpu := NewCPU(&c)
+	a := NewF64(cpu, vm.NewAddressSpace(), 4)
+	a.Poke(1, 7)
+	if a.Peek(1) != 7 {
+		t.Fatal("peek/poke broken")
+	}
+	if c.Total() != 0 {
+		t.Fatalf("peek/poke emitted %d refs", c.Total())
+	}
+	if a.Data()[1] != 7 {
+		t.Fatal("Data not backed by same storage")
+	}
+}
+
+func TestMatrixStorageOrders(t *testing.T) {
+	cpu := NewCPU(nil)
+	as := vm.NewAddressSpace()
+	col := NewMatrix(cpu, as, 4, 3, true)
+	row := NewMatrix(cpu, as, 4, 3, false)
+	if !col.ColMajor() || row.ColMajor() {
+		t.Fatal("ColMajor flags wrong")
+	}
+	// Column-major: walking down a column is contiguous.
+	if col.Addr(1, 2) != col.Addr(0, 2)+8 {
+		t.Error("column-major columns not contiguous")
+	}
+	// Row-major: walking along a row is contiguous.
+	if row.Addr(2, 1) != row.Addr(2, 0)+8 {
+		t.Error("row-major rows not contiguous")
+	}
+	if col.Rows() != 4 || col.Cols() != 3 {
+		t.Errorf("dims = %dx%d", col.Rows(), col.Cols())
+	}
+	col.Store(2, 1, 9)
+	if col.Load(2, 1) != 9 || col.Peek(2, 1) != 9 {
+		t.Error("matrix load/store broken")
+	}
+	col.Poke(3, 2, 4)
+	if col.Peek(3, 2) != 4 {
+		t.Error("matrix poke broken")
+	}
+	if len(col.Data()) != 12 {
+		t.Error("matrix data length wrong")
+	}
+}
+
+func TestMatricesDisjoint(t *testing.T) {
+	cpu := NewCPU(nil)
+	as := vm.NewAddressSpace()
+	a := NewMatrix(cpu, as, 8, 8, true)
+	b := NewMatrix(cpu, as, 8, 8, true)
+	aEnd := a.Addr(7, 7) + 8
+	if b.Addr(0, 0) < aEnd {
+		t.Fatalf("matrices overlap: a ends %#x, b starts %#x", aEnd, b.Addr(0, 0))
+	}
+}
+
+func TestThreadsChargesOverhead(t *testing.T) {
+	var c trace.Counts
+	cpu := NewCPU(&c)
+	as := vm.NewAddressSpace()
+	sched := coreSchedForTest()
+	th := NewThreads(cpu, as, sched)
+
+	ran := 0
+	th.Fork(func(a1, a2 int) {
+		if a1 != 5 || a2 != 6 {
+			t.Errorf("args = %d,%d", a1, a2)
+		}
+		ran++
+	}, 5, 6, 0, 0, 0)
+	// Fork cost is charged immediately: ForkInstr instructions + 3 stores.
+	if cpu.Instructions != uint64(th.ForkInstr) {
+		t.Fatalf("fork instructions = %d, want %d", cpu.Instructions, th.ForkInstr)
+	}
+	if c.Stores() != 3 {
+		t.Fatalf("fork stores = %d, want 3", c.Stores())
+	}
+	th.Run(false)
+	if ran != 1 {
+		t.Fatal("thread did not run")
+	}
+	if cpu.Instructions != uint64(th.ForkInstr+th.RunInstr) {
+		t.Fatalf("total instructions = %d, want %d", cpu.Instructions, th.ForkInstr+th.RunInstr)
+	}
+	if c.Loads() != 3 {
+		t.Fatalf("run loads = %d, want 3", c.Loads())
+	}
+}
+
+func TestThreadsArenaRecycles(t *testing.T) {
+	seen := map[uint64]bool{}
+	rec := trace.FuncRecorder(func(r trace.Ref) {
+		if r.Kind == trace.Store {
+			seen[r.Addr] = true
+		}
+	})
+	th := NewThreads(NewCPU(rec), vm.NewAddressSpace(), coreSchedForTest())
+	for i := 0; i < 3*defaultArenaSlots; i++ {
+		th.Fork(func(int, int) {}, i, 0, 0, 0, 0)
+	}
+	// Distinct store addresses are bounded by the arena size (3 words per
+	// slot), however many threads are forked: the arena recycles.
+	if len(seen) != 3*defaultArenaSlots {
+		t.Fatalf("distinct record addresses = %d, want %d (one arena)",
+			len(seen), 3*defaultArenaSlots)
+	}
+}
+
+func coreSchedForTest() *core.Scheduler {
+	return core.New(core.Config{CacheSize: 1 << 16})
+}

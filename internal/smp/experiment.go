@@ -1,0 +1,108 @@
+package smp
+
+import (
+	"threadsched/internal/apps/nbody"
+	"threadsched/internal/core"
+	"threadsched/internal/machine"
+	"threadsched/internal/sim"
+	"threadsched/internal/vm"
+)
+
+// Policy selects how threads map to processors in the experiment.
+type Policy int
+
+const (
+	// LocalityBins schedules with the paper's cache-sized blocks and
+	// dispatches contiguous chunks of the bin tour to processors: each
+	// processor gets spatially adjacent bins.
+	LocalityBins Policy = iota
+	// Scatter shrinks blocks to one byte — effectively one thread per
+	// bin in fork order — so spatially adjacent threads land on
+	// different processors; the no-locality baseline.
+	Scatter
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == Scatter {
+		return "scatter"
+	}
+	return "locality-bins"
+}
+
+// NBodyExperiment runs one threaded Barnes–Hut step for n bodies on a
+// simulated multiprocessor and reports per-processor times, coherence
+// traffic, and speedup. It demonstrates the paper's §7 SMP extension:
+// locality-binned dispatch keeps each bin's working set in one private
+// cache and bounds invalidations; scattering destroys both.
+func NBodyExperiment(cfg Config, n int, policy Policy, seed uint64) (Result, error) {
+	sys, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	as := vm.NewAddressSpace()
+	bodies := nbody.NewSystem(n, seed)
+	tr := nbody.NewTracer(sys.CPU(), as, n)
+
+	l2 := cfg.Machine.L2CacheSize()
+	block := core.DefaultBlockSize(l2, 3)
+	if policy == Scatter {
+		block = 1
+	}
+	sched := core.New(core.Config{CacheSize: l2, BlockSize: block})
+	th := sim.NewThreads(sys.CPU(), as, sched)
+
+	nbody.StepThreadedWith(bodies, &dispatcher{th: th, sys: sys, policy: policy}, l2, tr)
+	return sys.Finish(), nil
+}
+
+// dispatcher adapts sim.Threads to nbody.Forker, switching the simulated
+// processor per bin. Locality bins go to the least-loaded processor
+// (bins stay intact, load stays balanced despite non-uniform bin sizes);
+// scatter assigns one-thread bins round-robin, deliberately splitting
+// spatial neighbours across processors.
+type dispatcher struct {
+	th     *sim.Threads
+	sys    *System
+	policy Policy
+}
+
+func (d *dispatcher) Fork(f core.Func, a1, a2 int, h1, h2, h3 uint64) {
+	d.th.Fork(f, a1, a2, h1, h2, h3)
+}
+
+func (d *dispatcher) Run(keep bool) {
+	procs := d.sys.Procs()
+	load := make([]int, procs)
+	d.th.RunEach(keep, func(bin, threads int) {
+		p := 0
+		if d.policy == Scatter {
+			p = bin % procs
+		} else {
+			for q := 1; q < procs; q++ {
+				if load[q] < load[p] {
+					p = q
+				}
+			}
+		}
+		load[p] += threads
+		d.sys.Switch(p)
+	})
+	d.sys.Switch(0) // post-run work (integration bookkeeping) on proc 0
+}
+
+// CompareNBody runs the experiment under both policies at the given
+// processor counts and returns results keyed [policy][procIdx].
+func CompareNBody(m machine.Machine, n int, procCounts []int, coherence bool) (map[Policy][]Result, error) {
+	out := make(map[Policy][]Result)
+	for _, pol := range []Policy{LocalityBins, Scatter} {
+		for _, p := range procCounts {
+			r, err := NBodyExperiment(Config{Procs: p, Machine: m, Coherence: coherence}, n, pol, 42)
+			if err != nil {
+				return nil, err
+			}
+			out[pol] = append(out[pol], r)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,187 @@
+// Package stackdist implements Mattson's stack-distance analysis: a
+// single pass over a reference stream yields the LRU miss count of a
+// fully-associative cache of *every* capacity at once. This is the
+// classical companion to trace-driven simulation (Mattson et al. 1970;
+// the same inclusion property our cache package's classification relies
+// on), and the analytical tool behind questions like the paper's §4.5 —
+// how large a scheduling block's working set may grow before a given
+// cache stops absorbing it.
+//
+// The implementation keeps each line's last-use position and a Fenwick
+// tree over active positions, giving O(log n) per reference with periodic
+// position compaction.
+package stackdist
+
+import (
+	"math/bits"
+	"sort"
+
+	"threadsched/internal/trace"
+)
+
+// Analyzer accumulates a stack-distance histogram over a line-granular
+// reference stream.
+type Analyzer struct {
+	lineShift uint
+
+	last map[uint64]int32 // line -> active position (1-based)
+	bit  []int32          // Fenwick tree over positions
+	pos  int32            // highest assigned position
+	used int32            // active positions (== len(last))
+
+	// hist[d] counts re-references with stack distance d+1 (1-based
+	// distance); cold counts first touches.
+	hist []uint64
+	cold uint64
+	refs uint64
+}
+
+// New returns an analyzer at the given line size (power of two).
+func New(lineSize uint64) *Analyzer {
+	shift := uint(bits.TrailingZeros64(lineSize))
+	if lineSize == 0 || lineSize&(lineSize-1) != 0 {
+		panic("stackdist: line size must be a power of two")
+	}
+	return &Analyzer{
+		lineShift: shift,
+		last:      make(map[uint64]int32),
+		bit:       make([]int32, 1024),
+	}
+}
+
+// Record implements trace.Recorder: every reference is a line touch.
+func (a *Analyzer) Record(r trace.Ref) { a.Touch(r.Addr) }
+
+var _ trace.Recorder = (*Analyzer)(nil)
+
+// Touch processes one reference to the line containing addr.
+func (a *Analyzer) Touch(addr uint64) {
+	a.refs++
+	ln := addr >> a.lineShift
+	if p, ok := a.last[ln]; ok {
+		// Stack distance = lines touched more recently than p, plus the
+		// line itself.
+		d := a.countGreater(p) + 1
+		for int(d) > len(a.hist) {
+			a.hist = append(a.hist, 0)
+		}
+		a.hist[d-1]++
+		a.remove(p)
+		delete(a.last, ln)
+		a.used--
+	} else {
+		a.cold++
+	}
+	if int(a.pos)+1 >= len(a.bit)-1 {
+		a.compact() // resets a.pos to the live count
+	}
+	a.pos++
+	a.add(a.pos)
+	a.last[ln] = a.pos
+	a.used++
+}
+
+// compact renumbers active positions 1..used preserving order, doubling
+// the tree if the live set alone is crowding it.
+func (a *Analyzer) compact() {
+	type lp struct {
+		line uint64
+		pos  int32
+	}
+	live := make([]lp, 0, len(a.last))
+	for ln, p := range a.last {
+		live = append(live, lp{ln, p})
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].pos < live[j].pos })
+	size := len(a.bit)
+	for len(live)*2 >= size-2 {
+		size *= 2
+	}
+	a.bit = make([]int32, size)
+	a.pos = 0
+	for _, e := range live {
+		a.pos++
+		a.add(a.pos)
+		a.last[e.line] = a.pos
+	}
+}
+
+func (a *Analyzer) add(p int32) {
+	for i := int(p); i < len(a.bit); i += i & (-i) {
+		a.bit[i]++
+	}
+}
+
+func (a *Analyzer) remove(p int32) {
+	for i := int(p); i < len(a.bit); i += i & (-i) {
+		a.bit[i]--
+	}
+}
+
+// countGreater returns the number of active positions strictly above p.
+func (a *Analyzer) countGreater(p int32) int32 {
+	// total active - prefix(p)
+	var prefix int32
+	for i := int(p); i > 0; i -= i & (-i) {
+		prefix += a.bit[i]
+	}
+	return a.used - prefix
+}
+
+// Refs returns the number of references processed.
+func (a *Analyzer) Refs() uint64 { return a.refs }
+
+// Distinct returns the number of distinct lines seen (= cold misses).
+func (a *Analyzer) Distinct() uint64 { return a.cold }
+
+// Misses returns the miss count of a fully-associative LRU cache holding
+// `lines` lines: cold misses plus re-references at distance > lines.
+func (a *Analyzer) Misses(lines int) uint64 {
+	m := a.cold
+	for d := lines; d < len(a.hist); d++ {
+		m += a.hist[d]
+	}
+	return m
+}
+
+// MissRatio returns Misses(lines)/Refs, or 0 for an empty stream.
+func (a *Analyzer) MissRatio(lines int) float64 {
+	if a.refs == 0 {
+		return 0
+	}
+	return float64(a.Misses(lines)) / float64(a.refs)
+}
+
+// Histogram returns a copy of the distance histogram (index d = distance
+// d+1) and the cold-miss count.
+func (a *Analyzer) Histogram() (hist []uint64, cold uint64) {
+	return append([]uint64(nil), a.hist...), a.cold
+}
+
+// CurvePoint is one point of a miss-ratio curve.
+type CurvePoint struct {
+	// CacheBytes is the fully-associative capacity.
+	CacheBytes uint64
+	// Misses and Ratio are the projected miss count and miss ratio.
+	Misses uint64
+	Ratio  float64
+}
+
+// Curve evaluates the miss-ratio curve at power-of-two capacities from
+// one line up to the stream's footprint (inclusive of the first size that
+// holds everything).
+func (a *Analyzer) Curve() []CurvePoint {
+	lineSize := uint64(1) << a.lineShift
+	var out []CurvePoint
+	for lines := 1; ; lines *= 2 {
+		out = append(out, CurvePoint{
+			CacheBytes: uint64(lines) * lineSize,
+			Misses:     a.Misses(lines),
+			Ratio:      a.MissRatio(lines),
+		})
+		if uint64(lines) >= a.cold {
+			break
+		}
+	}
+	return out
+}

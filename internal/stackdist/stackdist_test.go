@@ -1,0 +1,189 @@
+package stackdist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"threadsched/internal/cache"
+	"threadsched/internal/trace"
+)
+
+func TestSequentialStreamAllCold(t *testing.T) {
+	a := New(32)
+	for i := 0; i < 100; i++ {
+		a.Touch(uint64(i) * 32)
+	}
+	if a.Distinct() != 100 || a.Refs() != 100 {
+		t.Fatalf("distinct %d refs %d", a.Distinct(), a.Refs())
+	}
+	// Every size misses everything: the stream never re-references.
+	if a.Misses(1) != 100 || a.Misses(1000) != 100 {
+		t.Fatalf("misses = %d/%d", a.Misses(1), a.Misses(1000))
+	}
+}
+
+func TestRepeatedLineDistanceOne(t *testing.T) {
+	a := New(32)
+	for i := 0; i < 10; i++ {
+		a.Touch(0)
+	}
+	if a.Distinct() != 1 {
+		t.Fatalf("distinct = %d", a.Distinct())
+	}
+	// One cold miss; a single-line cache catches all re-references.
+	if a.Misses(1) != 1 {
+		t.Fatalf("Misses(1) = %d, want 1", a.Misses(1))
+	}
+}
+
+func TestCyclicStreamKneeAtWorkingSet(t *testing.T) {
+	// Cycling over k lines: caches with ≥ k lines hit everything after
+	// warmup; caches with < k lines miss everything (LRU worst case).
+	const k = 16
+	a := New(32)
+	for round := 0; round < 10; round++ {
+		for ln := uint64(0); ln < k; ln++ {
+			a.Touch(ln * 32)
+		}
+	}
+	if got := a.Misses(k); got != k {
+		t.Fatalf("Misses(%d) = %d, want %d (cold only)", k, got, k)
+	}
+	if got := a.Misses(k - 1); got != a.Refs() {
+		t.Fatalf("Misses(%d) = %d, want all %d", k-1, got, a.Refs())
+	}
+}
+
+func TestSameLineSubAddresses(t *testing.T) {
+	a := New(64)
+	a.Touch(0)
+	a.Touch(63) // same 64-byte line
+	a.Touch(64) // next line
+	if a.Distinct() != 2 {
+		t.Fatalf("distinct = %d, want 2", a.Distinct())
+	}
+	if a.Misses(4) != 2 {
+		t.Fatalf("misses = %d, want 2", a.Misses(4))
+	}
+}
+
+func TestMissesMonotone(t *testing.T) {
+	a := New(32)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		a.Touch(uint64(rng.Intn(200)) * 32)
+	}
+	for lines := 2; lines < 300; lines++ {
+		if a.Misses(lines) > a.Misses(lines-1) {
+			t.Fatalf("misses not monotone at %d lines", lines)
+		}
+	}
+	if a.Misses(300) != a.Distinct() {
+		t.Fatalf("full-footprint cache should miss only cold: %d vs %d",
+			a.Misses(300), a.Distinct())
+	}
+}
+
+func TestCompactionPreservesResults(t *testing.T) {
+	// Enough references to force many compactions (initial tree is 1024).
+	a := New(32)
+	rng := rand.New(rand.NewSource(3))
+	ref, _ := cache.New(cache.Config{Size: 32 * 64, LineSize: 32, Assoc: 0})
+	for i := 0; i < 50000; i++ {
+		addr := uint64(rng.Intn(500)) * 32
+		a.Touch(addr)
+		ref.Access(addr, false)
+	}
+	if a.Misses(64) != ref.Stats().Misses {
+		t.Fatalf("analyzer %d vs fully-assoc cache %d", a.Misses(64), ref.Stats().Misses)
+	}
+}
+
+// The defining property: for any stream and any capacity, the projected
+// miss count equals an actual fully-associative LRU cache's miss count.
+func TestMatchesFullyAssociativeCacheProperty(t *testing.T) {
+	f := func(seed int64, linesSel uint8, spread uint8) bool {
+		lines := 1 << (linesSel % 7) // power of two: cache.Config requires it
+		a := New(32)
+		c, err := cache.New(cache.Config{
+			Size: uint64(lines) * 32, LineSize: 32, Assoc: 0,
+		})
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		span := int(spread%100) + 2
+		for i := 0; i < 3000; i++ {
+			addr := uint64(rng.Intn(span)) * 32
+			a.Touch(addr)
+			c.Access(addr, false)
+		}
+		return a.Misses(lines) == c.Stats().Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecordInterface(t *testing.T) {
+	a := New(32)
+	var rec trace.Recorder = a
+	rec.Record(trace.Ref{Kind: trace.Load, Addr: 100, Size: 8})
+	rec.Record(trace.Ref{Kind: trace.Store, Addr: 100, Size: 8})
+	if a.Refs() != 2 || a.Distinct() != 1 {
+		t.Fatalf("refs %d distinct %d", a.Refs(), a.Distinct())
+	}
+}
+
+func TestCurveShape(t *testing.T) {
+	a := New(32)
+	for round := 0; round < 5; round++ {
+		for ln := uint64(0); ln < 64; ln++ {
+			a.Touch(ln * 32)
+		}
+	}
+	curve := a.Curve()
+	if len(curve) == 0 {
+		t.Fatal("empty curve")
+	}
+	if curve[0].CacheBytes != 32 {
+		t.Fatalf("first point at %d bytes", curve[0].CacheBytes)
+	}
+	last := curve[len(curve)-1]
+	if last.CacheBytes < 64*32 {
+		t.Fatalf("curve stops at %d bytes, before the %d-byte footprint",
+			last.CacheBytes, 64*32)
+	}
+	if last.Misses != a.Distinct() {
+		t.Fatalf("final point misses %d, want cold %d", last.Misses, a.Distinct())
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Misses > curve[i-1].Misses {
+			t.Fatal("curve not monotone")
+		}
+	}
+}
+
+func TestHistogramCopy(t *testing.T) {
+	a := New(32)
+	a.Touch(0)
+	a.Touch(0)
+	hist, cold := a.Histogram()
+	if cold != 1 || len(hist) < 1 || hist[0] != 1 {
+		t.Fatalf("hist %v cold %d", hist, cold)
+	}
+	hist[0] = 99 // mutating the copy must not affect the analyzer
+	if a.Misses(1) != 1 {
+		t.Fatal("histogram not a copy")
+	}
+}
+
+func TestNewPanicsOnBadLineSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for bad line size")
+		}
+	}()
+	New(24)
+}

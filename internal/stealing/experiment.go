@@ -1,0 +1,43 @@
+package stealing
+
+import (
+	"threadsched/internal/apps/nbody"
+	"threadsched/internal/machine"
+	"threadsched/internal/smp"
+	"threadsched/internal/vm"
+)
+
+// NBodyExperiment runs one threaded Barnes–Hut step under work stealing
+// on a simulated multiprocessor — the counterpart of
+// smp.NBodyExperiment's locality-bin and scatter policies.
+func NBodyExperiment(cfg smp.Config, n int, seed uint64) (smp.Result, uint64, error) {
+	sys, err := smp.New(cfg)
+	if err != nil {
+		return smp.Result{}, 0, err
+	}
+	as := vm.NewAddressSpace()
+	bodies := nbody.NewSystem(n, seed)
+	tr := nbody.NewTracer(sys.CPU(), as, n)
+
+	sim := NewSim(sys, seed)
+	// Charge the same per-thread fork/run instruction budgets the traced
+	// locality scheduler charges (sim.Threads), so the comparison isolates
+	// execution order rather than bookkeeping costs.
+	sim.ForkInstr, sim.RunInstr = 100, 16
+	sim.cpuForOverhead = sys.CPU()
+	nbody.StepThreadedWith(bodies, sim, cfg.Machine.L2CacheSize(), tr)
+	res := sys.Finish()
+	return res, sim.Steals, nil
+}
+
+// CompareWithLocality runs the same workload under locality-bin dispatch
+// and under work stealing, returning both results.
+func CompareWithLocality(m machine.Machine, procs, n int, coherence bool) (locality, stealing smp.Result, steals uint64, err error) {
+	cfg := smp.Config{Procs: procs, Machine: m, Coherence: coherence}
+	locality, err = smp.NBodyExperiment(cfg, n, smp.LocalityBins, 42)
+	if err != nil {
+		return
+	}
+	stealing, steals, err = NBodyExperiment(cfg, n, 42)
+	return
+}

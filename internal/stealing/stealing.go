@@ -1,0 +1,155 @@
+// Package stealing implements the scheduler that actually won in
+// practice — Cilk-style work stealing (the paper cites Cilk [10] as the
+// fine-grained-threads state of the art) — as a deterministic simulation,
+// so the locality scheduler can be compared against the modern default
+// on equal terms: same threads, same simulated multiprocessor, different
+// execution order.
+//
+// Each worker owns a deque; forked threads are distributed to the
+// forking "worker 0" (the paper's programs fork from a single sequential
+// loop), workers pop from the bottom of their own deque (LIFO) and steal
+// from the top of a pseudo-randomly chosen victim (FIFO), the classic
+// discipline. The simulation advances workers round-robin one thread at
+// a time, routing each thread's references to that worker's private
+// cache via the smp substrate.
+//
+// What the comparison shows (see EXPERIMENTS.md): work stealing balances
+// load as well as locality-bin dispatch, but — having no knowledge of
+// which threads share data — spreads spatially adjacent threads across
+// processors, costing cache misses and coherence traffic that the
+// hint-binned scheduler avoids.
+package stealing
+
+import (
+	"fmt"
+
+	"threadsched/internal/core"
+	"threadsched/internal/sim"
+	"threadsched/internal/smp"
+)
+
+// task is one pending thread.
+type task struct {
+	fn         core.Func
+	arg1, arg2 int
+}
+
+// Sim is a deterministic work-stealing execution engine over an smp
+// multiprocessor.
+type Sim struct {
+	sys    *smp.System
+	deques [][]task
+	rng    uint64
+	// Executed counts completed threads.
+	Executed uint64
+	// Steals counts successful steal operations.
+	Steals uint64
+
+	// ForkInstr and RunInstr, when non-zero together with cpuForOverhead,
+	// charge per-thread scheduling costs to the simulation so comparisons
+	// against the traced locality scheduler isolate execution order.
+	ForkInstr, RunInstr int
+	cpuForOverhead      *sim.CPU
+}
+
+// NewSim returns a work-stealing engine over sys.
+func NewSim(sys *smp.System, seed uint64) *Sim {
+	return &Sim{
+		sys:    sys,
+		deques: make([][]task, sys.Procs()),
+		rng:    seed*0x9e3779b97f4a7c15 + 1,
+	}
+}
+
+// Fork implements the fork half of nbody.Forker: threads are pushed to
+// worker 0's deque in program order, as when a sequential loop forks all
+// work. Hints are accepted for interface compatibility and ignored —
+// that is the point of the comparison.
+func (s *Sim) Fork(f core.Func, arg1, arg2 int, _, _, _ uint64) {
+	if s.cpuForOverhead != nil {
+		s.cpuForOverhead.Exec(0x2000, s.ForkInstr)
+	}
+	s.deques[0] = append(s.deques[0], task{fn: f, arg1: arg1, arg2: arg2})
+}
+
+// Run executes all forked threads to completion under the stealing
+// discipline. The keep flag is accepted for interface compatibility;
+// schedules are always consumed.
+func (s *Sim) Run(_ bool) {
+	procs := len(s.deques)
+	for {
+		idle := 0
+		for w := 0; w < procs; w++ {
+			if t, ok := s.popBottom(w); ok {
+				s.execute(w, t)
+				continue
+			}
+			if t, ok := s.steal(w); ok {
+				s.execute(w, t)
+				continue
+			}
+			idle++
+		}
+		if idle == procs {
+			return
+		}
+	}
+}
+
+func (s *Sim) popBottom(w int) (task, bool) {
+	d := s.deques[w]
+	if len(d) == 0 {
+		return task{}, false
+	}
+	t := d[len(d)-1]
+	s.deques[w] = d[:len(d)-1]
+	return t, true
+}
+
+// steal takes one task from the top of a pseudo-random victim's deque.
+func (s *Sim) steal(thief int) (task, bool) {
+	procs := len(s.deques)
+	for attempt := 0; attempt < procs; attempt++ {
+		s.rng = s.rng*6364136223846793005 + 1442695040888963407
+		victim := int((s.rng >> 33) % uint64(procs))
+		if victim == thief || len(s.deques[victim]) == 0 {
+			continue
+		}
+		t := s.deques[victim][0]
+		s.deques[victim] = s.deques[victim][1:]
+		s.Steals++
+		return t, true
+	}
+	// Deterministic fallback sweep so no runnable task is missed.
+	for victim := 0; victim < procs; victim++ {
+		if victim == thief || len(s.deques[victim]) == 0 {
+			continue
+		}
+		t := s.deques[victim][0]
+		s.deques[victim] = s.deques[victim][1:]
+		s.Steals++
+		return t, true
+	}
+	return task{}, false
+}
+
+func (s *Sim) execute(w int, t task) {
+	s.sys.Switch(w)
+	if s.cpuForOverhead != nil {
+		s.cpuForOverhead.Exec(0x2100, s.RunInstr)
+	}
+	t.fn(t.arg1, t.arg2)
+	s.Executed++
+}
+
+// Pending returns the number of unexecuted tasks across all deques.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, d := range s.deques {
+		n += len(d)
+	}
+	return n
+}
+
+// String describes the engine for experiment labels.
+func (s *Sim) String() string { return fmt.Sprintf("work-stealing/%d", len(s.deques)) }

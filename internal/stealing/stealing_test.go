@@ -1,0 +1,150 @@
+package stealing
+
+import (
+	"testing"
+
+	"threadsched/internal/machine"
+	"threadsched/internal/smp"
+)
+
+func newSys(t *testing.T, procs int) *smp.System {
+	t.Helper()
+	sys, err := smp.New(smp.Config{Procs: procs, Machine: machine.R8000().Scaled(64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestRunsEveryTaskOnce(t *testing.T) {
+	sys := newSys(t, 4)
+	s := NewSim(sys, 7)
+	const n = 500
+	counts := make([]int, n)
+	for i := 0; i < n; i++ {
+		s.Fork(func(a1, _ int) { counts[a1]++ }, i, 0, 0, 0, 0)
+	}
+	if s.Pending() != n {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	s.Run(false)
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("task %d ran %d times", i, c)
+		}
+	}
+	if s.Pending() != 0 || s.Executed != n {
+		t.Fatalf("executed = %d, pending = %d", s.Executed, s.Pending())
+	}
+}
+
+func TestStealingSpreadsWork(t *testing.T) {
+	sys := newSys(t, 4)
+	s := NewSim(sys, 3)
+	for i := 0; i < 400; i++ {
+		s.Fork(func(int, int) {
+			// Touch memory so each worker's hierarchy sees traffic.
+			sys.CPU().Load(uint64(0x1000+i*8), 8)
+		}, i, 0, 0, 0, 0)
+	}
+	s.Run(false)
+	busy := 0
+	for p := 0; p < sys.Procs(); p++ {
+		if sys.Proc(p).Refs > 0 {
+			busy++
+		}
+	}
+	if busy != 4 {
+		t.Fatalf("%d workers busy, want 4", busy)
+	}
+	if s.Steals == 0 {
+		t.Fatal("no steals despite all work forked to worker 0")
+	}
+}
+
+func TestSingleWorkerIsLIFO(t *testing.T) {
+	sys := newSys(t, 1)
+	s := NewSim(sys, 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		s.Fork(func(a1, _ int) { order = append(order, a1) }, i, 0, 0, 0, 0)
+	}
+	s.Run(false)
+	want := []int{4, 3, 2, 1, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want LIFO %v", order, want)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() uint64 {
+		sys := newSys(t, 4)
+		s := NewSim(sys, 99)
+		for i := 0; i < 300; i++ {
+			s.Fork(func(int, int) { sys.CPU().Load(uint64(i*64), 8) }, i, 0, 0, 0, 0)
+		}
+		s.Run(false)
+		return s.Steals
+	}
+	if run() != run() {
+		t.Fatal("stealing schedule not deterministic for equal seeds")
+	}
+}
+
+func TestOverheadCharging(t *testing.T) {
+	sys := newSys(t, 2)
+	s := NewSim(sys, 1)
+	s.ForkInstr, s.RunInstr = 100, 16
+	s.cpuForOverhead = sys.CPU()
+	s.Fork(func(int, int) {}, 0, 0, 0, 0, 0)
+	s.Run(false)
+	res := sys.Finish()
+	var total uint64
+	for p := 0; p < sys.Procs(); p++ {
+		total += sys.Proc(p).Instructions
+	}
+	if total != 116 {
+		t.Fatalf("charged %d instructions, want 116", total)
+	}
+	_ = res
+}
+
+// The headline comparison: at equal load balance, the hint-binned
+// locality scheduler must beat work stealing on private-cache misses and
+// coherence traffic for the spatially structured N-body workload.
+func TestLocalityBeatsWorkStealing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SMP cache simulation")
+	}
+	m := machine.R8000().Scaled(16)
+	loc, ws, steals, err := CompareWithLocality(m, 4, 4000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steals == 0 {
+		t.Fatal("work stealing never stole; comparison is vacuous")
+	}
+	if loc.L2Misses >= ws.L2Misses {
+		t.Errorf("locality L2 misses %d not < work stealing %d", loc.L2Misses, ws.L2Misses)
+	}
+	if loc.Stats.Invalidations >= ws.Stats.Invalidations {
+		t.Errorf("locality invalidations %d not < work stealing %d",
+			loc.Stats.Invalidations, ws.Stats.Invalidations)
+	}
+	// Both must parallelize: neither may degenerate to one worker.
+	if ws.Speedup() < 2 || loc.Speedup() < 2 {
+		t.Errorf("speedups too low: locality %.2f, stealing %.2f", loc.Speedup(), ws.Speedup())
+	}
+	t.Logf("locality: misses=%d inval=%d speedup=%.2f | stealing: misses=%d inval=%d speedup=%.2f steals=%d",
+		loc.L2Misses, loc.Stats.Invalidations, loc.Speedup(),
+		ws.L2Misses, ws.Stats.Invalidations, ws.Speedup(), steals)
+}
+
+func TestSimString(t *testing.T) {
+	s := NewSim(newSys(t, 4), 1)
+	if s.String() != "work-stealing/4" {
+		t.Fatalf("String = %q", s.String())
+	}
+}

@@ -1,0 +1,131 @@
+package tables
+
+// The paper's published results, transcribed from Philbin et al., ASPLOS
+// 1996. Timing values are CPU seconds; miss-table values are thousands of
+// events, as printed.
+
+// PaperTable1 is Table 1: thread overhead in microseconds.
+var PaperTable1 = struct {
+	Fork, Run, Total, L2Miss map[string]float64
+}{
+	Fork:   map[string]float64{"R8000": 1.38, "R10000": 0.95},
+	Run:    map[string]float64{"R8000": 0.22, "R10000": 0.14},
+	Total:  map[string]float64{"R8000": 1.60, "R10000": 1.09},
+	L2Miss: map[string]float64{"R8000": 1.06, "R10000": 0.85},
+}
+
+// MissRow is one variant's row of a miss-simulation table (thousands).
+type MissRow struct {
+	IFetches   uint64
+	DataRefs   uint64
+	L1Misses   uint64
+	L1Rate     float64
+	L2Misses   uint64
+	L2Rate     float64
+	Compulsory uint64
+	Capacity   uint64
+	Conflict   uint64
+}
+
+// PaperTable2 is Table 2: matrix multiply times (seconds), n = 1024.
+var PaperTable2 = map[string]map[string]float64{
+	"Interchanged":       {"R8000": 102.98, "R10000": 36.63},
+	"Transposed":         {"R8000": 95.06, "R10000": 32.96},
+	"Tiled interchanged": {"R8000": 16.61, "R10000": 12.24},
+	"Tiled transposed":   {"R8000": 19.73, "R10000": 18.71},
+	"Threaded":           {"R8000": 20.32, "R10000": 16.85},
+}
+
+// Table2Order is the row order of Table 2.
+var Table2Order = []string{
+	"Interchanged", "Transposed", "Tiled interchanged", "Tiled transposed", "Threaded",
+}
+
+// PaperTable3 is Table 3: matmul references and misses (thousands), R8000.
+var PaperTable3 = map[string]MissRow{
+	"Untiled":  {IFetches: 5388645, DataRefs: 3222274, L1Misses: 408756, L1Rate: 4.8, L2Misses: 68225, L2Rate: 4.6, Compulsory: 199, Capacity: 68025, Conflict: 0},
+	"Tiled":    {IFetches: 2184458, DataRefs: 728256, L1Misses: 215652, L1Rate: 7.4, L2Misses: 738, L2Rate: 0.3, Compulsory: 200, Capacity: 528, Conflict: 10},
+	"Threaded": {IFetches: 3929858, DataRefs: 2193690, L1Misses: 414741, L1Rate: 6.8, L2Misses: 1872, L2Rate: 0.4, Compulsory: 299, Capacity: 1311, Conflict: 262},
+}
+
+// Table3Order is the row order of Table 3.
+var Table3Order = []string{"Untiled", "Tiled", "Threaded"}
+
+// PaperTable4 is Table 4: PDE times (seconds), n = 2049, 5 iterations.
+var PaperTable4 = map[string]map[string]float64{
+	"Regular":         {"R8000": 9.48, "R10000": 7.80},
+	"Cache-conscious": {"R8000": 5.21, "R10000": 5.21},
+	"Threaded":        {"R8000": 7.24, "R10000": 4.98},
+}
+
+// Table4Order is the row order of Table 4.
+var Table4Order = []string{"Regular", "Cache-conscious", "Threaded"}
+
+// PaperTable5 is Table 5: PDE cache misses (thousands), R8000, n = 2049.
+var PaperTable5 = map[string]MissRow{
+	"Regular":         {IFetches: 303686, DataRefs: 126044, L1Misses: 80767, L1Rate: 18.8, L2Misses: 6038, L2Rate: 5.7, Compulsory: 788, Capacity: 5251, Conflict: 0},
+	"Cache-conscious": {IFetches: 277622, DataRefs: 122598, L1Misses: 85040, L1Rate: 21.2, L2Misses: 2888, L2Rate: 2.6, Compulsory: 788, Capacity: 2100, Conflict: 0},
+	"Threaded":        {IFetches: 283467, DataRefs: 126385, L1Misses: 94516, L1Rate: 23.1, L2Misses: 3415, L2Rate: 2.9, Compulsory: 789, Capacity: 2627, Conflict: 0},
+}
+
+// Table5Order is the row order of Table 5.
+var Table5Order = []string{"Regular", "Cache-conscious", "Threaded"}
+
+// PaperTable6 is Table 6: SOR times (seconds), n = 2005, t = 30, s = 18.
+var PaperTable6 = map[string]map[string]float64{
+	"Untiled":    {"R8000": 30.54, "R10000": 12.81},
+	"Hand tiled": {"R8000": 26.90, "R10000": 4.27},
+	"Threaded":   {"R8000": 23.10, "R10000": 4.31},
+}
+
+// Table6Order is the row order of Table 6.
+var Table6Order = []string{"Untiled", "Hand tiled", "Threaded"}
+
+// PaperTable7 is Table 7: SOR references and misses (thousands), R8000.
+var PaperTable7 = map[string]MissRow{
+	"Untiled":    {IFetches: 1205767, DataRefs: 482042, L1Misses: 90451, L1Rate: 5.4, L2Misses: 7545, L2Rate: 3.6, Compulsory: 251, Capacity: 7294, Conflict: 0},
+	"Hand-tiled": {IFetches: 1917178, DataRefs: 703522, L1Misses: 5259, L1Rate: 0.2, L2Misses: 282, L2Rate: 0.2, Compulsory: 268, Capacity: 0, Conflict: 13},
+	"Threaded":   {IFetches: 1212039, DataRefs: 483973, L1Misses: 90631, L1Rate: 5.3, L2Misses: 263, L2Rate: 0.1, Compulsory: 258, Capacity: 6, Conflict: 0},
+}
+
+// Table7Order is the row order of Table 7.
+var Table7Order = []string{"Untiled", "Hand-tiled", "Threaded"}
+
+// PaperTable8 is Table 8: N-body times (seconds), 64,000 bodies, 4 steps.
+var PaperTable8 = map[string]map[string]float64{
+	"Unthreaded": {"R8000": 153.81, "R10000": 53.22},
+	"Threaded":   {"R8000": 148.60, "R10000": 46.34},
+}
+
+// Table8Order is the row order of Table 8.
+var Table8Order = []string{"Unthreaded", "Threaded"}
+
+// PaperTable9 is Table 9: N-body misses (thousands), R8000, 1 iteration.
+var PaperTable9 = map[string]MissRow{
+	"Unthreaded": {IFetches: 1820656, DataRefs: 865713, L1Misses: 54313, L1Rate: 2.0, L2Misses: 1674, L2Rate: 0.5, Compulsory: 175, Capacity: 1131, Conflict: 369},
+	"Threaded":   {IFetches: 1838089, DataRefs: 872130, L1Misses: 55035, L1Rate: 2.0, L2Misses: 778, L2Rate: 0.2, Compulsory: 190, Capacity: 495, Conflict: 93},
+}
+
+// Table9Order is the row order of Table 9.
+var Table9Order = []string{"Unthreaded", "Threaded"}
+
+// PaperSchedStats are the scheduler occupancy figures quoted in §4's text.
+var PaperSchedStats = map[string]struct {
+	Threads, Bins, AvgPerBin int
+}{
+	"matmul": {Threads: 1048576, Bins: 81, AvgPerBin: 12945},
+	"sor":    {Threads: 60120, Bins: 63, AvgPerBin: 954},
+	"nbody":  {Threads: 64000, Bins: 46, AvgPerBin: 1391},
+}
+
+// Figure4BlockSizes are the block dimension sizes swept in Figure 4
+// (bytes): 64K to 8M on the R8000 (2 MB L2).
+var Figure4BlockSizes = []uint64{
+	64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20,
+}
+
+// Figure4Shape records the qualitative content of Figure 4: execution time
+// is flat while the block dimension sum stays at or below the L2 size and
+// degrades sharply beyond it for L2-sensitive programs (matmul most of
+// all).
+const Figure4Shape = "flat for block ≤ C, degrading past C; matmul most sensitive"

@@ -1,0 +1,141 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAlignment(t *testing.T) {
+	tb := &Table{
+		ID:      "Table X",
+		Title:   "demo",
+		Columns: []string{"", "one", "two"},
+	}
+	tb.AddRow("short", "1", "2")
+	tb.AddRow("a much longer label", "100", "20000")
+	tb.AddNote("note %d", 7)
+	out := tb.String()
+	if !strings.Contains(out, "Table X: demo") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "note: note 7") {
+		t.Errorf("missing note:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + separator + 2 rows + note = 5 lines.
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Data rows must be equal width (aligned columns): title, columns,
+	// separator, then the two rows.
+	if len(lines[3]) != len(lines[4]) {
+		t.Errorf("rows not aligned:\n%q\n%q", lines[3], lines[4])
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := &Table{
+		ID:      "T",
+		Title:   "demo",
+		Columns: []string{"", "a", "b"},
+	}
+	tb.AddRow("plain", "1", "2")
+	tb.AddRow("needs, quoting", `has "quotes"`, "3")
+	tb.AddNote("a note")
+	var sb strings.Builder
+	tb.RenderCSV(&sb)
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "row,a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "plain,1,2" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if lines[2] != `"needs, quoting","has ""quotes""",3` {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+	if lines[3] != "# a note" {
+		t.Errorf("note = %q", lines[3])
+	}
+}
+
+func TestAddRowPads(t *testing.T) {
+	tb := &Table{Columns: []string{"", "a", "b"}}
+	tb.AddRow("only-name")
+	if len(tb.Rows[0]) != 3 {
+		t.Fatalf("row not padded: %v", tb.Rows[0])
+	}
+	tb.AddRow("x", "1", "2", "overflow")
+	if len(tb.Rows[1]) != 3 {
+		t.Fatalf("row not truncated: %v", tb.Rows[1])
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Seconds(1.234) != "1.23" {
+		t.Error("Seconds")
+	}
+	if Thousands(1499) != "1" || Thousands(1500) != "2" || Thousands(0) != "0" {
+		t.Errorf("Thousands: %s %s %s", Thousands(1499), Thousands(1500), Thousands(0))
+	}
+	if Rate(3.14159) != "3.1" {
+		t.Error("Rate")
+	}
+	if Ratio(10, 4) != "2.50x" {
+		t.Error("Ratio")
+	}
+	if Ratio(1, 0) != "-" {
+		t.Error("Ratio by zero")
+	}
+}
+
+func TestPaperDataRowOrdersComplete(t *testing.T) {
+	cases := []struct {
+		order []string
+		data  map[string]MissRow
+	}{
+		{Table3Order, PaperTable3},
+		{Table5Order, PaperTable5},
+		{Table7Order, PaperTable7},
+		{Table9Order, PaperTable9},
+	}
+	for i, c := range cases {
+		if len(c.order) != len(c.data) {
+			t.Errorf("case %d: order has %d entries, data %d", i, len(c.order), len(c.data))
+		}
+		for _, name := range c.order {
+			if _, ok := c.data[name]; !ok {
+				t.Errorf("case %d: order name %q missing from data", i, name)
+			}
+		}
+	}
+	for _, name := range Table2Order {
+		if _, ok := PaperTable2[name]; !ok {
+			t.Errorf("Table2 order name %q missing", name)
+		}
+	}
+	for _, tbl := range []map[string]map[string]float64{PaperTable2, PaperTable4, PaperTable6, PaperTable8} {
+		for variant, machines := range tbl {
+			for _, m := range []string{"R8000", "R10000"} {
+				if machines[m] <= 0 {
+					t.Errorf("%s missing %s time", variant, m)
+				}
+			}
+		}
+	}
+}
+
+func TestFigure4BlockSizesSpanPaperRange(t *testing.T) {
+	if Figure4BlockSizes[0] != 64<<10 {
+		t.Errorf("first block size %d, want 64K", Figure4BlockSizes[0])
+	}
+	if Figure4BlockSizes[len(Figure4BlockSizes)-1] != 8<<20 {
+		t.Errorf("last block size %d, want 8M", Figure4BlockSizes[len(Figure4BlockSizes)-1])
+	}
+	for i := 1; i < len(Figure4BlockSizes); i++ {
+		if Figure4BlockSizes[i] != 2*Figure4BlockSizes[i-1] {
+			t.Errorf("block sizes not doubling at %d", i)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The on-disk trace format is a substitute for Pixie's binary trace output:
+// a fixed header followed by delta-encoded records. Addresses are
+// zigzag-varint encoded as deltas from the previous address of the same
+// kind, which keeps sequential sweeps (the common case in the paper's
+// workloads) to 2-3 bytes per reference.
+
+const (
+	// Magic identifies a trace file.
+	Magic = "GTRC"
+	// FormatVersion is the current trace file version.
+	FormatVersion = 1
+)
+
+var (
+	// ErrBadMagic reports a file that is not a trace file.
+	ErrBadMagic = errors.New("trace: bad magic")
+	// ErrBadVersion reports an unsupported trace file version.
+	ErrBadVersion = errors.New("trace: unsupported version")
+	errBadKind    = errors.New("trace: invalid record kind")
+)
+
+// Writer encodes a reference stream to an io.Writer. It implements Recorder;
+// call Flush (or Close) when done.
+type Writer struct {
+	w       *bufio.Writer
+	last    [numKinds]uint64
+	n       uint64
+	scratch [binary.MaxVarintLen64 + 2]byte
+	err     error
+	wrote   bool
+}
+
+var _ Recorder = (*Writer)(nil)
+
+// NewWriter returns a Writer that encodes to w. The header is written
+// lazily on the first record (or on Flush).
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func (tw *Writer) writeHeader() {
+	if tw.wrote {
+		return
+	}
+	tw.wrote = true
+	if _, err := tw.w.WriteString(Magic); err != nil {
+		tw.err = err
+		return
+	}
+	if err := tw.w.WriteByte(FormatVersion); err != nil {
+		tw.err = err
+	}
+}
+
+// Record implements Recorder, encoding one reference.
+func (tw *Writer) Record(r Ref) {
+	if tw.err != nil {
+		return
+	}
+	tw.writeHeader()
+	if tw.err != nil {
+		return
+	}
+	if r.Kind >= numKinds {
+		tw.err = errBadKind
+		return
+	}
+	delta := int64(r.Addr - tw.last[r.Kind])
+	tw.last[r.Kind] = r.Addr
+	buf := tw.scratch[:0]
+	buf = append(buf, byte(r.Kind), r.Size)
+	buf = binary.AppendVarint(buf, delta)
+	if _, err := tw.w.Write(buf); err != nil {
+		tw.err = err
+		return
+	}
+	tw.n++
+}
+
+// Count returns the number of records successfully encoded.
+func (tw *Writer) Count() uint64 { return tw.n }
+
+// Flush writes the header (if no records were recorded) and flushes
+// buffered output.
+func (tw *Writer) Flush() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	tw.writeHeader()
+	if tw.err != nil {
+		return tw.err
+	}
+	return tw.w.Flush()
+}
+
+// Reader decodes a trace file produced by Writer.
+type Reader struct {
+	r    *bufio.Reader
+	last [numKinds]uint64
+	init bool
+}
+
+// NewReader returns a Reader decoding from r. The header is validated on
+// the first Read call.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+func (tr *Reader) readHeader() error {
+	var hdr [len(Magic) + 1]byte
+	if _, err := io.ReadFull(tr.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return fmt.Errorf("trace: missing header: %w", ErrBadMagic)
+		}
+		return err
+	}
+	if string(hdr[:len(Magic)]) != Magic {
+		return ErrBadMagic
+	}
+	if hdr[len(Magic)] != FormatVersion {
+		return fmt.Errorf("%w: %d", ErrBadVersion, hdr[len(Magic)])
+	}
+	tr.init = true
+	return nil
+}
+
+// Read decodes the next record. It returns io.EOF at the end of the trace.
+func (tr *Reader) Read() (Ref, error) {
+	if !tr.init {
+		if err := tr.readHeader(); err != nil {
+			return Ref{}, err
+		}
+	}
+	kb, err := tr.r.ReadByte()
+	if err != nil {
+		return Ref{}, err // io.EOF here is the clean end of trace
+	}
+	if Kind(kb) >= numKinds {
+		return Ref{}, errBadKind
+	}
+	size, err := tr.r.ReadByte()
+	if err != nil {
+		return Ref{}, corrupt(err)
+	}
+	delta, err := binary.ReadVarint(tr.r)
+	if err != nil {
+		return Ref{}, corrupt(err)
+	}
+	k := Kind(kb)
+	tr.last[k] += uint64(delta)
+	return Ref{Kind: k, Addr: tr.last[k], Size: size}, nil
+}
+
+// ForEach decodes the whole remaining trace, invoking fn per record.
+func (tr *Reader) ForEach(fn func(Ref) error) error {
+	for {
+		r, err := tr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+}
+
+func corrupt(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

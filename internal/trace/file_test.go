@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, refs []Ref) []Ref {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range refs {
+		w.Record(r)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if w.Count() != uint64(len(refs)) {
+		t.Fatalf("Count = %d, want %d", w.Count(), len(refs))
+	}
+	r := NewReader(&buf)
+	var got []Ref
+	if err := r.ForEach(func(ref Ref) error { got = append(got, ref); return nil }); err != nil {
+		t.Fatalf("ForEach: %v", err)
+	}
+	return got
+}
+
+func TestFileRoundTripBasic(t *testing.T) {
+	refs := []Ref{
+		{Kind: IFetch, Addr: 0x1000_0000, Size: 4},
+		{Kind: Load, Addr: 0x2000_0008, Size: 8},
+		{Kind: Load, Addr: 0x2000_0010, Size: 8},
+		{Kind: Store, Addr: 0x3000_0000, Size: 8},
+		{Kind: Load, Addr: 0x1fff_fff8, Size: 4}, // backwards delta
+		{Kind: IFetch, Addr: 0x1000_0004, Size: 4},
+	}
+	got := roundTrip(t, refs)
+	if len(got) != len(refs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(refs))
+	}
+	for i := range refs {
+		if got[i] != refs[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], refs[i])
+		}
+	}
+}
+
+func TestFileEmptyTrace(t *testing.T) {
+	got := roundTrip(t, nil)
+	if len(got) != 0 {
+		t.Fatalf("decoded %d records from empty trace", len(got))
+	}
+}
+
+func TestFileCompactness(t *testing.T) {
+	// A sequential sweep should cost only a few bytes per reference.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		w.Record(Ref{Kind: Load, Addr: uint64(0x1000_0000 + 8*i), Size: 8})
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	perRef := float64(buf.Len()) / n
+	if perRef > 4 {
+		t.Errorf("sequential sweep costs %.1f bytes/ref, want <= 4", perRef)
+	}
+}
+
+func TestReaderBadMagic(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("NOPE\x01\x00\x08\x00")))
+	if _, err := r.Read(); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+}
+
+func TestReaderBadVersion(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte(Magic + "\x7f")))
+	if _, err := r.Read(); err == nil {
+		t.Fatal("expected error for bad version")
+	}
+}
+
+func TestReaderTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Record(Ref{Kind: Load, Addr: 0x1234, Size: 8})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Chop mid-record.
+	data := buf.Bytes()[:buf.Len()-1]
+	r := NewReader(bytes.NewReader(data))
+	_, err := r.Read()
+	if err != io.ErrUnexpectedEOF {
+		t.Fatalf("err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestReaderEmptyInput(t *testing.T) {
+	r := NewReader(bytes.NewReader(nil))
+	if _, err := r.Read(); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+func TestWriterRejectsBadKind(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Record(Ref{Kind: Kind(200), Addr: 1, Size: 1})
+	if err := w.Flush(); err == nil {
+		t.Fatal("expected error after recording invalid kind")
+	}
+}
+
+// Property: any reference stream round-trips exactly.
+func TestFileRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		refs := make([]Ref, int(n))
+		for i := range refs {
+			refs[i] = Ref{
+				Kind: Kind(rng.Intn(3)),
+				Addr: rng.Uint64(),
+				Size: uint8(1 << rng.Intn(4)),
+			}
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, r := range refs {
+			w.Record(r)
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		rd := NewReader(&buf)
+		for i := range refs {
+			got, err := rd.Read()
+			if err != nil || got != refs[i] {
+				return false
+			}
+		}
+		_, err := rd.Read()
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

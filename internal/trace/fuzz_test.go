@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader: arbitrary input bytes must never panic the decoder — they
+// either decode as records or produce an error. Valid encodings round-trip
+// through the seed corpus.
+func FuzzReader(f *testing.F) {
+	// Seeds: a valid small trace, truncations of it, and garbage.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Record(Ref{Kind: Load, Addr: 0x1000, Size: 8})
+	w.Record(Ref{Kind: Store, Addr: 0x1008, Size: 8})
+	w.Record(Ref{Kind: IFetch, Addr: 0x40_0000, Size: 4})
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add(valid[:5])
+	f.Add([]byte(Magic))
+	f.Add([]byte("GTRC\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"))
+	f.Add([]byte{})
+	f.Add([]byte("not a trace at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; i < 1_000_000; i++ {
+			_, err := r.Read()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return // any error is acceptable; panics are not
+			}
+		}
+		t.Fatal("reader produced implausibly many records without EOF")
+	})
+}

@@ -1,0 +1,127 @@
+// Package trace provides the address-reference layer of the reproduction:
+// the moral equivalent of the Pixie instrumentation pipeline the paper used
+// to feed its modified DineroIII simulator.
+//
+// Instrumented ("traced") kernels emit a stream of Ref records — instruction
+// fetches, loads, and stores over a simulated virtual address space — to a
+// Recorder. Recorders either count, forward to a cache hierarchy, or encode
+// the stream to a compact binary format that cmd/tracesim can replay.
+package trace
+
+import "fmt"
+
+// Kind discriminates reference records, mirroring the three classes a Pixie
+// trace distinguishes.
+type Kind uint8
+
+const (
+	// IFetch is an instruction fetch.
+	IFetch Kind = iota
+	// Load is a data read.
+	Load
+	// Store is a data write.
+	Store
+	numKinds
+)
+
+// String returns the conventional short name of the reference kind.
+func (k Kind) String() string {
+	switch k {
+	case IFetch:
+		return "ifetch"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Ref is a single memory reference: a kind, a virtual byte address, and the
+// access size in bytes.
+type Ref struct {
+	Kind Kind
+	Addr uint64
+	Size uint8
+}
+
+// Recorder consumes a reference stream. Implementations must tolerate
+// arbitrary interleavings of kinds; they are not required to be safe for
+// concurrent use.
+type Recorder interface {
+	// Record consumes one reference.
+	Record(r Ref)
+}
+
+// Counts tallies a reference stream by kind. The zero value is ready to use.
+type Counts struct {
+	ByKind [numKinds]uint64
+}
+
+var _ Recorder = (*Counts)(nil)
+
+// Record implements Recorder.
+func (c *Counts) Record(r Ref) { c.ByKind[r.Kind]++ }
+
+// IFetches returns the number of instruction fetches recorded.
+func (c *Counts) IFetches() uint64 { return c.ByKind[IFetch] }
+
+// Loads returns the number of loads recorded.
+func (c *Counts) Loads() uint64 { return c.ByKind[Load] }
+
+// Stores returns the number of stores recorded.
+func (c *Counts) Stores() uint64 { return c.ByKind[Store] }
+
+// DataRefs returns loads plus stores, the paper's "D references" row.
+func (c *Counts) DataRefs() uint64 { return c.Loads() + c.Stores() }
+
+// Total returns the total number of references of all kinds.
+func (c *Counts) Total() uint64 { return c.IFetches() + c.DataRefs() }
+
+// Add accumulates another tally into c.
+func (c *Counts) Add(o Counts) {
+	for i := range c.ByKind {
+		c.ByKind[i] += o.ByKind[i]
+	}
+}
+
+// Tee forwards every reference to each of its recorders in order.
+type Tee []Recorder
+
+var _ Recorder = Tee(nil)
+
+// Record implements Recorder.
+func (t Tee) Record(r Ref) {
+	for _, rec := range t {
+		rec.Record(r)
+	}
+}
+
+// Discard is a Recorder that drops every reference.
+var Discard Recorder = discard{}
+
+type discard struct{}
+
+func (discard) Record(Ref) {}
+
+// Filter forwards only references matching Keep to Next.
+type Filter struct {
+	Next Recorder
+	Keep func(Ref) bool
+}
+
+var _ Recorder = (*Filter)(nil)
+
+// Record implements Recorder.
+func (f *Filter) Record(r Ref) {
+	if f.Keep(r) {
+		f.Next.Record(r)
+	}
+}
+
+// FuncRecorder adapts a function to the Recorder interface.
+type FuncRecorder func(Ref)
+
+// Record implements Recorder.
+func (f FuncRecorder) Record(r Ref) { f(r) }

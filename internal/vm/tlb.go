@@ -1,0 +1,100 @@
+package vm
+
+import "fmt"
+
+// TLB models a translation lookaside buffer: a small set-associative LRU
+// cache of page translations. The SGI systems' R8000/R10000 had 96- and
+// 64-entry fully-associative TLBs; large-stride access patterns (the
+// untiled SOR's row-major sweep over column-major data, §4.3) thrash a
+// TLB long before they thrash the L2, so the model lets experiments
+// separate the two effects.
+type TLB struct {
+	pageShift uint
+	ways      int
+	sets      [][]tlbEntry
+	hits      uint64
+	misses    uint64
+}
+
+type tlbEntry struct {
+	vpn   uint64
+	valid bool
+}
+
+// NewTLB builds a TLB with the given number of entries (power of two),
+// associativity (0 = fully associative), and page size (power of two).
+func NewTLB(entries, assoc int, pageSize uint64) (*TLB, error) {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		return nil, fmt.Errorf("vm: TLB entries %d not a positive power of two", entries)
+	}
+	if pageSize == 0 || pageSize&(pageSize-1) != 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadPageSize, pageSize)
+	}
+	if assoc <= 0 || assoc > entries {
+		assoc = entries
+	}
+	if entries%assoc != 0 {
+		return nil, fmt.Errorf("vm: %d entries not divisible by associativity %d", entries, assoc)
+	}
+	nsets := entries / assoc
+	if nsets&(nsets-1) != 0 {
+		return nil, fmt.Errorf("vm: %d TLB sets not a power of two", nsets)
+	}
+	t := &TLB{ways: assoc, sets: make([][]tlbEntry, nsets)}
+	for pageSize > 1 {
+		pageSize >>= 1
+		t.pageShift++
+	}
+	backing := make([]tlbEntry, nsets*assoc)
+	for i := range t.sets {
+		t.sets[i] = backing[i*assoc : (i+1)*assoc]
+	}
+	return t, nil
+}
+
+// Access looks up the page holding vaddr, returning true on a TLB hit.
+// Misses install the translation with LRU replacement.
+func (t *TLB) Access(vaddr uint64) bool {
+	vpn := vaddr >> t.pageShift
+	set := t.sets[vpn&uint64(len(t.sets)-1)]
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			e := set[i]
+			copy(set[1:i+1], set[:i])
+			set[0] = e
+			t.hits++
+			return true
+		}
+	}
+	t.misses++
+	copy(set[1:], set[:len(set)-1])
+	set[0] = tlbEntry{vpn: vpn, valid: true}
+	return false
+}
+
+// Hits and Misses report the access counters.
+func (t *TLB) Hits() uint64 { return t.hits }
+
+// Misses reports translation misses.
+func (t *TLB) Misses() uint64 { return t.misses }
+
+// Accesses reports total lookups.
+func (t *TLB) Accesses() uint64 { return t.hits + t.misses }
+
+// MissRate returns misses per access as a percentage.
+func (t *TLB) MissRate() float64 {
+	if t.Accesses() == 0 {
+		return 0
+	}
+	return 100 * float64(t.misses) / float64(t.Accesses())
+}
+
+// Reset clears contents and counters.
+func (t *TLB) Reset() {
+	for _, set := range t.sets {
+		for i := range set {
+			set[i] = tlbEntry{}
+		}
+	}
+	t.hits, t.misses = 0, 0
+}

@@ -1,0 +1,125 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTLBValidation(t *testing.T) {
+	bad := []struct {
+		entries, assoc int
+		page           uint64
+	}{
+		{0, 1, 4096}, {3, 1, 4096}, {64, 1, 0}, {64, 1, 100}, {8, 3, 4096},
+	}
+	for _, c := range bad {
+		if _, err := NewTLB(c.entries, c.assoc, c.page); err == nil {
+			t.Errorf("NewTLB(%d,%d,%d) accepted", c.entries, c.assoc, c.page)
+		}
+	}
+	if _, err := NewTLB(64, 0, 4096); err != nil {
+		t.Fatalf("fully-associative TLB rejected: %v", err)
+	}
+}
+
+func TestTLBHitsWithinPage(t *testing.T) {
+	tlb, _ := NewTLB(16, 0, 4096)
+	if tlb.Access(0x1000) {
+		t.Fatal("cold access hit")
+	}
+	for off := uint64(0); off < 4096; off += 512 {
+		if !tlb.Access(0x1000 + off) {
+			t.Fatalf("same-page access at +%d missed", off)
+		}
+	}
+	if tlb.Misses() != 1 {
+		t.Fatalf("misses = %d", tlb.Misses())
+	}
+}
+
+func TestTLBLRUReplacement(t *testing.T) {
+	tlb, _ := NewTLB(4, 0, 4096)
+	for p := uint64(0); p < 4; p++ {
+		tlb.Access(p * 4096)
+	}
+	tlb.Access(0)        // refresh page 0
+	tlb.Access(4 * 4096) // evicts page 1 (LRU)
+	if !tlb.Access(0) {
+		t.Fatal("refreshed page evicted")
+	}
+	if tlb.Access(1 * 4096) {
+		t.Fatal("LRU page survived")
+	}
+}
+
+func TestTLBThrashOnLargeStride(t *testing.T) {
+	// The §4.3 pathology: a 64-entry TLB, 4 KB pages, and a sweep with a
+	// 16 KB stride over a 2 MB footprint touches 128 distinct pages in
+	// rotation — every access misses.
+	tlb, _ := NewTLB(64, 0, 4096)
+	for round := 0; round < 5; round++ {
+		for p := uint64(0); p < 128; p++ {
+			tlb.Access(p * 16384)
+		}
+	}
+	if tlb.Hits() != 0 {
+		t.Fatalf("hits = %d on a thrashing stride, want 0", tlb.Hits())
+	}
+	// The same footprint swept page-sequentially hits 3 of 4 accesses
+	// after the cold pass (4 KB pages, 1 KB stride).
+	seq, _ := NewTLB(64, 0, 4096)
+	for round := 0; round < 5; round++ {
+		for a := uint64(0); a < 64*4096; a += 1024 {
+			seq.Access(a)
+		}
+	}
+	if seq.MissRate() > 30 {
+		t.Fatalf("sequential sweep miss rate %.1f%%, want < 30%%", seq.MissRate())
+	}
+}
+
+func TestTLBReset(t *testing.T) {
+	tlb, _ := NewTLB(8, 2, 4096)
+	tlb.Access(0)
+	tlb.Reset()
+	if tlb.Accesses() != 0 {
+		t.Fatal("counters survived reset")
+	}
+	if tlb.Access(0) {
+		t.Fatal("contents survived reset")
+	}
+}
+
+// Property: a fully-associative TLB with n entries matches the stackdist
+// criterion — an access hits iff fewer than n distinct pages intervened.
+func TestTLBMatchesReferenceProperty(t *testing.T) {
+	f := func(seed int64, entSel uint8) bool {
+		entries := 1 << (entSel%4 + 1)
+		tlb, err := NewTLB(entries, 0, 4096)
+		if err != nil {
+			return false
+		}
+		var stack []uint64 // MRU first
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 2000; i++ {
+			page := uint64(rng.Intn(entries * 3))
+			hit := false
+			for j, v := range stack {
+				if v == page {
+					hit = j < entries
+					stack = append(stack[:j], stack[j+1:]...)
+					break
+				}
+			}
+			stack = append([]uint64{page}, stack...)
+			if tlb.Access(page*4096+uint64(rng.Intn(4096))) != hit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

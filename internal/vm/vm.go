@@ -1,0 +1,209 @@
+// Package vm models the virtual-memory substrate beneath the cache
+// simulation. The paper (§2.2) points out that second-level caches are
+// physically indexed, so the virtual-to-physical mapping chosen by the OS
+// affects L2 behaviour (citing Bershad et al. and Kessler & Hill). This
+// package provides a simulated virtual address space with an arena-style
+// allocator, and a page table with pluggable page-placement policies so the
+// experiments can run either on virtual addresses (as the paper's DineroIII
+// simulation did) or through a simulated physical mapping.
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// DefaultPageSize is the simulated page size (the SGI systems used 4 KiB
+// base pages).
+const DefaultPageSize = 4096
+
+// DefaultBase is the base virtual address of a fresh address space; chosen
+// to resemble a typical process data-segment start and to keep address zero
+// invalid.
+const DefaultBase uint64 = 0x1000_0000
+
+// AddressSpace hands out non-overlapping virtual address ranges for the
+// simulated program's objects (matrices, body arrays, tree nodes, thread
+// structures). It is an arena: there is no free.
+type AddressSpace struct {
+	base uint64
+	next uint64
+}
+
+// NewAddressSpace returns an address space starting at DefaultBase.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{base: DefaultBase, next: DefaultBase}
+}
+
+// NewAddressSpaceAt returns an address space whose first allocation begins
+// at base.
+func NewAddressSpaceAt(base uint64) *AddressSpace {
+	return &AddressSpace{base: base, next: base}
+}
+
+// Alloc reserves size bytes aligned to align (a power of two; 0 or 1 means
+// byte alignment) and returns the starting virtual address.
+func (as *AddressSpace) Alloc(size uint64, align uint64) uint64 {
+	if align > 1 {
+		if align&(align-1) != 0 {
+			panic(fmt.Sprintf("vm: alignment %d is not a power of two", align))
+		}
+		as.next = (as.next + align - 1) &^ (align - 1)
+	}
+	addr := as.next
+	as.next += size
+	return addr
+}
+
+// AllocPageAligned reserves size bytes aligned to the default page size.
+func (as *AddressSpace) AllocPageAligned(size uint64) uint64 {
+	return as.Alloc(size, DefaultPageSize)
+}
+
+// Brk returns the current top of the allocated region.
+func (as *AddressSpace) Brk() uint64 { return as.next }
+
+// Used returns the number of bytes allocated so far, including alignment
+// padding.
+func (as *AddressSpace) Used() uint64 { return as.next - as.base }
+
+// Policy selects physical page frames for virtual pages.
+type Policy interface {
+	// Place returns the physical frame number for virtual page vpn, given
+	// the number of frames already placed. Implementations must be
+	// deterministic for reproducible experiments.
+	Place(vpn uint64, placed uint64) uint64
+	// Name identifies the policy in experiment output.
+	Name() string
+}
+
+// IdentityPolicy maps each virtual page to the equal-numbered physical
+// frame. Under it, physical indexing is identical to virtual indexing —
+// matching the paper's DineroIII runs, which "work with virtual addresses".
+type IdentityPolicy struct{}
+
+// Place implements Policy.
+func (IdentityPolicy) Place(vpn uint64, _ uint64) uint64 { return vpn }
+
+// Name implements Policy.
+func (IdentityPolicy) Name() string { return "identity" }
+
+// SequentialPolicy assigns frames in the order pages are first touched,
+// modelling a first-touch allocator with a fresh free list. It tends to
+// produce good L2 page colouring for sequentially initialized data.
+type SequentialPolicy struct{}
+
+// Place implements Policy.
+func (SequentialPolicy) Place(_ uint64, placed uint64) uint64 { return placed }
+
+// Name implements Policy.
+func (SequentialPolicy) Name() string { return "sequential" }
+
+// RandomPolicy assigns frames pseudo-randomly (deterministically from a
+// seed), modelling a long-running system whose free list is scrambled.
+// This is the mapping regime where Kessler & Hill observed extra L2
+// conflict misses.
+type RandomPolicy struct {
+	// Seed selects the deterministic frame sequence.
+	Seed uint64
+}
+
+// Place implements Policy.
+func (p RandomPolicy) Place(vpn uint64, _ uint64) uint64 {
+	// SplitMix64 of the vpn: a bijective-enough scramble for frame choice.
+	z := vpn + p.Seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Name implements Policy.
+func (p RandomPolicy) Name() string { return "random" }
+
+// ColoringPolicy implements page colouring: the frame is chosen so that the
+// physical page colour (frame mod colours) equals the virtual page colour,
+// the classic technique for making a physically-indexed cache behave like a
+// virtually-indexed one.
+type ColoringPolicy struct {
+	// Colors is the number of page colours (cache size / (ways × page
+	// size)); must be > 0.
+	Colors uint64
+}
+
+// Place implements Policy.
+func (p ColoringPolicy) Place(vpn uint64, placed uint64) uint64 {
+	if p.Colors == 0 {
+		return vpn
+	}
+	color := vpn % p.Colors
+	// Walk frames of the right colour in first-touch order.
+	return (placed/p.Colors)*p.Colors + color
+}
+
+// Name implements Policy.
+func (p ColoringPolicy) Name() string { return fmt.Sprintf("coloring(%d)", p.Colors) }
+
+// ErrBadPageSize reports a page size that is not a power of two.
+var ErrBadPageSize = errors.New("vm: page size must be a power of two")
+
+// PageTable lazily maps virtual pages to physical frames using a Policy.
+type PageTable struct {
+	policy    Policy
+	pageShift uint
+	pages     map[uint64]uint64 // vpn -> pfn
+	frames    map[uint64]uint64 // pfn -> vpn (for bijectivity checks)
+	collide   uint64
+}
+
+// NewPageTable returns a page table with the given page size and policy.
+func NewPageTable(pageSize uint64, policy Policy) (*PageTable, error) {
+	if pageSize == 0 || pageSize&(pageSize-1) != 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadPageSize, pageSize)
+	}
+	if policy == nil {
+		policy = IdentityPolicy{}
+	}
+	return &PageTable{
+		policy:    policy,
+		pageShift: uint(bits.TrailingZeros64(pageSize)),
+		pages:     make(map[uint64]uint64),
+		frames:    make(map[uint64]uint64),
+	}, nil
+}
+
+// PageSize returns the page size in bytes.
+func (pt *PageTable) PageSize() uint64 { return 1 << pt.pageShift }
+
+// Translate maps a virtual address to its physical address, allocating a
+// frame on first touch. Frame collisions produced by a policy (two virtual
+// pages assigned the same frame) are resolved by linear probing and
+// counted.
+func (pt *PageTable) Translate(vaddr uint64) uint64 {
+	vpn := vaddr >> pt.pageShift
+	pfn, ok := pt.pages[vpn]
+	if !ok {
+		pfn = pt.policy.Place(vpn, uint64(len(pt.pages)))
+		for {
+			if _, taken := pt.frames[pfn]; !taken {
+				break
+			}
+			pt.collide++
+			pfn++
+		}
+		pt.pages[vpn] = pfn
+		pt.frames[pfn] = vpn
+	}
+	offset := vaddr & (pt.PageSize() - 1)
+	return pfn<<pt.pageShift | offset
+}
+
+// Mapped returns the number of virtual pages currently mapped.
+func (pt *PageTable) Mapped() int { return len(pt.pages) }
+
+// Collisions returns how many frame collisions the policy produced (always
+// zero for identity and sequential placement).
+func (pt *PageTable) Collisions() uint64 { return pt.collide }
+
+// PolicyName returns the name of the placement policy in use.
+func (pt *PageTable) PolicyName() string { return pt.policy.Name() }

@@ -1,0 +1,193 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddressSpaceAlloc(t *testing.T) {
+	as := NewAddressSpace()
+	a := as.Alloc(100, 0)
+	b := as.Alloc(100, 0)
+	if a != DefaultBase {
+		t.Errorf("first allocation at %#x, want %#x", a, DefaultBase)
+	}
+	if b != a+100 {
+		t.Errorf("second allocation at %#x, want %#x", b, a+100)
+	}
+	if as.Used() != 200 {
+		t.Errorf("Used = %d, want 200", as.Used())
+	}
+}
+
+func TestAddressSpaceAlignment(t *testing.T) {
+	as := NewAddressSpaceAt(0x1000)
+	as.Alloc(3, 0)
+	b := as.Alloc(8, 64)
+	if b%64 != 0 {
+		t.Errorf("aligned allocation at %#x, not 64-byte aligned", b)
+	}
+	c := as.AllocPageAligned(10)
+	if c%DefaultPageSize != 0 {
+		t.Errorf("page allocation at %#x, not page aligned", c)
+	}
+}
+
+func TestAddressSpaceBadAlignmentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two alignment")
+		}
+	}()
+	NewAddressSpace().Alloc(8, 3)
+}
+
+func TestAllocationsDisjoint(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		as := NewAddressSpace()
+		var prevEnd uint64
+		for _, sz := range sizes {
+			size := uint64(sz%4096) + 1
+			a := as.Alloc(size, 8)
+			if a < prevEnd {
+				return false
+			}
+			prevEnd = a + size
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewPageTableRejectsBadPageSize(t *testing.T) {
+	for _, sz := range []uint64{0, 3, 4097} {
+		if _, err := NewPageTable(sz, nil); err == nil {
+			t.Errorf("NewPageTable(%d) succeeded, want error", sz)
+		}
+	}
+}
+
+func TestIdentityTranslation(t *testing.T) {
+	pt, err := NewPageTable(4096, IdentityPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, addr := range []uint64{0, 1, 4095, 4096, 0x1000_0123, 1 << 40} {
+		if got := pt.Translate(addr); got != addr {
+			t.Errorf("identity Translate(%#x) = %#x", addr, got)
+		}
+	}
+	if pt.Collisions() != 0 {
+		t.Errorf("identity policy produced %d collisions", pt.Collisions())
+	}
+}
+
+func TestSequentialTranslationPacksFrames(t *testing.T) {
+	pt, err := NewPageTable(4096, SequentialPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch three widely spaced pages; they should land in frames 0,1,2.
+	for i, v := range []uint64{5 << 30, 9 << 20, 3 << 40} {
+		p := pt.Translate(v)
+		if p>>12 != uint64(i) {
+			t.Errorf("page %d placed in frame %d, want %d", i, p>>12, i)
+		}
+	}
+}
+
+func TestTranslationStable(t *testing.T) {
+	pt, _ := NewPageTable(4096, RandomPolicy{Seed: 7})
+	a := pt.Translate(0x1000_0000)
+	b := pt.Translate(0x1000_0000)
+	if a != b {
+		t.Fatalf("translation not stable: %#x vs %#x", a, b)
+	}
+	c := pt.Translate(0x1000_0004)
+	if c != a+4 {
+		t.Errorf("same-page offset broken: %#x, want %#x", c, a+4)
+	}
+}
+
+func TestColoringPolicyPreservesColor(t *testing.T) {
+	const colors = 64
+	pt, _ := NewPageTable(4096, ColoringPolicy{Colors: colors})
+	for vpn := uint64(0); vpn < 500; vpn += 7 {
+		p := pt.Translate(vpn * 4096)
+		if (p>>12)%colors != vpn%colors {
+			t.Fatalf("vpn %d colored %d, want %d", vpn, (p>>12)%colors, vpn%colors)
+		}
+	}
+}
+
+// Property: the page map is injective — distinct virtual pages map to
+// distinct frames, whatever the policy.
+func TestPageMapInjectiveProperty(t *testing.T) {
+	policies := []Policy{IdentityPolicy{}, SequentialPolicy{}, RandomPolicy{Seed: 1}, ColoringPolicy{Colors: 16}}
+	for _, pol := range policies {
+		pol := pol
+		f := func(vpns []uint32) bool {
+			pt, err := NewPageTable(4096, pol)
+			if err != nil {
+				return false
+			}
+			seen := make(map[uint64]uint64) // pfn -> vpn
+			for _, vpn32 := range vpns {
+				vpn := uint64(vpn32)
+				pfn := pt.Translate(vpn*4096) >> 12
+				if prev, ok := seen[pfn]; ok && prev != vpn {
+					return false
+				}
+				seen[pfn] = vpn
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("policy %s: %v", pol.Name(), err)
+		}
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (IdentityPolicy{}).Name() != "identity" {
+		t.Error("identity name")
+	}
+	if (SequentialPolicy{}).Name() != "sequential" {
+		t.Error("sequential name")
+	}
+	if (RandomPolicy{}).Name() != "random" {
+		t.Error("random name")
+	}
+	if (ColoringPolicy{Colors: 8}).Name() != "coloring(8)" {
+		t.Error("coloring name")
+	}
+}
+
+func TestMappedCount(t *testing.T) {
+	pt, _ := NewPageTable(4096, IdentityPolicy{})
+	pt.Translate(0)
+	pt.Translate(100)  // same page
+	pt.Translate(4096) // next page
+	if pt.Mapped() != 2 {
+		t.Errorf("Mapped = %d, want 2", pt.Mapped())
+	}
+	if pt.PageSize() != 4096 {
+		t.Errorf("PageSize = %d", pt.PageSize())
+	}
+	if pt.PolicyName() != "identity" {
+		t.Errorf("PolicyName = %q", pt.PolicyName())
+	}
+}
+
+func TestBrk(t *testing.T) {
+	as := NewAddressSpace()
+	if as.Brk() != DefaultBase {
+		t.Fatalf("initial Brk = %#x", as.Brk())
+	}
+	as.Alloc(100, 0)
+	if as.Brk() != DefaultBase+100 {
+		t.Fatalf("Brk after alloc = %#x", as.Brk())
+	}
+}

@@ -1,0 +1,88 @@
+package threadsched_test
+
+import (
+	"testing"
+
+	"threadsched"
+)
+
+// TestQuickstart is the README example: threaded dot products over real
+// Go slices with real address hints.
+func TestQuickstart(t *testing.T) {
+	const n = 32
+	at := make([]float64, n*n) // Aᵀ, row i of A stored contiguously
+	b := make([]float64, n*n)  // B, column j stored contiguously
+	c := make([]float64, n*n)
+	for i := range at {
+		at[i] = float64(i % 7)
+		b[i] = float64(i % 5)
+	}
+
+	s := threadsched.New(threadsched.Config{CacheSize: 1 << 16})
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s.Fork(func(i, j int) {
+				var sum float64
+				for k := 0; k < n; k++ {
+					sum += at[i*n+k] * b[j*n+k]
+				}
+				c[i*n+j] = sum
+			}, i, j, threadsched.Hint(&at[i*n]), threadsched.Hint(&b[j*n]), 0)
+		}
+	}
+	s.Run(false)
+
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var want float64
+			for k := 0; k < n; k++ {
+				want += at[i*n+k] * b[j*n+k]
+			}
+			if c[i*n+j] != want {
+				t.Fatalf("c[%d,%d] = %v, want %v", i, j, c[i*n+j], want)
+			}
+		}
+	}
+	st := s.Stats()
+	if st.TotalRun != n*n {
+		t.Fatalf("ran %d threads, want %d", st.TotalRun, n*n)
+	}
+}
+
+func TestHintIsStableAndDistinct(t *testing.T) {
+	xs := make([]int, 10)
+	h0 := threadsched.Hint(&xs[0])
+	h5 := threadsched.Hint(&xs[5])
+	if h0 == 0 {
+		t.Fatal("nil-looking hint")
+	}
+	if h5 != h0+5*8 {
+		t.Fatalf("hints not layout-preserving: %d vs %d", h0, h5)
+	}
+	if threadsched.Hint(&xs[0]) != h0 {
+		t.Fatal("hint not stable")
+	}
+}
+
+func TestNewForCache(t *testing.T) {
+	s := threadsched.NewForCache(1 << 20)
+	if s.CacheSize() != 1<<20 {
+		t.Fatalf("CacheSize = %d", s.CacheSize())
+	}
+	if s.BlockSize() != threadsched.DefaultBlockSize(1<<20, threadsched.MaxHints) {
+		t.Fatalf("BlockSize = %d", s.BlockSize())
+	}
+}
+
+func TestTourConstantsExported(t *testing.T) {
+	names := map[threadsched.TourOrder]string{
+		threadsched.TourAllocation: "allocation",
+		threadsched.TourMorton:     "morton",
+		threadsched.TourHilbert:    "hilbert",
+	}
+	for tour, want := range names {
+		if tour.String() != want {
+			t.Errorf("tour %d = %q, want %q", tour, tour.String(), want)
+		}
+	}
+}
