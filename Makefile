@@ -1,0 +1,34 @@
+# Tier-1 gate and convenience targets for the threadsched reproduction.
+#
+#   make check   — the full tier-1 gate: build, vet, tests, and the core
+#                  package's concurrency suite under the race detector
+#   make bench   — one pass over every benchmark (smoke, not measurement)
+#   make bench-core — the fork/run pipeline benchmarks with real counts
+#   make json    — regenerate BENCH_CORE.json at the quick geometry
+
+GO ?= go
+
+.PHONY: check build vet test race bench bench-core json
+
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/...
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x .
+
+bench-core:
+	$(GO) test -run='^$$' -bench='BenchmarkParallelFork|BenchmarkPartitionedRun|BenchmarkTable1ThreadOverhead' .
+
+json:
+	$(GO) run ./cmd/locality-bench -size quick -json BENCH_CORE.json

@@ -8,6 +8,8 @@ package threadsched_test
 
 import (
 	"bytes"
+	"fmt"
+	"sync"
 	"testing"
 
 	"threadsched"
@@ -347,6 +349,124 @@ func BenchmarkAblationWorkStealing(b *testing.B) {
 		b.ReportMetric(float64(ws.Stats.Invalidations), "stealing_invalidations")
 		b.ReportMetric(float64(steals), "steals")
 	}
+}
+
+// BenchmarkParallelFork measures fork throughput of the sharded
+// concurrent path (Config.ParallelFork) against the serial
+// single-producer path on the same workload: goroutine counts beyond 1
+// split the same total fork count. On multicore hardware the sharded
+// path scales near-linearly; ns/thread is the figure of merit.
+func BenchmarkParallelFork(b *testing.B) {
+	const total = 1 << 16
+	null := func(int, int) {}
+	hint := func(j int) (uint64, uint64) {
+		return uint64(j%64) << 14, uint64((j/64)%64) << 14
+	}
+	b.Run("serial", func(b *testing.B) {
+		s := core.New(core.Config{CacheSize: 1 << 22, BlockSize: 1 << 14})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < total; j++ {
+				h1, h2 := hint(j)
+				s.Fork(null, j, 0, h1, h2, 0)
+			}
+			b.StopTimer()
+			s.Run(false) // drain outside the timed fork phase
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*total), "ns/thread")
+	})
+	for _, g := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("sharded-g%d", g), func(b *testing.B) {
+			s := core.New(core.Config{CacheSize: 1 << 22, BlockSize: 1 << 14, ParallelFork: true})
+			per := total / g
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for w := 0; w < g; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for j := w * per; j < (w+1)*per; j++ {
+							h1, h2 := hint(j)
+							s.Fork(null, j, 0, h1, h2, 0)
+						}
+					}(w)
+				}
+				wg.Wait()
+				b.StopTimer()
+				s.Run(false)
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*total), "ns/thread")
+		})
+	}
+}
+
+// BenchmarkPartitionedRun compares the two parallel dispatch policies:
+// contiguous weighted tour segments with chunked stealing (the default)
+// against the legacy shared atomic counter. Native wall time is reported
+// per policy; the smp sub-benchmark reports the simulated coherence
+// traffic delta, which is the effect wall time on a real multicore
+// follows (segment dispatch keeps tour neighbours — and the read-mostly
+// data they share — on one cache).
+func BenchmarkPartitionedRun(b *testing.B) {
+	const (
+		bins    = 64
+		perBin  = 256
+		binData = 1 << 13 // 8 KiB of float64 work per bin
+	)
+	data := make([]float64, bins*binData/8)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	sink := make([]float64, bins*perBin) // one slot per thread: race-free across workers
+	body := func(a1, _ int) {
+		base := (a1 % (binData / 8 / perBin)) * (binData / 8 / perBin)
+		s := 0.0
+		for k := 0; k < binData/8/perBin; k++ {
+			s += data[base+k]
+		}
+		sink[a1] = s
+	}
+	for _, d := range []core.Dispatch{core.DispatchSegmented, core.DispatchAtomic} {
+		b.Run(d.String(), func(b *testing.B) {
+			s := core.New(core.Config{CacheSize: 1 << 20, BlockSize: 1 << 13,
+				Workers: 4, Dispatch: d})
+			defer s.Close()
+			for bi := 0; bi < bins; bi++ {
+				// Skewed occupancy: low bins hold more threads, so the
+				// weighted partition and stealing both matter.
+				n := perBin
+				if bi%4 != 0 {
+					n = perBin / 4
+				}
+				for j := 0; j < n; j++ {
+					s.Fork(body, bi*perBin+j, 0, uint64(bi)<<13, 0, 0)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Run(true)
+			}
+		})
+	}
+	b.Run("smp-invalidations", func(b *testing.B) {
+		m := machine.R8000().Scaled(16)
+		for i := 0; i < b.N; i++ {
+			seg, il, err := smp.CompareDispatch(m, 4, 4000, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(seg.Stats.Invalidations), "segment_invalidations")
+			b.ReportMetric(float64(il.Stats.Invalidations), "interleave_invalidations")
+			b.ReportMetric(float64(seg.L2Misses), "segment_L2misses")
+			b.ReportMetric(float64(il.L2Misses), "interleave_L2misses")
+			b.ReportMetric(seg.Speedup(), "segment_speedup")
+		}
+	})
 }
 
 // Ablation: trace file round trip — encoding density and replay equality,

@@ -4,7 +4,12 @@
 // Usage:
 //
 //	locality-bench [-exp all|table1..table9|figure4|ablations] [-size quick|scaled|full]
-//	               [-progress] [-list]
+//	               [-progress] [-list] [-json BENCH_CORE.json]
+//
+// -json additionally writes a machine-readable record of the run — wall
+// nanoseconds per experiment plus each table's attached metrics (bins
+// used, threads per bin, host ns/thread) — so the performance trajectory
+// can be diffed across revisions.
 //
 // By default every experiment runs at the scaled geometry (caches ÷16,
 // data sets shrunk to preserve the paper's data:cache ratios; see
@@ -13,9 +18,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -29,6 +36,7 @@ func main() {
 	progress := flag.Bool("progress", false, "print per-run progress to stderr")
 	list := flag.Bool("list", false, "list experiments and exit")
 	format := flag.String("format", "text", "output format: text or csv")
+	jsonOut := flag.String("json", "", "also write a machine-readable benchmark record to this file (e.g. BENCH_CORE.json)")
 	flag.Parse()
 
 	if *list {
@@ -93,10 +101,18 @@ func main() {
 		fmt.Printf("Thread Scheduling for Cache Locality (ASPLOS 1996) — reproduction harness\n")
 		fmt.Printf("size=%s (cache scale ÷%d, N-body ÷%d)\n\n", *size, cfg.Scale, cfg.NBodyScale)
 	}
+	record := benchRecord{
+		Schema: "threadsched/bench-core/v1",
+		Date:   time.Now().UTC().Format(time.RFC3339),
+		Size:   *size,
+		Go:     runtime.Version(),
+		CPUs:   runtime.NumCPU(),
+	}
 	for _, name := range selected {
 		start := time.Now()
 		t := experiments[name]()
-		t.AddNote("harness wall time: %v", time.Since(start).Round(time.Millisecond))
+		wall := time.Since(start)
+		t.AddNote("harness wall time: %v", wall.Round(time.Millisecond))
 		switch *format {
 		case "csv":
 			fmt.Printf("# %s: %s\n", t.ID, t.Title)
@@ -105,7 +121,48 @@ func main() {
 		default:
 			t.Render(os.Stdout)
 		}
+		record.Experiments = append(record.Experiments, expRecord{
+			Name:    name,
+			ID:      t.ID,
+			Title:   t.Title,
+			WallNS:  wall.Nanoseconds(),
+			Metrics: t.Metrics,
+		})
 	}
+	if *jsonOut != "" {
+		if err := writeRecord(*jsonOut, record); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d experiments)\n", *jsonOut, len(record.Experiments))
+	}
+}
+
+// benchRecord is the machine-readable run summary written by -json; its
+// schema string versions the format so cross-PR tooling can diff runs.
+type benchRecord struct {
+	Schema      string      `json:"schema"`
+	Date        string      `json:"date"`
+	Size        string      `json:"size"`
+	Go          string      `json:"go"`
+	CPUs        int         `json:"cpus"`
+	Experiments []expRecord `json:"experiments"`
+}
+
+type expRecord struct {
+	Name    string             `json:"name"`
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	WallNS  int64              `json:"wall_ns"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func writeRecord(path string, r benchRecord) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func listExperiments() {

@@ -25,11 +25,52 @@
 // optional symmetric hint folding (§2.3's "reduce the number of bins by
 // 50%"), and parallel bin execution across workers (the symmetric
 // multiprocessor extension the paper's §7 leaves as future work).
+//
+// # Parallel fork and run
+//
+// Two Config switches extend the §7 SMP conjecture from "run bins in
+// parallel" to a fully parallel fork → run pipeline:
+//
+//   - ParallelFork shards the fork-side state — hash-cell collision
+//     chains, ready lists, free lists, and the pending/forked counters —
+//     into lock stripes so N goroutines can Fork concurrently with
+//     near-linear throughput. Each hash cell belongs to exactly one
+//     stripe; a fork locks only the stripe owning its bin's cell.
+//   - Workers > 1 makes Run execute bins in parallel. The dispatcher
+//     partitions the bin tour into contiguous segments, one per worker,
+//     weighted by per-bin thread count, so spatially adjacent bins (which
+//     the Morton/Hilbert tours deliberately place next to each other, and
+//     which therefore share cache lines) stay on one worker's cache. Idle
+//     workers rebalance by stealing the upper half of the largest
+//     remaining segment — stolen work is itself a contiguous tour run.
+//     DispatchAtomic restores the legacy one-bin-at-a-time atomic-counter
+//     dispatch as a comparison baseline.
+//
+// Run's worker goroutines persist in a pool across Run calls (amortizing
+// spawn cost for keep=true re-runs); Close releases them. The bin tour is
+// memoized between runs and recomputed only when a new bin was allocated.
+//
+// # Thread-safety contract
+//
+// The zero configuration is the paper's sequential-program facility:
+// nothing may be called concurrently. Each mode widens that precisely:
+//
+//   - ParallelFork permits concurrent Fork calls (and concurrent
+//     Stats/Pending/BinOccupancy readers) between runs. It does NOT
+//     permit Fork concurrently with Run: forkers must synchronize with
+//     the goroutine calling Run (e.g. sync.WaitGroup) before it starts.
+//     Fork panics if it observes a Run in progress.
+//   - Workers > 1 runs thread bodies concurrently with each other (every
+//     bin still executes entirely on one worker), so bodies must be safe
+//     to run in parallel. Run itself must still be called from one
+//     goroutine at a time.
+//   - RunEach is always sequential regardless of Workers.
 package core
 
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
 )
 
 // Func is the thread body: the paper's f(arg1, arg2).
@@ -67,6 +108,33 @@ func (t TourOrder) String() string {
 		return "hilbert"
 	default:
 		return fmt.Sprintf("TourOrder(%d)", int(t))
+	}
+}
+
+// Dispatch selects how Run hands bins to workers when Workers > 1.
+type Dispatch int
+
+const (
+	// DispatchSegmented partitions the bin tour into contiguous segments
+	// weighted by thread count, one per worker, with chunked stealing
+	// from the largest remaining segment — spatially adjacent bins stay
+	// on one worker (the default).
+	DispatchSegmented Dispatch = iota
+	// DispatchAtomic is the legacy baseline: workers claim bins one at a
+	// time from a shared atomic counter, interleaving tour neighbours
+	// across workers.
+	DispatchAtomic
+)
+
+// String names the dispatch policy.
+func (d Dispatch) String() string {
+	switch d {
+	case DispatchSegmented:
+		return "segmented"
+	case DispatchAtomic:
+		return "atomic"
+	default:
+		return fmt.Sprintf("Dispatch(%d)", int(d))
 	}
 }
 
@@ -113,6 +181,32 @@ type Config struct {
 	// Thread bodies must then be safe to run concurrently with each
 	// other. 0 or 1 runs everything on the calling goroutine.
 	Workers int
+	// Dispatch selects the bin dispatch policy for Workers > 1; the zero
+	// value is DispatchSegmented (contiguous weighted tour segments with
+	// chunked stealing).
+	Dispatch Dispatch
+	// ParallelFork shards the fork-side state into lock stripes so Fork
+	// may be called from many goroutines concurrently (see the package
+	// doc's thread-safety contract). The serial fork path is unchanged
+	// when false.
+	ParallelFork bool
+	// ForkShards is the lock-stripe count used when ParallelFork is set,
+	// rounded up to a power of two; 0 selects a default derived from
+	// GOMAXPROCS.
+	ForkShards int
+}
+
+// defaultForkShards sizes the lock striping at several stripes per
+// processor, so concurrent forkers rarely contend on the same stripe.
+func defaultForkShards() int {
+	n := 4 * runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	if n > 256 {
+		n = 256
+	}
+	return int(ceilPow2(uint64(n)))
 }
 
 // DefaultCacheSize is used when a Config specifies no cache size; it is
@@ -141,4 +235,11 @@ func floorPow2(v uint64) uint64 {
 		return 0
 	}
 	return 1 << (63 - uint(bits.LeadingZeros64(v)))
+}
+
+func ceilPow2(v uint64) uint64 {
+	if v <= 1 {
+		return 1
+	}
+	return 1 << uint(bits.Len64(v-1))
 }

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel Run dispatch. The tour orders (allocation, Morton, Hilbert)
+// place spatially adjacent bins next to each other; handing workers bins
+// one at a time from a shared counter — the obvious dispatch — therefore
+// deals neighbouring bins to *different* workers, destroying exactly the
+// cross-bin adjacency the tour was built to exploit and maximizing the
+// read-mostly data shared between caches. Instead the tour is cut into
+// contiguous segments, one per worker, weighted by thread count; a worker
+// that drains its segment steals the upper half of the largest remaining
+// segment, so even rebalanced work is a contiguous tour run. This is the
+// hierarchy-aware distribution BubbleSched-style schedulers apply to task
+// trees, specialized to the paper's 1-D bin tour.
+
+// PartitionWeights cuts n weighted items into at most parts contiguous
+// segments of near-equal total weight, returning each segment's start
+// index (segment i spans starts[i] up to starts[i+1], the last one up to
+// n). It never returns an empty segment: len(result) = min(parts, n), or
+// nil for an empty input.
+func PartitionWeights(weights []int, parts int) []int {
+	n := len(weights)
+	if n == 0 {
+		return nil
+	}
+	if parts > n {
+		parts = n
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	remaining := 0
+	for _, w := range weights {
+		remaining += w
+	}
+	starts := make([]int, parts)
+	i := 0
+	for p := 0; p < parts; p++ {
+		starts[p] = i
+		if p == parts-1 {
+			break
+		}
+		target := remaining / (parts - p)
+		acc := 0
+		// Take at least one item; stop at the cut closest to the target
+		// weight, but never starve the remaining segments of items.
+		for i < n-(parts-1-p) {
+			w := weights[i]
+			if acc > 0 && acc+w-target > target-acc {
+				break
+			}
+			acc += w
+			i++
+			if acc >= target {
+				break
+			}
+		}
+		remaining -= acc
+	}
+	return starts
+}
+
+// binSegment is one worker's claimable range [lo, hi) of tour indexes,
+// packed into a single atomic word so both the owner's take-from-front
+// and a thief's take-from-back are lock-free CAS updates on one cell.
+// Padding keeps neighbouring segments off one cache line.
+type binSegment struct {
+	bounds atomic.Uint64
+	_      [56]byte
+}
+
+func packRange(lo, hi int) uint64 { return uint64(uint32(lo))<<32 | uint64(uint32(hi)) }
+
+func unpackRange(v uint64) (lo, hi int) { return int(int32(v >> 32)), int(int32(v)) }
+
+// next claims the segment's lowest unclaimed index.
+func (g *binSegment) next() (int, bool) {
+	for {
+		v := g.bounds.Load()
+		lo, hi := unpackRange(v)
+		if lo >= hi {
+			return 0, false
+		}
+		if g.bounds.CompareAndSwap(v, packRange(lo+1, hi)) {
+			return lo, true
+		}
+	}
+}
+
+// remaining is the number of unclaimed indexes left in the segment.
+func (g *binSegment) remaining() int {
+	lo, hi := unpackRange(g.bounds.Load())
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// stealHalf detaches the upper half of the segment's remaining range,
+// leaving the lower half (at least one index) to the owner so the owner
+// keeps advancing through adjacent bins.
+func (g *binSegment) stealHalf() (lo, hi int, ok bool) {
+	for {
+		v := g.bounds.Load()
+		l, h := unpackRange(v)
+		if h-l <= 1 {
+			return 0, 0, false
+		}
+		mid := l + (h-l+1)/2
+		if g.bounds.CompareAndSwap(v, packRange(l, mid)) {
+			return mid, h, true
+		}
+	}
+}
+
+// runParallel executes bins across Workers goroutines; each bin runs
+// entirely on one worker so the per-bin working set still fits one cache.
+func (s *Scheduler) runParallel(order []*bin) {
+	workers := s.cfg.Workers
+	if workers > len(order) {
+		workers = len(order)
+	}
+	if s.cfg.Dispatch == DispatchAtomic {
+		s.runAtomic(order, workers)
+		return
+	}
+	s.runSegmented(order, workers)
+}
+
+// runSegmented is the default dispatch: weighted contiguous tour segments
+// plus chunked stealing.
+func (s *Scheduler) runSegmented(order []*bin, workers int) {
+	weights := make([]int, len(order))
+	for i, b := range order {
+		weights[i] = b.threads
+	}
+	starts := PartitionWeights(weights, workers)
+	segs := make([]binSegment, len(starts))
+	for i := range segs {
+		hi := len(order)
+		if i+1 < len(starts) {
+			hi = starts[i+1]
+		}
+		segs[i].bounds.Store(packRange(starts[i], hi))
+	}
+	s.fanOut(len(segs), func(self int) {
+		for {
+			if i, ok := segs[self].next(); ok {
+				s.runBin(order[i])
+				continue
+			}
+			if !stealInto(segs, self) {
+				return
+			}
+		}
+	})
+}
+
+// stealInto moves half of the largest remaining segment into segs[self]
+// (which the caller has drained). Only the slot's owner refills it, so a
+// worker that returns false and exits leaves its slot empty forever and
+// every non-empty slot still has an active owner — that is what makes
+// "no victim with more than one bin left" a safe exit condition.
+func stealInto(segs []binSegment, self int) bool {
+	for {
+		victim, best := -1, 1
+		for i := range segs {
+			if i == self {
+				continue
+			}
+			if r := segs[i].remaining(); r > best {
+				victim, best = i, r
+			}
+		}
+		if victim < 0 {
+			return false
+		}
+		if lo, hi, ok := segs[victim].stealHalf(); ok {
+			segs[self].bounds.Store(packRange(lo, hi))
+			return true
+		}
+		// Lost the race to the victim's own progress; rescan.
+	}
+}
+
+// runAtomic is the legacy dispatch kept as a comparison baseline: workers
+// claim bins one at a time from a shared counter, so tour neighbours land
+// on different workers.
+func (s *Scheduler) runAtomic(order []*bin, workers int) {
+	var next int64 = -1
+	s.fanOut(workers, func(int) {
+		for {
+			i := atomic.AddInt64(&next, 1)
+			if i >= int64(len(order)) {
+				return
+			}
+			s.runBin(order[i])
+		}
+	})
+}
+
+// fanOut runs fn(0..n-1) concurrently: fn(0) on the calling goroutine and
+// the rest on pooled workers, so a keep=true re-run spawns no goroutines
+// after the first Run.
+func (s *Scheduler) fanOut(n int, fn func(worker int)) {
+	if n <= 1 {
+		fn(0)
+		return
+	}
+	if s.pool == nil {
+		s.pool = &workerPool{jobs: make(chan poolJob)}
+	}
+	s.pool.ensure(n - 1)
+	var wg sync.WaitGroup
+	wg.Add(n - 1)
+	for w := 1; w < n; w++ {
+		s.pool.jobs <- poolJob{worker: w, fn: fn, wg: &wg}
+	}
+	fn(0)
+	wg.Wait()
+}
+
+// workerPool parks Run's worker goroutines between calls.
+type workerPool struct {
+	jobs    chan poolJob
+	spawned int
+}
+
+type poolJob struct {
+	worker int
+	fn     func(int)
+	wg     *sync.WaitGroup
+}
+
+// ensure grows the pool to at least n parked workers. Only the goroutine
+// calling Run touches spawned, per the scheduler's contract.
+func (p *workerPool) ensure(n int) {
+	for ; p.spawned < n; p.spawned++ {
+		go func() {
+			for j := range p.jobs {
+				j.fn(j.worker)
+				j.wg.Done()
+			}
+		}()
+	}
+}
+
+// Close releases the persistent worker goroutines a parallel Run left
+// parked. It is optional — an unclosed pool simply keeps its goroutines
+// for the life of the process — and safe to call repeatedly; a later Run
+// recreates the pool on demand. Close must not overlap a Run in progress.
+func (s *Scheduler) Close() {
+	if s.pool != nil {
+		close(s.pool.jobs)
+		s.pool = nil
+	}
+}

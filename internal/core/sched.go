@@ -1,8 +1,8 @@
 package core
 
 import (
+	"math/bits"
 	"sort"
-	"sync"
 	"sync/atomic"
 )
 
@@ -35,13 +35,15 @@ type bin struct {
 	threads   int
 }
 
-// Scheduler is the thread package. It is not safe for concurrent Fork
-// calls; like the paper's package it is a sequential-program facility
-// (Run may fan bins out to workers when configured).
+// Scheduler is the thread package. With the zero configuration it is the
+// paper's sequential-program facility — nothing may be called
+// concurrently; Config.ParallelFork and Config.Workers widen the contract
+// as described in the package documentation.
 type Scheduler struct {
 	cfg        Config
 	blockShift uint
 	hashDim    int
+	hashShift  uint // log2(hashDim); cell index is computed by shifts
 	hashMask   uint64
 	table      []*bin // hashDim³ cells, 3-D array flattened
 
@@ -53,7 +55,25 @@ type Scheduler struct {
 	freeBins   *bin
 	freeGroups *group
 
-	totalForked uint64
+	// shards is non-nil iff cfg.ParallelFork: the fork-side state above
+	// (ready list, free lists, counters) then lives striped across the
+	// shards instead, and each hash cell's chain is guarded by the mutex
+	// of the shard owning it.
+	shards    []forkShard
+	shardMask uint64
+
+	// tourCache memoizes the sorted bin tour between runs; it is dropped
+	// on release/Init and rebuilt only when a bin was allocated since.
+	tourCache []*bin
+	tourStale bool // serial-path staleness mark (sharded mode uses shard.grew)
+
+	// running flags an in-progress Run so Fork can detect — and reject
+	// with a clear panic — the one overlap no mode permits.
+	running atomic.Bool
+
+	pool *workerPool // persistent parallel-run workers, lazily created
+
+	totalForked uint64 // serial-path count (sharded counts fold in via forkedCount)
 	totalRun    uint64
 	runs        uint64
 	lastRun     RunStats
@@ -106,8 +126,9 @@ func (s *Scheduler) Init(blockSize, hashDim uint64) {
 		hashDim = floorPow2(hashDim)
 	}
 	s.cfg.BlockSize = blockSize
-	s.blockShift = uint(trailingZeros(blockSize))
+	s.blockShift = uint(bits.TrailingZeros64(blockSize))
 	s.hashDim = int(hashDim)
+	s.hashShift = uint(bits.TrailingZeros64(hashDim))
 	s.hashMask = hashDim - 1
 	s.table = make([]*bin, hashDim*hashDim*hashDim)
 	s.readyHead, s.readyTail = nil, nil
@@ -115,15 +136,23 @@ func (s *Scheduler) Init(blockSize, hashDim uint64) {
 	s.pending = 0
 	s.freeBins = nil
 	s.freeGroups = nil
-}
-
-func trailingZeros(v uint64) int {
-	n := 0
-	for v > 1 {
-		v >>= 1
-		n++
+	s.tourCache = nil
+	s.tourStale = false
+	// Lifetime counters survive reconfiguration; fold the shard stripes'
+	// counts into the scheduler-level one before the shards are remade.
+	s.totalForked = s.forkedCount()
+	if s.cfg.ParallelFork {
+		n := s.cfg.ForkShards
+		if n <= 0 {
+			n = defaultForkShards()
+		}
+		n = int(ceilPow2(uint64(n)))
+		s.shards = make([]forkShard, n)
+		s.shardMask = uint64(n - 1)
+	} else {
+		s.shards = nil
+		s.shardMask = 0
 	}
-	return n
 }
 
 // BlockSize returns the per-dimension block size currently in effect.
@@ -136,15 +165,35 @@ func (s *Scheduler) CacheSize() uint64 { return s.cfg.CacheSize }
 func (s *Scheduler) HashDim() int { return s.hashDim }
 
 // Pending returns the number of threads forked but not yet run.
-func (s *Scheduler) Pending() int { return s.pending }
+func (s *Scheduler) Pending() int { return s.pendingCount() }
+
+// cellIndex maps a bin key to its hash-table cell. hashDim is a power of
+// two, so the 3-D flattening ((k0·d + k1)·d + k2 with d = hashDim) reduces
+// to shifts and masks.
+func (s *Scheduler) cellIndex(key binKey) uint64 {
+	return (key[0]&s.hashMask)<<(2*s.hashShift) |
+		(key[1]&s.hashMask)<<s.hashShift |
+		(key[2] & s.hashMask)
+}
 
 // Fork is th_fork(f, arg1, arg2, hint1, hint2, hint3): create and schedule
 // a thread to call f(arg1, arg2). The hints are memory addresses used as
 // scheduling hints; pass 0 for unused trailing dimensions (§3.1).
+//
+// Fork must never overlap a Run in progress, in any mode; it panics if it
+// detects that misuse. Concurrent Fork calls require Config.ParallelFork.
 func (s *Scheduler) Fork(f Func, arg1, arg2 int, hint1, hint2, hint3 uint64) {
+	if s.running.Load() {
+		panic("core: Fork called during Run; fork and run phases must not overlap " +
+			"(ParallelFork only permits Fork calls to run concurrently with each other)")
+	}
 	key := binKey{hint1 >> s.blockShift, hint2 >> s.blockShift, hint3 >> s.blockShift}
 	if s.cfg.FoldSymmetric {
 		sortKey(&key)
+	}
+	if s.shards != nil {
+		s.forkSharded(key, threadRec{fn: f, arg1: arg1, arg2: arg2})
+		return
 	}
 	b := s.lookupBin(key)
 	g := b.tail
@@ -166,8 +215,7 @@ func (s *Scheduler) Fork(f Func, arg1, arg2 int, hint1, hint2, hint3 uint64) {
 // lookupBin finds or creates the bin for key, hashing each block
 // coordinate by mask into the 3-D table and chaining collisions.
 func (s *Scheduler) lookupBin(key binKey) *bin {
-	idx := ((key[0]&s.hashMask)*uint64(s.hashDim)+(key[1]&s.hashMask))*uint64(s.hashDim) +
-		(key[2] & s.hashMask)
+	idx := s.cellIndex(key)
 	for b := s.table[idx]; b != nil; b = b.hashNext {
 		if b.key == key {
 			return b
@@ -185,6 +233,7 @@ func (s *Scheduler) lookupBin(key binKey) *bin {
 	}
 	s.readyTail = b
 	s.binsUsed++
+	s.tourStale = true
 	return b
 }
 
@@ -215,16 +264,25 @@ func (s *Scheduler) newGroup() *group {
 func (s *Scheduler) Run(keep bool) {
 	order := s.tour()
 	s.snapshotRun(order)
-	if s.cfg.Workers > 1 && len(order) > 1 {
-		s.runParallel(order)
-	} else {
-		for _, b := range order {
-			s.runBin(b)
-		}
-	}
+	s.executeAll(order)
 	s.runs++
 	if !keep {
 		s.release()
+	}
+}
+
+// executeAll runs the ordered bins, serially or across workers, holding
+// the running flag for the duration (released even if a thread panics, so
+// a recovered misuse leaves the scheduler reusable after Init).
+func (s *Scheduler) executeAll(order []*bin) {
+	s.running.Store(true)
+	defer s.running.Store(false)
+	if s.cfg.Workers > 1 && len(order) > 1 {
+		s.runParallel(order)
+		return
+	}
+	for _, b := range order {
+		s.runBin(b)
 	}
 }
 
@@ -237,12 +295,16 @@ func (s *Scheduler) Run(keep bool) {
 func (s *Scheduler) RunEach(keep bool, beforeBin func(bin, threads int)) {
 	order := s.tour()
 	s.snapshotRun(order)
-	for i, b := range order {
-		if beforeBin != nil {
-			beforeBin(i, b.threads)
+	func() {
+		s.running.Store(true)
+		defer s.running.Store(false)
+		for i, b := range order {
+			if beforeBin != nil {
+				beforeBin(i, b.threads)
+			}
+			s.runBin(b)
 		}
-		s.runBin(b)
-	}
+	}()
 	s.runs++
 	if !keep {
 		s.release()
@@ -250,7 +312,7 @@ func (s *Scheduler) RunEach(keep bool, beforeBin func(bin, threads int)) {
 }
 
 func (s *Scheduler) snapshotRun(order []*bin) {
-	s.lastRun = RunStats{Threads: s.pending, Bins: len(order)}
+	s.lastRun = RunStats{Threads: s.pendingCount(), Bins: len(order)}
 	for i, b := range order {
 		if i == 0 || b.threads < s.lastRun.MinPerBin {
 			s.lastRun.MinPerBin = b.threads
@@ -260,16 +322,20 @@ func (s *Scheduler) snapshotRun(order []*bin) {
 		}
 	}
 	if len(order) > 0 {
-		s.lastRun.AvgPerBin = float64(s.pending) / float64(len(order))
+		s.lastRun.AvgPerBin = float64(s.lastRun.Threads) / float64(len(order))
 	}
 }
 
-// tour returns the bins in execution order.
+// tour returns the bins in execution order. The order is memoized: it
+// changes only when a bin is allocated (Fork of a new block) or the
+// schedule is destroyed, so keep=true re-runs skip the collect and sort.
 func (s *Scheduler) tour() []*bin {
-	bins := make([]*bin, 0, s.binsUsed)
-	for b := s.readyHead; b != nil; b = b.readyNext {
-		bins = append(bins, b)
+	stale := s.tourConsumeStale()
+	if s.tourCache != nil && !stale {
+		return s.tourCache
 	}
+	bins := make([]*bin, 0, s.binsCount())
+	s.eachBin(func(b *bin) { bins = append(bins, b) })
 	switch s.cfg.Tour {
 	case TourMorton:
 		sort.SliceStable(bins, func(i, j int) bool {
@@ -280,7 +346,49 @@ func (s *Scheduler) tour() []*bin {
 			return hilbertLess(bins[i].key, bins[j].key)
 		})
 	}
+	s.tourCache = bins
 	return bins
+}
+
+// tourConsumeStale reports whether a bin was allocated since the cached
+// tour was built, clearing the staleness marks.
+func (s *Scheduler) tourConsumeStale() bool {
+	if s.shards == nil {
+		stale := s.tourStale
+		s.tourStale = false
+		return stale
+	}
+	stale := false
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if sh.grew {
+			stale = true
+			sh.grew = false
+		}
+		sh.mu.Unlock()
+	}
+	return stale
+}
+
+// eachBin visits every bin in ready-list order: the single list in serial
+// mode, or each shard's list in shard order (holding that shard's lock)
+// under ParallelFork.
+func (s *Scheduler) eachBin(f func(*bin)) {
+	if s.shards == nil {
+		for b := s.readyHead; b != nil; b = b.readyNext {
+			f(b)
+		}
+		return
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for b := sh.readyHead; b != nil; b = b.readyNext {
+			f(b)
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // runBin executes every thread of one bin, group FIFO order within the
@@ -298,34 +406,22 @@ func (s *Scheduler) runBin(b *bin) {
 	atomic.AddUint64(&s.totalRun, n)
 }
 
-// runParallel executes bins across Workers goroutines; each bin runs
-// entirely on one worker so the per-bin working set still fits one cache.
-func (s *Scheduler) runParallel(order []*bin) {
-	var next int64 = -1
-	var wg sync.WaitGroup
-	workers := s.cfg.Workers
-	if workers > len(order) {
-		workers = len(order)
-	}
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := atomic.AddInt64(&next, 1)
-				if i >= int64(len(order)) {
-					return
-				}
-				s.runBin(order[i])
-			}
-		}()
-	}
-	wg.Wait()
-}
-
 // release destroys thread specifications after a non-keep run, recycling
 // bins and groups through the free lists and clearing the hash table.
 func (s *Scheduler) release() {
+	s.tourCache = nil
+	if s.shards != nil {
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.mu.Lock()
+			sh.release()
+			sh.mu.Unlock()
+		}
+		for i := range s.table {
+			s.table[i] = nil
+		}
+		return
+	}
 	for b := s.readyHead; b != nil; {
 		nextBin := b.readyNext
 		for g := b.groups; g != nil; {

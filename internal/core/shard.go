@@ -1,0 +1,160 @@
+package core
+
+import "sync"
+
+// forkShard is one lock stripe of the concurrent-fork state. The hash
+// table's cells are partitioned among the shards by cell index; a shard's
+// mutex guards its cells' collision chains, every bin reachable through
+// them (including the bin's thread groups and counts), and the shard's own
+// ready list, free lists and counters. Forks into different stripes never
+// touch the same memory, which is what buys near-linear fork throughput.
+type forkShard struct {
+	mu          sync.Mutex
+	readyHead   *bin
+	readyTail   *bin
+	binsUsed    int
+	pending     int
+	totalForked uint64
+	freeBins    *bin
+	freeGroups  *group
+	// grew marks that a bin was allocated since the last tour build.
+	grew bool
+	// Pad shards apart so neighbouring stripes' hot counters do not
+	// false-share a cache line — the same effect striping is for.
+	_ [64]byte
+}
+
+// forkSharded is Fork's ParallelFork path: all mutation happens under the
+// lock of the stripe owning the bin's hash cell.
+func (s *Scheduler) forkSharded(key binKey, rec threadRec) {
+	idx := s.cellIndex(key)
+	sh := &s.shards[idx&s.shardMask]
+	sh.mu.Lock()
+	b := s.lookupBinSharded(sh, idx, key)
+	g := b.tail
+	if g == nil || len(g.recs) == cap(g.recs) {
+		g = sh.newGroup(s.cfg.GroupSize)
+		if b.tail == nil {
+			b.groups = g
+		} else {
+			b.tail.next = g
+		}
+		b.tail = g
+	}
+	g.recs = append(g.recs, rec)
+	b.threads++
+	sh.pending++
+	sh.totalForked++
+	sh.mu.Unlock()
+}
+
+// lookupBinSharded finds or creates the bin for key in cell idx. The
+// caller holds sh.mu, and sh owns cell idx.
+func (s *Scheduler) lookupBinSharded(sh *forkShard, idx uint64, key binKey) *bin {
+	for b := s.table[idx]; b != nil; b = b.hashNext {
+		if b.key == key {
+			return b
+		}
+	}
+	b := sh.newBin(key)
+	b.hashNext = s.table[idx]
+	s.table[idx] = b
+	if sh.readyTail == nil {
+		sh.readyHead = b
+	} else {
+		sh.readyTail.readyNext = b
+	}
+	sh.readyTail = b
+	sh.binsUsed++
+	sh.grew = true
+	return b
+}
+
+func (sh *forkShard) newBin(key binKey) *bin {
+	b := sh.freeBins
+	if b != nil {
+		sh.freeBins = b.hashNext
+		*b = bin{key: key}
+		return b
+	}
+	return &bin{key: key}
+}
+
+func (sh *forkShard) newGroup(size int) *group {
+	g := sh.freeGroups
+	if g != nil {
+		sh.freeGroups = g.next
+		g.next = nil
+		g.recs = g.recs[:0]
+		return g
+	}
+	return &group{recs: make([]threadRec, 0, size)}
+}
+
+// release recycles the shard's bins and groups into its free lists. The
+// caller holds sh.mu; the lifetime totalForked counter is preserved.
+func (sh *forkShard) release() {
+	for b := sh.readyHead; b != nil; {
+		nextBin := b.readyNext
+		for g := b.groups; g != nil; {
+			nextGroup := g.next
+			g.next = sh.freeGroups
+			sh.freeGroups = g
+			g = nextGroup
+		}
+		b.groups, b.tail = nil, nil
+		b.readyNext = nil
+		b.hashNext = sh.freeBins
+		sh.freeBins = b
+		b = nextBin
+	}
+	sh.readyHead, sh.readyTail = nil, nil
+	sh.binsUsed = 0
+	sh.pending = 0
+	sh.grew = false
+}
+
+// pendingCount sums the pending threads across stripes (or returns the
+// serial counter). Safe to call concurrently with Fork under ParallelFork.
+func (s *Scheduler) pendingCount() int {
+	if s.shards == nil {
+		return s.pending
+	}
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.pending
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// binsCount sums the allocated bins across stripes (or returns the serial
+// counter).
+func (s *Scheduler) binsCount() int {
+	if s.shards == nil {
+		return s.binsUsed
+	}
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.binsUsed
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// forkedCount is the lifetime forked-thread total: the scheduler-level
+// counter plus whatever the current stripes have accumulated.
+func (s *Scheduler) forkedCount() uint64 {
+	n := s.totalForked
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.totalForked
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -1,5 +1,7 @@
 package core
 
+import "sync/atomic"
+
 // Stats reports scheduler occupancy, matching the figures quoted in the
 // paper's text (e.g. matmul: "1,048,576 threads distributed in 81 bins for
 // an average of 12,945 threads per bin", §4.2).
@@ -23,19 +25,22 @@ type Stats struct {
 	HashDim   int
 }
 
-// Stats returns a snapshot of scheduler occupancy.
+// Stats returns a snapshot of scheduler occupancy. Under ParallelFork it
+// may be called concurrently with Fork (stripe counters are summed under
+// their locks); the snapshot is then a consistent-enough aggregate, not a
+// point-in-time cut across stripes.
 func (s *Scheduler) Stats() Stats {
 	st := Stats{
-		Pending:     s.pending,
-		BinsUsed:    s.binsUsed,
-		TotalForked: s.totalForked,
-		TotalRun:    s.totalRun,
+		Pending:     s.pendingCount(),
+		BinsUsed:    s.binsCount(),
+		TotalForked: s.forkedCount(),
+		TotalRun:    atomic.LoadUint64(&s.totalRun),
 		Runs:        s.runs,
 		BlockSize:   s.cfg.BlockSize,
 		HashDim:     s.hashDim,
 	}
 	first := true
-	for b := s.readyHead; b != nil; b = b.readyNext {
+	s.eachBin(func(b *bin) {
 		if first || b.threads < st.MinPerBin {
 			st.MinPerBin = b.threads
 		}
@@ -43,7 +48,7 @@ func (s *Scheduler) Stats() Stats {
 			st.MaxPerBin = b.threads
 		}
 		first = false
-	}
+	})
 	if st.BinsUsed > 0 {
 		st.AvgPerBin = float64(st.Pending) / float64(st.BinsUsed)
 	}
@@ -56,9 +61,21 @@ func (s *Scheduler) LastRun() RunStats { return s.lastRun }
 // BinOccupancy returns the per-bin thread counts in ready-list order; used
 // by the harness to report thread distribution uniformity (§4.2, §4.4).
 func (s *Scheduler) BinOccupancy() []int {
-	out := make([]int, 0, s.binsUsed)
-	for b := s.readyHead; b != nil; b = b.readyNext {
-		out = append(out, b.threads)
+	out := make([]int, 0, s.binsCount())
+	s.eachBin(func(b *bin) { out = append(out, b.threads) })
+	return out
+}
+
+// TourOccupancy returns the per-bin thread counts in the order Run will
+// visit the bins — ready-list order transformed by Config.Tour — unlike
+// BinOccupancy's raw ready-list order. External dispatchers (e.g. the SMP
+// simulation) use it to cut the tour into weighted contiguous segments
+// with PartitionWeights before driving RunEach.
+func (s *Scheduler) TourOccupancy() []int {
+	order := s.tour()
+	out := make([]int, len(order))
+	for i, b := range order {
+		out[i] = b.threads
 	}
 	return out
 }

@@ -159,3 +159,66 @@ func TestHilbertTourShorterThanRandomOrder(t *testing.T) {
 		t.Errorf("hilbert tour (%d) longer than random order (%d)", hilbertLen, randomLen)
 	}
 }
+
+// The tour is memoized between runs: re-sorting happens only when a bin
+// was allocated since the cached order was built (keep=true re-runs of an
+// unchanged schedule reuse the slice as-is).
+func TestTourMemoizedUntilBinAllocated(t *testing.T) {
+	s := New(Config{CacheSize: 1 << 20, BlockSize: 1 << 12, Tour: TourHilbert})
+	for i := 0; i < 64; i++ {
+		s.Fork(func(int, int) {}, i, 0, uint64(i)<<12, 0, 0)
+	}
+	o1 := s.tour()
+	o2 := s.tour()
+	if &o1[0] != &o2[0] {
+		t.Fatal("tour re-collected with no bin allocated")
+	}
+	// Forking into an existing block must not invalidate the cache.
+	s.Fork(func(int, int) {}, 0, 0, 0, 0, 0)
+	if o3 := s.tour(); &o3[0] != &o1[0] {
+		t.Fatal("fork into existing bin invalidated the tour")
+	}
+	// A new block must.
+	s.Fork(func(int, int) {}, 0, 0, uint64(64)<<12, 0, 0)
+	o4 := s.tour()
+	if len(o4) != 65 {
+		t.Fatalf("tour has %d bins, want 65", len(o4))
+	}
+	// Destroying the schedule drops the cache (bins are recycled).
+	s.Run(false)
+	if s.tourCache != nil {
+		t.Fatal("tour cache survived release")
+	}
+	// And the memoized order still is the sorted order on re-runs.
+	for i := 0; i < 64; i++ {
+		s.Fork(func(int, int) {}, i, 0, uint64(63-i)<<12, 0, 0)
+	}
+	a := s.tour()
+	s.Run(true)
+	b := s.tour()
+	if &a[0] != &b[0] {
+		t.Fatal("keep re-run rebuilt the tour")
+	}
+	for i := 1; i < len(b); i++ {
+		if hilbertLess(b[i].key, b[i-1].key) {
+			t.Fatal("memoized tour out of sorted order")
+		}
+	}
+}
+
+// The sharded fork path must share the same memoization: stripe dirty
+// flags aggregate into one staleness decision.
+func TestTourMemoizedSharded(t *testing.T) {
+	s := New(Config{CacheSize: 1 << 20, BlockSize: 1 << 12, ParallelFork: true, Tour: TourMorton})
+	for i := 0; i < 64; i++ {
+		s.Fork(func(int, int) {}, i, 0, uint64(i)<<12, 0, 0)
+	}
+	o1 := s.tour()
+	if o2 := s.tour(); &o2[0] != &o1[0] {
+		t.Fatal("sharded tour re-collected with no bin allocated")
+	}
+	s.Fork(func(int, int) {}, 0, 0, uint64(99)<<12, 0, 0)
+	if o3 := s.tour(); len(o3) != 65 {
+		t.Fatalf("sharded tour has %d bins, want 65", len(o3))
+	}
+}

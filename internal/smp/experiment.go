@@ -13,21 +13,38 @@ type Policy int
 
 const (
 	// LocalityBins schedules with the paper's cache-sized blocks and
-	// dispatches contiguous chunks of the bin tour to processors: each
-	// processor gets spatially adjacent bins.
+	// assigns each bin to the least-loaded processor: bins stay intact
+	// but their tour adjacency is ignored.
 	LocalityBins Policy = iota
 	// Scatter shrinks blocks to one byte — effectively one thread per
 	// bin in fork order — so spatially adjacent threads land on
 	// different processors; the no-locality baseline.
 	Scatter
+	// SegmentTour partitions the bin tour into contiguous segments
+	// weighted by thread count, one per processor — the assignment the
+	// core scheduler's parallel Run uses (core.DispatchSegmented).
+	// Spatially adjacent bins share a processor, so the read-mostly data
+	// they share stays in one private cache instead of ping-ponging.
+	SegmentTour
+	// InterleaveBins assigns whole bins round-robin across processors —
+	// the assignment the legacy atomic-counter dispatch
+	// (core.DispatchAtomic) converges to: bins stay intact, but tour
+	// neighbours always land on different processors.
+	InterleaveBins
 )
 
 // String names the policy.
 func (p Policy) String() string {
-	if p == Scatter {
+	switch p {
+	case Scatter:
 		return "scatter"
+	case SegmentTour:
+		return "segment-tour"
+	case InterleaveBins:
+		return "interleave-bins"
+	default:
+		return "locality-bins"
 	}
-	return "locality-bins"
 }
 
 // NBodyExperiment runs one threaded Barnes–Hut step for n bodies on a
@@ -59,8 +76,9 @@ func NBodyExperiment(cfg Config, n int, policy Policy, seed uint64) (Result, err
 // dispatcher adapts sim.Threads to nbody.Forker, switching the simulated
 // processor per bin. Locality bins go to the least-loaded processor
 // (bins stay intact, load stays balanced despite non-uniform bin sizes);
-// scatter assigns one-thread bins round-robin, deliberately splitting
-// spatial neighbours across processors.
+// segment-tour gives each processor a contiguous thread-weighted run of
+// the bin tour; scatter and interleave-bins assign bins round-robin,
+// deliberately splitting spatial neighbours across processors.
 type dispatcher struct {
 	th     *sim.Threads
 	sys    *System
@@ -73,22 +91,50 @@ func (d *dispatcher) Fork(f core.Func, a1, a2 int, h1, h2, h3 uint64) {
 
 func (d *dispatcher) Run(keep bool) {
 	procs := d.sys.Procs()
-	load := make([]int, procs)
-	d.th.RunEach(keep, func(bin, threads int) {
-		p := 0
-		if d.policy == Scatter {
-			p = bin % procs
-		} else {
+	switch d.policy {
+	case SegmentTour:
+		starts := core.PartitionWeights(d.th.Sched.TourOccupancy(), procs)
+		seg := 0
+		d.th.RunEach(keep, func(bin, threads int) {
+			for seg+1 < len(starts) && bin >= starts[seg+1] {
+				seg++
+			}
+			d.sys.Switch(seg)
+		})
+	case Scatter, InterleaveBins:
+		d.th.RunEach(keep, func(bin, threads int) {
+			d.sys.Switch(bin % procs)
+		})
+	default: // LocalityBins
+		load := make([]int, procs)
+		d.th.RunEach(keep, func(bin, threads int) {
+			p := 0
 			for q := 1; q < procs; q++ {
 				if load[q] < load[p] {
 					p = q
 				}
 			}
-		}
-		load[p] += threads
-		d.sys.Switch(p)
-	})
+			load[p] += threads
+			d.sys.Switch(p)
+		})
+	}
 	d.sys.Switch(0) // post-run work (integration bookkeeping) on proc 0
+}
+
+// CompareDispatch runs the N-body step under segment-tour and
+// interleaved-bin dispatch on the same simulated machine — the coherence
+// counterpart of the core scheduler's DispatchSegmented vs DispatchAtomic
+// choice. Both keep bins intact; the difference is purely whether tour
+// neighbours share a processor, so the invalidation delta isolates the
+// cross-bin adjacency effect.
+func CompareDispatch(m machine.Machine, procs, n int, coherence bool) (segment, interleave Result, err error) {
+	cfg := Config{Procs: procs, Machine: m, Coherence: coherence}
+	segment, err = NBodyExperiment(cfg, n, SegmentTour, 42)
+	if err != nil {
+		return
+	}
+	interleave, err = NBodyExperiment(cfg, n, InterleaveBins, 42)
+	return
 }
 
 // CompareNBody runs the experiment under both policies at the given

@@ -33,8 +33,16 @@ func NBodyExperiment(cfg smp.Config, n int, seed uint64) (smp.Result, uint64, er
 // CompareWithLocality runs the same workload under locality-bin dispatch
 // and under work stealing, returning both results.
 func CompareWithLocality(m machine.Machine, procs, n int, coherence bool) (locality, stealing smp.Result, steals uint64, err error) {
+	return CompareWithPolicy(m, procs, n, coherence, smp.LocalityBins)
+}
+
+// CompareWithPolicy is CompareWithLocality generalized over the locality
+// scheduler's dispatch policy, so work stealing can also be baselined
+// against segment-tour dispatch — its closest locality-aware relative
+// (both steal for balance; only segments preserve tour adjacency).
+func CompareWithPolicy(m machine.Machine, procs, n int, coherence bool, pol smp.Policy) (locality, stealing smp.Result, steals uint64, err error) {
 	cfg := smp.Config{Procs: procs, Machine: m, Coherence: coherence}
-	locality, err = smp.NBodyExperiment(cfg, n, smp.LocalityBins, 42)
+	locality, err = smp.NBodyExperiment(cfg, n, pol, 42)
 	if err != nil {
 		return
 	}

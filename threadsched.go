@@ -51,6 +51,8 @@ type (
 	Stats = core.Stats
 	// RunStats snapshots one Run call's bin occupancy.
 	RunStats = core.RunStats
+	// Dispatch selects how a parallel Run hands bins to workers.
+	Dispatch = core.Dispatch
 )
 
 // Tour orders for Config.Tour.
@@ -61,6 +63,17 @@ const (
 	TourMorton = core.TourMorton
 	// TourHilbert visits bins along a 3-D Hilbert curve.
 	TourHilbert = core.TourHilbert
+)
+
+// Dispatch policies for Config.Dispatch (Workers > 1).
+const (
+	// DispatchSegmented hands each worker a contiguous thread-weighted
+	// segment of the bin tour, with chunked stealing for balance
+	// (default).
+	DispatchSegmented = core.DispatchSegmented
+	// DispatchAtomic is the legacy one-bin-at-a-time atomic-counter
+	// dispatch, kept as a comparison baseline.
+	DispatchAtomic = core.DispatchAtomic
 )
 
 // MaxHints is the number of address hints a thread may carry.
