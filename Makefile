@@ -1,14 +1,17 @@
 # Tier-1 gate and convenience targets for the threadsched reproduction.
 #
-#   make check   — the full tier-1 gate: build, vet, tests, and the core
-#                  package's concurrency suite under the race detector
+#   make check   — the full tier-1 gate: build, vet, tests, and the race
+#                  suites (core concurrency + trace pipeline + golden
+#                  equivalence of the batched/parallel simulation paths)
 #   make bench   — one pass over every benchmark (smoke, not measurement)
 #   make bench-core — the fork/run pipeline benchmarks with real counts
+#   make bench-sim  — the simulation-pipeline benchmarks; writes a
+#                  versioned BENCH_SIM.json (refs/sec per stage)
 #   make json    — regenerate BENCH_CORE.json at the quick geometry
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-core json
+.PHONY: check build vet test race bench bench-core bench-sim json
 
 check: build vet test race
 
@@ -22,13 +25,17 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/...
+	$(GO) test -race ./internal/core/... ./internal/trace/...
+	$(GO) test -race -run 'TestGoldenEquivalence' ./internal/harness/
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .
 
 bench-core:
 	$(GO) test -run='^$$' -bench='BenchmarkParallelFork|BenchmarkPartitionedRun|BenchmarkTable1ThreadOverhead' .
+
+bench-sim:
+	$(GO) run ./cmd/locality-bench -size scaled -simbench BENCH_SIM.json
 
 json:
 	$(GO) run ./cmd/locality-bench -size quick -json BENCH_CORE.json

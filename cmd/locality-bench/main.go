@@ -4,12 +4,23 @@
 // Usage:
 //
 //	locality-bench [-exp all|table1..table9|figure4|ablations] [-size quick|scaled|full]
+//	               [-mode batch|serial|pipeline] [-parallel N]
 //	               [-progress] [-list] [-json BENCH_CORE.json]
+//	               [-simbench BENCH_SIM.json]
 //
 // -json additionally writes a machine-readable record of the run — wall
 // nanoseconds per experiment plus each table's attached metrics (bins
 // used, threads per bin, host ns/thread) — so the performance trajectory
 // can be diffed across revisions.
+//
+// -parallel N runs each table's independent simulations on up to N
+// concurrent workers; -mode selects the reference-stream path. All modes
+// and parallelism levels produce byte-identical tables (the golden
+// equivalence tests in internal/harness enforce this).
+//
+// -simbench skips the experiment tables and instead measures end-to-end
+// simulation throughput (refs/sec) through each reference-stream path,
+// writing the pipeline benchmark record (see results/README.md).
 //
 // By default every experiment runs at the scaled geometry (caches ÷16,
 // data sets shrunk to preserve the paper's data:cache ratios; see
@@ -24,6 +35,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"threadsched/internal/harness"
@@ -37,6 +49,11 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	format := flag.String("format", "text", "output format: text or csv")
 	jsonOut := flag.String("json", "", "also write a machine-readable benchmark record to this file (e.g. BENCH_CORE.json)")
+	mode := flag.String("mode", "batch", "reference-stream path: batch, serial, or pipeline (all bit-identical)")
+	parallel := flag.Int("parallel", 1, "run up to N independent simulations per table concurrently")
+	simbench := flag.String("simbench", "", "measure pipeline throughput instead of running experiments; write the record to this file (e.g. BENCH_SIM.json)")
+	baselineRPS := flag.Float64("baseline-rps", 0, "with -simbench: refs/sec of a pre-optimization build for the same workloads, recorded as the speedup baseline")
+	baselineNote := flag.String("baseline-note", "", "with -simbench: provenance note for -baseline-rps")
 	flag.Parse()
 
 	if *list {
@@ -57,13 +74,36 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown -size %q (want quick, scaled, or full)\n", *size)
 		os.Exit(2)
 	}
+	switch *mode {
+	case "batch":
+		cfg.Mode = harness.ModeBatched
+	case "serial":
+		cfg.Mode = harness.ModeSerial
+	case "pipeline":
+		cfg.Mode = harness.ModePipelined
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -mode %q (want batch, serial, or pipeline)\n", *mode)
+		os.Exit(2)
+	}
+	cfg.Parallel = *parallel
 
 	var prog harness.Progress
 	if *progress {
+		var mu sync.Mutex
 		prog = func(format string, args ...any) {
+			mu.Lock()
+			defer mu.Unlock()
 			fmt.Fprintf(os.Stderr, "  [%s] %s\n", time.Now().Format("15:04:05"),
 				fmt.Sprintf(format, args...))
 		}
+	}
+
+	if *simbench != "" {
+		if err := runSimBench(cfg, prog, *size, *simbench, *baselineRPS, *baselineNote); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	experiments := map[string]func() *tables.Table{

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"threadsched/internal/harness"
+)
+
+// simRecord is the machine-readable pipeline-throughput record written by
+// -simbench (see BENCH_SIM.json). Its schema string versions the format.
+type simRecord struct {
+	Schema string                `json:"schema"`
+	Date   string                `json:"date"`
+	Size   string                `json:"size"`
+	Go     string                `json:"go"`
+	CPUs   int                   `json:"cpus"`
+	Stages []harness.StageResult `json:"stages"`
+	// Baseline, when present, is a reference throughput measured from a
+	// pre-optimization build of this repository over the same workload
+	// set (see -baseline-rps); SpeedupVsBaseline compares the best stage
+	// against it.
+	Baseline *simBaseline `json:"baseline,omitempty"`
+}
+
+type simBaseline struct {
+	RefsPerSec        float64 `json:"refs_per_sec"`
+	Note              string  `json:"note,omitempty"`
+	SpeedupVsBaseline float64 `json:"best_stage_speedup"`
+}
+
+// runSimBench measures refs/sec through every reference-stream path and
+// writes the record to path.
+func runSimBench(cfg harness.Config, prog harness.Progress, size, path string, baselineRPS float64, baselineNote string) error {
+	stages := cfg.SimBench(prog)
+	rec := simRecord{
+		Schema: "threadsched/bench-sim/v1",
+		Date:   time.Now().UTC().Format(time.RFC3339),
+		Size:   size,
+		Go:     runtime.Version(),
+		CPUs:   runtime.NumCPU(),
+		Stages: stages,
+	}
+	best := 0.0
+	for _, s := range stages {
+		if s.RefsPerSec > best {
+			best = s.RefsPerSec
+		}
+		fmt.Printf("%-10s %12d refs  %8.3fs  %12.0f refs/sec  %.2fx vs serial\n",
+			s.Stage, s.Refs, float64(s.WallNS)/1e9, s.RefsPerSec, s.SpeedupVsSerial)
+	}
+	if baselineRPS > 0 {
+		rec.Baseline = &simBaseline{
+			RefsPerSec:        baselineRPS,
+			Note:              baselineNote,
+			SpeedupVsBaseline: best / baselineRPS,
+		}
+		fmt.Printf("%-10s %34s  %12.0f refs/sec  %.2fx best-stage speedup\n",
+			"baseline", "", baselineRPS, rec.Baseline.SpeedupVsBaseline)
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d stages)\n", path, len(stages))
+	return nil
+}

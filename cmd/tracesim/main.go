@@ -9,25 +9,45 @@
 //	tracesim [-machine r8000|r10000] [-scale N] [-tlb entries]
 //	         [-l1i size,line,assoc] [-l1d size,line,assoc] [-l2 size,line,assoc]
 //	         [-pagesize N -placement identity|sequential|random|coloring]
-//	         trace-file (or - for stdin)
+//	         [-mode batch|serial] [-parallel N]
+//	         trace-file... (or - for stdin)
+//
+// Multiple trace files replay through independent hierarchies built from
+// the same configuration; -parallel N replays up to N of them
+// concurrently. Reports print in argument order regardless of
+// parallelism, and both -mode paths produce identical counters (the
+// batch path decodes and presents references in chunks, saving one
+// interface dispatch per reference).
 //
 // Generate traces with the trace package's Writer, e.g. from an
 // instrumented workload (see examples/tracegen in the package docs).
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
 	"threadsched/internal/cache"
 	"threadsched/internal/machine"
 	"threadsched/internal/trace"
 	"threadsched/internal/vm"
 )
+
+// simSetup is one replay's private simulator state: hierarchies and page
+// tables are mutated per reference, so concurrent replays must not share
+// them.
+type simSetup struct {
+	h   *cache.Hierarchy
+	cfg cache.HierarchyConfig
+	pt  *vm.PageTable
+	tlb *vm.TLB
+}
 
 func main() {
 	machName := flag.String("machine", "r8000", "base machine model: r8000 or r10000")
@@ -38,12 +58,22 @@ func main() {
 	pageSize := flag.Uint64("pagesize", 0, "simulate a physically indexed L2 with this page size")
 	tlbEntries := flag.Int("tlb", 0, "simulate a fully-associative data TLB with this many entries")
 	placement := flag.String("placement", "identity", "page placement: identity, sequential, random, coloring")
+	mode := flag.String("mode", "batch", "replay path: batch (chunked decode) or serial (both bit-identical)")
+	parallel := flag.Int("parallel", 1, "replay up to N trace files concurrently")
 	flag.Parse()
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracesim [flags] trace-file")
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracesim [flags] trace-file...")
 		flag.Usage()
 		os.Exit(2)
+	}
+	batch := false
+	switch *mode {
+	case "batch":
+		batch = true
+	case "serial":
+	default:
+		fatal("unknown -mode %q (want batch or serial)", *mode)
 	}
 
 	var m machine.Machine
@@ -73,71 +103,123 @@ func main() {
 		*o.dst = c
 	}
 
-	var pt *vm.PageTable
-	if *pageSize > 0 {
-		var pol vm.Policy
-		switch strings.ToLower(*placement) {
-		case "identity":
-			pol = vm.IdentityPolicy{}
-		case "sequential":
-			pol = vm.SequentialPolicy{}
-		case "random":
-			pol = vm.RandomPolicy{Seed: 1}
-		case "coloring":
-			colors := cfg.L2.Size / uint64(max(1, cfg.L2.Assoc)) / *pageSize
-			pol = vm.ColoringPolicy{Colors: max64(1, colors)}
-		default:
-			fatal("unknown placement %q", *placement)
+	// newSetup builds a fresh hierarchy (plus page table and TLB when
+	// requested) for each input, so -parallel replays share nothing.
+	newSetup := func() (*simSetup, error) {
+		s := &simSetup{cfg: cfg}
+		if *pageSize > 0 {
+			var pol vm.Policy
+			switch strings.ToLower(*placement) {
+			case "identity":
+				pol = vm.IdentityPolicy{}
+			case "sequential":
+				pol = vm.SequentialPolicy{}
+			case "random":
+				pol = vm.RandomPolicy{Seed: 1}
+			case "coloring":
+				colors := cfg.L2.Size / uint64(max(1, cfg.L2.Assoc)) / *pageSize
+				pol = vm.ColoringPolicy{Colors: max64(1, colors)}
+			default:
+				return nil, fmt.Errorf("unknown placement %q", *placement)
+			}
+			var err error
+			s.pt, err = vm.NewPageTable(*pageSize, pol)
+			if err != nil {
+				return nil, err
+			}
 		}
-		var err error
-		pt, err = vm.NewPageTable(*pageSize, pol)
+		h, err := cache.NewHierarchy(cfg, s.pt)
 		if err != nil {
-			fatal("%v", err)
+			return nil, fmt.Errorf("bad cache configuration: %v", err)
 		}
+		s.h = h
+		if *tlbEntries > 0 {
+			pg := *pageSize
+			if pg == 0 {
+				pg = vm.DefaultPageSize
+			}
+			s.tlb, err = vm.NewTLB(*tlbEntries, 0, pg)
+			if err != nil {
+				return nil, err
+			}
+			h.AttachTLB(s.tlb)
+		}
+		return s, nil
 	}
 
-	h, err := cache.NewHierarchy(cfg, pt)
+	names := flag.Args()
+	outs := make([]bytes.Buffer, len(names))
+	errs := make([]error, len(names))
+	workers := *parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(names) {
+		workers = len(names)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = replay(&outs[i], name, len(names) > 1, batch, *tlbEntries, newSetup)
+		}(i, name)
+	}
+	wg.Wait()
+	for i := range names {
+		if errs[i] != nil {
+			fatal("%s: %v", names[i], errs[i])
+		}
+		os.Stdout.Write(outs[i].Bytes())
+	}
+}
+
+// replay decodes one trace through a fresh hierarchy and writes its report
+// to w. Output is buffered per input so -parallel replays print in
+// argument order.
+func replay(w io.Writer, name string, labeled, batch bool, tlbEntries int, newSetup func() (*simSetup, error)) error {
+	s, err := newSetup()
 	if err != nil {
-		fatal("bad cache configuration: %v", err)
+		return err
 	}
-	var tlb *vm.TLB
-	if *tlbEntries > 0 {
-		pg := *pageSize
-		if pg == 0 {
-			pg = vm.DefaultPageSize
-		}
-		tlb, err = vm.NewTLB(*tlbEntries, 0, pg)
-		if err != nil {
-			fatal("%v", err)
-		}
-		h.AttachTLB(tlb)
-	}
-
 	var in io.Reader
-	if name := flag.Arg(0); name == "-" {
+	if name == "-" {
 		in = os.Stdin
 	} else {
 		f, err := os.Open(name)
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
 		defer f.Close()
 		in = f
 	}
-
 	r := trace.NewReader(in)
-	if err := r.ForEach(func(ref trace.Ref) error {
-		h.Record(ref)
-		return nil
-	}); err != nil {
-		fatal("reading trace: %v", err)
+	if batch {
+		err = r.ForEachBatch(0, func(refs []trace.Ref) error {
+			s.h.RecordBatch(refs)
+			return nil
+		})
+	} else {
+		err = r.ForEach(func(ref trace.Ref) error {
+			s.h.Record(ref)
+			return nil
+		})
 	}
-
-	report(os.Stdout, h, cfg, pt)
-	if tlb != nil {
-		fmt.Printf("dtlb: %d entries, %d accesses, %d misses, rate %.2f%%\n",
-			*tlbEntries, tlb.Accesses(), tlb.Misses(), tlb.MissRate())
+	if err != nil {
+		return fmt.Errorf("reading trace: %v", err)
 	}
+	if labeled {
+		fmt.Fprintf(w, "== %s ==\n", name)
+	}
+	report(w, s.h, s.cfg, s.pt)
+	if s.tlb != nil {
+		fmt.Fprintf(w, "dtlb: %d entries, %d accesses, %d misses, rate %.2f%%\n",
+			tlbEntries, s.tlb.Accesses(), s.tlb.Misses(), s.tlb.MissRate())
+	}
+	return nil
 }
 
 func parseCache(spec, name string, classify bool) (cache.Config, error) {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -35,6 +37,49 @@ func TestParseCacheWhitespace(t *testing.T) {
 	}
 	if c.Size != 1024 || c.Assoc != 2 {
 		t.Fatalf("parsed %+v", c)
+	}
+}
+
+// Batch and serial replays of one trace must render byte-identical
+// reports, and multi-file runs label each report.
+func TestReplayBatchSerialIdentical(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.NewWriter(f)
+	rng := uint64(7)
+	for i := 0; i < 20000; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		k := trace.Kind(rng >> 62 % 3)
+		w.Record(trace.Ref{Kind: k, Addr: (rng >> 20) % (1 << 22), Size: 8})
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	m := machine.R8000().Scaled(64)
+	setup := func() (*simSetup, error) {
+		return &simSetup{h: cache.MustNewHierarchy(m.Caches, nil), cfg: m.Caches}, nil
+	}
+	var serial, batch bytes.Buffer
+	if err := replay(&serial, path, false, false, 0, setup); err != nil {
+		t.Fatal(err)
+	}
+	if err := replay(&batch, path, false, true, 0, setup); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != batch.String() {
+		t.Errorf("batch replay diverges from serial:\nserial:\n%s\nbatch:\n%s", serial.String(), batch.String())
+	}
+	var labeled bytes.Buffer
+	if err := replay(&labeled, path, true, true, 0, setup); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(labeled.String(), "== "+path+" ==\n") {
+		t.Errorf("multi-file replay not labeled:\n%s", labeled.String())
 	}
 }
 

@@ -137,13 +137,28 @@ type line struct {
 type Cache struct {
 	cfg       Config
 	lineShift uint
+	setShift  uint // log2(number of sets), hoisted off the access path
 	setMask   uint64
-	sets      [][]line
-	stats     Stats
+	// lru and wbAlloc hoist the policy comparisons the access paths
+	// branch on, so the batch loop reads two booleans instead of
+	// re-deriving them from cfg per reference.
+	lru     bool
+	wbAlloc bool
+	sets    [][]line
+	stats   Stats
+
+	// lastLn is the line number of the most recent access, when that line
+	// is known to still be resident as the MRU entry of its set
+	// (lastValid). Consecutive references to one line — the dominant
+	// pattern in the dense kernels, where a 128-byte line serves 16
+	// sequential doubles — then hit without a set search, an LRU reorder,
+	// or a shadow-model touch, all of which are provably no-ops.
+	lastLn    uint64
+	lastValid bool
 
 	// classification state, nil unless cfg.Classify
 	shadow *lruTable
-	seen   map[uint64]struct{}
+	seen   seenSet
 
 	// rng drives RandomRepl victim selection, deterministically.
 	rng uint64
@@ -167,12 +182,15 @@ func New(cfg Config) (*Cache, error) {
 	c := &Cache{
 		cfg:       cfg,
 		lineShift: uint(bits.TrailingZeros64(cfg.LineSize)),
+		setShift:  uint(bits.TrailingZeros64(nsets)),
 		setMask:   nsets - 1,
+		lru:       cfg.Repl == LRU,
+		wbAlloc:   cfg.Write == WriteBackAllocate,
 		sets:      sets,
 	}
 	if cfg.Classify {
 		c.shadow = newLRUTable(int(cfg.Lines()))
-		c.seen = make(map[uint64]struct{}, 1<<16)
+		c.seen.init()
 	}
 	return c, nil
 }
@@ -200,27 +218,60 @@ func (c *Cache) LineOf(addr uint64) uint64 { return addr >> c.lineShift }
 // the line). It returns true on a hit. On a miss the line is allocated
 // (write-allocate), possibly evicting the LRU line of the set.
 func (c *Cache) Access(addr uint64, write bool) bool {
+	if write {
+		return c.AccessWrite(addr)
+	}
+	return c.AccessRead(addr)
+}
+
+// AccessRead is Access specialized for reads (and instruction fetches):
+// no dirty-bit bookkeeping, one stats increment path, and a same-line
+// fast hit that skips the set search entirely.
+func (c *Cache) AccessRead(addr uint64) bool {
 	ln := addr >> c.lineShift
 	c.stats.Accesses++
-	if write {
-		c.stats.Writes++
-	} else {
-		c.stats.Reads++
+	c.stats.Reads++
+	if c.lastValid && ln == c.lastLn {
+		// The line is resident and already the MRU entry of its set, so
+		// recency refresh, shadow touch, and dirty update are all no-ops.
+		return true
 	}
+	return c.lookup(ln, false)
+}
 
+// AccessWrite is Access specialized for writes. The same-line fast path
+// is taken only under LRU, where the previous access is known to sit at
+// way 0 and the dirty bit can be set without a search.
+func (c *Cache) AccessWrite(addr uint64) bool {
+	ln := addr >> c.lineShift
+	c.stats.Accesses++
+	c.stats.Writes++
+	if c.lastValid && ln == c.lastLn && c.lru {
+		if c.wbAlloc {
+			c.sets[ln&c.setMask][0].dirty = true
+		}
+		return true
+	}
+	return c.lookup(ln, true)
+}
+
+// lookup is the shared slow path: shadow touch, set search, and miss
+// handling. It maintains the lastLn invariant: on return, lastValid
+// implies lastLn is resident as the MRU entry of its set.
+func (c *Cache) lookup(ln uint64, write bool) bool {
 	shadowHit := true
 	if c.shadow != nil {
 		shadowHit = c.shadow.touch(ln)
 	}
 
 	set := c.sets[ln&c.setMask]
-	tag := ln >> bits.TrailingZeros64(c.setMask+1)
+	tag := ln >> c.setShift
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			// Hit. Under LRU, refresh to the MRU position; FIFO and
 			// random replacement leave residency order alone.
-			dirty := write && c.cfg.Write == WriteBackAllocate
-			if c.cfg.Repl == LRU {
+			dirty := write && c.wbAlloc
+			if c.lru {
 				hit := set[i]
 				copy(set[1:i+1], set[:i])
 				hit.dirty = hit.dirty || dirty
@@ -228,6 +279,11 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 			} else if dirty {
 				set[i].dirty = true
 			}
+			// Under LRU the line is now the MRU entry of its set; under
+			// FIFO/random, hits never reorder, so residency alone makes
+			// a repeat access a no-op (the write fast path additionally
+			// requires LRU and does not fire here).
+			c.lastLn, c.lastValid = ln, true
 			return true
 		}
 	}
@@ -235,8 +291,7 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 	// Miss.
 	c.stats.Misses++
 	if c.shadow != nil {
-		if _, ok := c.seen[ln]; !ok {
-			c.seen[ln] = struct{}{}
+		if !c.seen.testAndSet(ln) {
 			c.stats.Compulsory++
 		} else if !shadowHit {
 			c.stats.Capacity++
@@ -246,11 +301,15 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 	}
 	if write && c.cfg.Write == WriteThroughNoAllocate {
 		// Write misses do not allocate; the write goes to the next level
-		// (the hierarchy routes it).
+		// (the hierarchy routes it). Residency is unchanged, so the
+		// lastLn invariant still holds for the previous line.
 		return false
 	}
-	c.allocate(set, tag, write && c.cfg.Write == WriteBackAllocate)
+	c.allocate(ln, set, tag, write && c.wbAlloc)
+	c.lastLn, c.lastValid = ln, true
 	if c.cfg.Prefetch {
+		// Prefetch after publishing lastLn: if the prefetched line evicts
+		// it (a one-set cache), evictCheck clears the fast path again.
 		c.prefetch(ln + 1)
 	}
 	return false
@@ -259,18 +318,20 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 // prefetch installs line ln if absent, without touching demand counters.
 func (c *Cache) prefetch(ln uint64) {
 	set := c.sets[ln&c.setMask]
-	tag := ln >> bits.TrailingZeros64(c.setMask+1)
+	tag := ln >> c.setShift
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			return
 		}
 	}
 	c.stats.Prefetches++
-	c.allocate(set, tag, false)
+	c.allocate(ln, set, tag, false)
 }
 
-// allocate installs a new line over the policy-selected victim.
-func (c *Cache) allocate(set []line, tag uint64, dirty bool) {
+// allocate installs the line ln (whose set and tag are pre-computed) over
+// the policy-selected victim. If the victim is the fast-path line, the
+// fast path is disabled until the next slow-path access re-establishes it.
+func (c *Cache) allocate(ln uint64, set []line, tag uint64, dirty bool) {
 	if c.cfg.Repl == RandomRepl {
 		// Prefer an invalid way; otherwise evict a pseudo-random one.
 		idx := -1
@@ -284,20 +345,29 @@ func (c *Cache) allocate(set []line, tag uint64, dirty bool) {
 			c.rng = c.rng*6364136223846793005 + 1442695040888963407
 			idx = int((c.rng >> 33) % uint64(len(set)))
 		}
-		if set[idx].valid && set[idx].dirty {
-			c.stats.Writebacks++
-		}
+		c.evictCheck(set[idx], ln)
 		set[idx] = line{tag: tag, valid: true, dirty: dirty}
 		return
 	}
 	// LRU and FIFO both evict the tail and insert at the head; they
 	// differ only in whether hits refresh the order.
-	victim := set[len(set)-1]
-	if victim.valid && victim.dirty {
-		c.stats.Writebacks++
-	}
+	c.evictCheck(set[len(set)-1], ln)
 	copy(set[1:], set[:len(set)-1])
 	set[0] = line{tag: tag, valid: true, dirty: dirty}
+}
+
+// evictCheck accounts a victim eviction: writeback if dirty, and fast-path
+// invalidation if the victim is the cached last-accessed line.
+func (c *Cache) evictCheck(victim line, ln uint64) {
+	if !victim.valid {
+		return
+	}
+	if victim.dirty {
+		c.stats.Writebacks++
+	}
+	if victim.tag<<c.setShift|(ln&c.setMask) == c.lastLn {
+		c.lastValid = false
+	}
 }
 
 // Contains reports whether the line holding addr is currently resident.
@@ -305,7 +375,7 @@ func (c *Cache) allocate(set []line, tag uint64, dirty bool) {
 func (c *Cache) Contains(addr uint64) bool {
 	ln := addr >> c.lineShift
 	set := c.sets[ln&c.setMask]
-	tag := ln >> bits.TrailingZeros64(c.setMask+1)
+	tag := ln >> c.setShift
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			return true
@@ -317,7 +387,7 @@ func (c *Cache) Contains(addr uint64) bool {
 // ResidentLines returns the set of line numbers currently cached; for
 // tests and invariants.
 func (c *Cache) ResidentLines() map[uint64]bool {
-	setBits := bits.TrailingZeros64(c.setMask + 1)
+	setBits := c.setShift
 	out := make(map[uint64]bool)
 	for si, set := range c.sets {
 		for _, l := range set {
@@ -335,13 +405,16 @@ func (c *Cache) ResidentLines() map[uint64]bool {
 func (c *Cache) Invalidate(addr uint64) bool {
 	ln := addr >> c.lineShift
 	set := c.sets[ln&c.setMask]
-	tag := ln >> bits.TrailingZeros64(c.setMask+1)
+	tag := ln >> c.setShift
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			if set[i].dirty {
 				c.stats.Writebacks++
 			}
 			set[i] = line{}
+			if ln == c.lastLn {
+				c.lastValid = false
+			}
 			return true
 		}
 	}
@@ -357,8 +430,9 @@ func (c *Cache) Reset() {
 		}
 	}
 	c.stats = Stats{}
+	c.lastValid = false
 	if c.cfg.Classify {
 		c.shadow = newLRUTable(int(c.cfg.Lines()))
-		c.seen = make(map[uint64]struct{}, 1<<16)
+		c.seen.init()
 	}
 }

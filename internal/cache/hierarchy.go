@@ -52,7 +52,7 @@ type Hierarchy struct {
 	refs         trace.Counts
 }
 
-var _ trace.Recorder = (*Hierarchy)(nil)
+var _ trace.BatchRecorder = (*Hierarchy)(nil)
 
 // NewHierarchy builds a hierarchy from cfg. pt may be nil for a fully
 // virtually-indexed simulation (the paper's own DineroIII setup).
@@ -88,23 +88,53 @@ func (h *Hierarchy) AttachTLB(t *vm.TLB) { h.tlb = t }
 
 // Record implements trace.Recorder, presenting one reference to the
 // hierarchy. References spanning a line boundary access each covered line.
-func (h *Hierarchy) Record(r trace.Ref) {
-	h.refs.ByKind[r.Kind]++
-	if h.tlb != nil && r.Kind != trace.IFetch {
-		h.tlb.Access(r.Addr)
+func (h *Hierarchy) Record(r trace.Ref) { h.record1(r) }
+
+// RecordBatch implements trace.BatchRecorder: the chunk is consumed in
+// order by the same per-reference core as Record, so the resulting
+// counters and cache state are bit-identical to the per-ref path — the
+// batch saves the interface dispatch and keeps the simulator's code and
+// branch history hot across the chunk instead of interleaving it with
+// the trace generator's.
+func (h *Hierarchy) RecordBatch(refs []trace.Ref) {
+	for i := range refs {
+		h.record1(refs[i])
 	}
+}
+
+// record1 presents one reference to the hierarchy.
+func (h *Hierarchy) record1(r trace.Ref) {
+	h.refs.ByKind[r.Kind]++
 	l1 := h.l1d
-	write := r.Kind == trace.Store
-	if r.Kind == trace.IFetch {
+	write := false
+	switch r.Kind {
+	case trace.Store:
+		write = true
+		fallthrough
+	case trace.Load:
+		if h.tlb != nil {
+			h.tlb.Access(r.Addr)
+		}
+	default: // IFetch: instruction cache, no data TLB.
 		l1 = h.l1i
-		write = false
 	}
 	size := uint64(r.Size)
 	if size == 0 {
 		size = 1
 	}
-	first := l1.LineOf(r.Addr)
-	last := l1.LineOf(r.Addr + size - 1)
+	first := r.Addr >> l1.lineShift
+	last := (r.Addr + size - 1) >> l1.lineShift
+	if first == last {
+		// Single-line data reference: the overwhelmingly common case.
+		if write {
+			if !l1.AccessWrite(r.Addr) || l1.cfg.Write == WriteThroughNoAllocate {
+				h.accessL2(r.Addr, true)
+			}
+		} else if !l1.AccessRead(r.Addr) {
+			h.accessL2(r.Addr, false)
+		}
+		return
+	}
 	writeThrough := write && l1.cfg.Write == WriteThroughNoAllocate
 	for ln := first; ln <= last; ln++ {
 		addr := ln << l1.lineShift

@@ -1,0 +1,89 @@
+package cache
+
+import "testing"
+
+// mapLRU is a trivially-correct reference implementation of the shadow
+// model (Go map index + the same intrusive list semantics), used to
+// differential-test the open-addressing lruIndex.
+type mapLRU struct {
+	capacity int
+	index    map[uint64]bool
+	order    []uint64 // MRU first
+}
+
+func (m *mapLRU) touch(ln uint64) bool {
+	if m.index[ln] {
+		for i, v := range m.order {
+			if v == ln {
+				copy(m.order[1:i+1], m.order[:i])
+				m.order[0] = ln
+				break
+			}
+		}
+		return true
+	}
+	if len(m.order) == m.capacity {
+		victim := m.order[len(m.order)-1]
+		delete(m.index, victim)
+		m.order = m.order[:len(m.order)-1]
+	}
+	m.index[ln] = true
+	m.order = append([]uint64{ln}, m.order...)
+	return false
+}
+
+// TestLRUTableDifferential drives the production lruTable and the map
+// reference with an adversarial stream — sequential sweeps (worst case
+// for a weak hash), strides, and pseudo-random touches — and demands
+// identical hit/miss verdicts. This pins the open-addressing index,
+// including backward-shift deletion under heavy eviction.
+func TestLRUTableDifferential(t *testing.T) {
+	for _, capacity := range []int{1, 3, 16, 117, 1024} {
+		got := newLRUTable(capacity)
+		want := &mapLRU{capacity: capacity, index: make(map[uint64]bool)}
+		rng := uint64(12345)
+		for i := 0; i < 20000; i++ {
+			var ln uint64
+			switch i % 4 {
+			case 0:
+				ln = uint64(i) // sequential
+			case 1:
+				ln = uint64(i) * 64 // strided
+			case 2:
+				ln = uint64(i % (capacity*2 + 1)) // cycling reuse
+			default:
+				rng = rng*6364136223846793005 + 1442695040888963407
+				ln = (rng >> 33) % uint64(capacity*8+1)
+			}
+			if g, w := got.touch(ln), want.touch(ln); g != w {
+				t.Fatalf("capacity %d step %d line %d: lruTable hit=%v, reference hit=%v",
+					capacity, i, ln, g, w)
+			}
+			if got.len() != len(want.order) {
+				t.Fatalf("capacity %d step %d: lruTable len=%d, reference len=%d",
+					capacity, i, got.len(), len(want.order))
+			}
+		}
+	}
+}
+
+// TestSeenSetDifferential pins the sparse-bitmap seen set against a map.
+func TestSeenSetDifferential(t *testing.T) {
+	var s seenSet
+	s.init()
+	want := map[uint64]bool{}
+	rng := uint64(99)
+	for i := 0; i < 50000; i++ {
+		var ln uint64
+		if i%2 == 0 {
+			ln = uint64(i / 2) // sequential, revisited on odd steps below
+		} else {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			ln = (rng >> 40) % 4096
+		}
+		if got := s.testAndSet(ln); got != want[ln] {
+			t.Fatalf("step %d line %d: seenSet=%v, reference=%v", i, ln, got, want[ln])
+		}
+		want[ln] = true
+	}
+}

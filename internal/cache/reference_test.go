@@ -96,3 +96,35 @@ func TestCacheMatchesReferenceModelProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property: the same agreement holds on run-heavy streams — bursts of
+// consecutive accesses to one line with mixed reads and writes, the
+// pattern that arms the same-line fast path (lastLn) — including its
+// invalidation by conflicting allocations between bursts.
+func TestCacheFastPathMatchesReferenceOnRuns(t *testing.T) {
+	f := func(seed int64, assocSel uint8) bool {
+		cfg := Config{Name: "T", Size: 1 << 12, LineSize: 64,
+			Assoc: []int{1, 2, 4, 0}[assocSel%4]}
+		real := MustNew(cfg)
+		ref := newRefCache(cfg)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 800; i++ {
+			base := uint64(rng.Intn(1 << 14))
+			runLen := 1 + rng.Intn(20)
+			for j := 0; j < runLen; j++ {
+				addr := base + uint64(rng.Intn(int(cfg.LineSize)))
+				if rng.Intn(4) == 0 { // occasional conflicting line mid-run
+					addr += cfg.Size * uint64(1+rng.Intn(3))
+				}
+				write := rng.Intn(3) == 0
+				if real.Access(addr, write) != ref.access(addr, write) {
+					return false
+				}
+			}
+		}
+		return real.Stats().Writebacks == ref.wb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

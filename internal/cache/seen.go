@@ -1,0 +1,45 @@
+package cache
+
+// seenBlockLines is the number of lines tracked per seenSet block; 512
+// single-bit entries make a 64-byte block, one cache line of the host.
+const seenBlockLines = 512
+
+type seenBlock [seenBlockLines / 64]uint64
+
+// seenSet records which line numbers have ever been referenced, for
+// compulsory-miss classification. It replaces a map[uint64]struct{} —
+// which paid a hash probe and, on growth, a rehash per first touch — with
+// a sparse bitmap of 512-line blocks plus a one-entry block cache: the
+// dense kernels sweep addresses sequentially, so consecutive misses
+// almost always land in the block the previous miss resolved.
+type seenSet struct {
+	blocks  map[uint64]*seenBlock
+	lastKey uint64
+	last    *seenBlock
+}
+
+func (s *seenSet) init() {
+	s.blocks = make(map[uint64]*seenBlock)
+	s.last = nil
+	s.lastKey = 0
+}
+
+// testAndSet reports whether line ln was already seen, marking it seen.
+func (s *seenSet) testAndSet(ln uint64) bool {
+	key := ln / seenBlockLines
+	b := s.last
+	if b == nil || key != s.lastKey {
+		b = s.blocks[key]
+		if b == nil {
+			b = new(seenBlock)
+			s.blocks[key] = b
+		}
+		s.lastKey, s.last = key, b
+	}
+	word, bit := (ln%seenBlockLines)/64, uint64(1)<<(ln%64)
+	if b[word]&bit != 0 {
+		return true
+	}
+	b[word] |= bit
+	return false
+}

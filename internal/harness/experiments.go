@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"threadsched/internal/core"
@@ -173,6 +174,20 @@ func missTable(id, title string, order []string, paper map[string]tables.MissRow
 	return t
 }
 
+// splitPair separates a runJobs result map keyed "r8/name" / "r10/name"
+// into the per-machine maps the table renderers consume.
+func splitPair(res map[string]SimResult) (r8, r10 map[string]SimResult) {
+	r8, r10 = map[string]SimResult{}, map[string]SimResult{}
+	for k, v := range res {
+		if name, ok := strings.CutPrefix(k, "r8/"); ok {
+			r8[name] = v
+		} else if name, ok := strings.CutPrefix(k, "r10/"); ok {
+			r10[name] = v
+		}
+	}
+	return r8, r10
+}
+
 func schedNote(t *tables.Table, app string, rs core.RunStats) {
 	p := tables.PaperSchedStats[app]
 	t.AddNote("scheduler: paper %d threads in %d bins (avg %d); sim %d threads in %d bins (avg %.0f)",
@@ -194,13 +209,15 @@ func (c Config) Table2(prog Progress) *tables.Table {
 		{"Tiled transposed", MatmulTiledTransposed},
 		{"Threaded", MatmulThreaded},
 	}
-	r8m, r10m := map[string]SimResult{}, map[string]SimResult{}
+	var jobs []simJob
 	for _, v := range variants {
-		prog.printf("table2: %s on R8000", v.name)
-		r8m[v.name] = c.RunMatmul(v.v, c.R8000())
-		prog.printf("table2: %s on R10000", v.name)
-		r10m[v.name] = c.RunMatmul(v.v, c.R10000())
+		jobs = append(jobs,
+			simJob{"r8/" + v.name, "table2: " + v.name + " on R8000",
+				func() SimResult { return c.RunMatmul(v.v, c.R8000()) }},
+			simJob{"r10/" + v.name, "table2: " + v.name + " on R10000",
+				func() SimResult { return c.RunMatmul(v.v, c.R10000()) }})
 	}
+	r8m, r10m := splitPair(c.runJobs(prog, jobs))
 	t := timeTable("Table 2", fmt.Sprintf("Matrix multiply performance in seconds (n=%d)", c.MatmulN),
 		tables.Table2Order, tables.PaperTable2, r8m, r10m)
 	schedNote(t, "matmul", r8m["Threaded"].Sched)
@@ -210,13 +227,11 @@ func (c Config) Table2(prog Progress) *tables.Table {
 // Table3 reproduces Table 3: matmul references and cache misses, R8000.
 func (c Config) Table3(prog Progress) *tables.Table {
 	m := c.R8000()
-	meas := map[string]SimResult{}
-	prog.printf("table3: untiled")
-	meas["Untiled"] = c.RunMatmul(MatmulInterchanged, m)
-	prog.printf("table3: tiled")
-	meas["Tiled"] = c.RunMatmul(MatmulTiledInterchanged, m)
-	prog.printf("table3: threaded")
-	meas["Threaded"] = c.RunMatmul(MatmulThreaded, m)
+	meas := c.runJobs(prog, []simJob{
+		{"Untiled", "table3: untiled", func() SimResult { return c.RunMatmul(MatmulInterchanged, m) }},
+		{"Tiled", "table3: tiled", func() SimResult { return c.RunMatmul(MatmulTiledInterchanged, m) }},
+		{"Threaded", "table3: threaded", func() SimResult { return c.RunMatmul(MatmulThreaded, m) }},
+	})
 	return missTable("Table 3",
 		fmt.Sprintf("Matmul memory references and cache misses in thousands (n=%d, %s)", c.MatmulN, m.Name),
 		tables.Table3Order, tables.PaperTable3, meas, c.Scale)
@@ -232,12 +247,15 @@ func (c Config) Table4(prog Progress) *tables.Table {
 		{"Cache-conscious", PDECacheConscious},
 		{"Threaded", PDEThreaded},
 	}
-	r8m, r10m := map[string]SimResult{}, map[string]SimResult{}
+	var jobs []simJob
 	for _, v := range variants {
-		prog.printf("table4: %s", v.name)
-		r8m[v.name] = c.RunPDE(v.v, c.R8000())
-		r10m[v.name] = c.RunPDE(v.v, c.R10000())
+		jobs = append(jobs,
+			simJob{"r8/" + v.name, "table4: " + v.name + " on R8000",
+				func() SimResult { return c.RunPDE(v.v, c.R8000()) }},
+			simJob{"r10/" + v.name, "table4: " + v.name + " on R10000",
+				func() SimResult { return c.RunPDE(v.v, c.R10000()) }})
 	}
+	r8m, r10m := splitPair(c.runJobs(prog, jobs))
 	return timeTable("Table 4", fmt.Sprintf("PDE performance in seconds (n=%d, %d iterations)", c.PDEN, c.PDEIters),
 		tables.Table4Order, tables.PaperTable4, r8m, r10m)
 }
@@ -245,13 +263,11 @@ func (c Config) Table4(prog Progress) *tables.Table {
 // Table5 reproduces Table 5: PDE cache misses, R8000.
 func (c Config) Table5(prog Progress) *tables.Table {
 	m := c.R8000()
-	meas := map[string]SimResult{}
-	prog.printf("table5: regular")
-	meas["Regular"] = c.RunPDE(PDERegular, m)
-	prog.printf("table5: cache-conscious")
-	meas["Cache-conscious"] = c.RunPDE(PDECacheConscious, m)
-	prog.printf("table5: threaded")
-	meas["Threaded"] = c.RunPDE(PDEThreaded, m)
+	meas := c.runJobs(prog, []simJob{
+		{"Regular", "table5: regular", func() SimResult { return c.RunPDE(PDERegular, m) }},
+		{"Cache-conscious", "table5: cache-conscious", func() SimResult { return c.RunPDE(PDECacheConscious, m) }},
+		{"Threaded", "table5: threaded", func() SimResult { return c.RunPDE(PDEThreaded, m) }},
+	})
 	return missTable("Table 5",
 		fmt.Sprintf("PDE cache misses in thousands (n=%d, %s)", c.PDEN, m.Name),
 		tables.Table5Order, tables.PaperTable5, meas, c.Scale)
@@ -267,12 +283,15 @@ func (c Config) Table6(prog Progress) *tables.Table {
 		{"Hand tiled", SORHandTiled},
 		{"Threaded", SORThreaded},
 	}
-	r8m, r10m := map[string]SimResult{}, map[string]SimResult{}
+	var jobs []simJob
 	for _, v := range variants {
-		prog.printf("table6: %s", v.name)
-		r8m[v.name] = c.RunSOR(v.v, c.R8000())
-		r10m[v.name] = c.RunSOR(v.v, c.R10000())
+		jobs = append(jobs,
+			simJob{"r8/" + v.name, "table6: " + v.name + " on R8000",
+				func() SimResult { return c.RunSOR(v.v, c.R8000()) }},
+			simJob{"r10/" + v.name, "table6: " + v.name + " on R10000",
+				func() SimResult { return c.RunSOR(v.v, c.R10000()) }})
 	}
+	r8m, r10m := splitPair(c.runJobs(prog, jobs))
 	t := timeTable("Table 6", fmt.Sprintf("SOR performance in seconds (n=%d, t=%d)", c.SORN, c.SORIters),
 		tables.Table6Order, tables.PaperTable6, r8m, r10m)
 	schedNote(t, "sor", r8m["Threaded"].Sched)
@@ -282,13 +301,11 @@ func (c Config) Table6(prog Progress) *tables.Table {
 // Table7 reproduces Table 7: SOR references and cache misses, R8000.
 func (c Config) Table7(prog Progress) *tables.Table {
 	m := c.R8000()
-	meas := map[string]SimResult{}
-	prog.printf("table7: untiled")
-	meas["Untiled"] = c.RunSOR(SORUntiled, m)
-	prog.printf("table7: hand-tiled")
-	meas["Hand-tiled"] = c.RunSOR(SORHandTiled, m)
-	prog.printf("table7: threaded")
-	meas["Threaded"] = c.RunSOR(SORThreaded, m)
+	meas := c.runJobs(prog, []simJob{
+		{"Untiled", "table7: untiled", func() SimResult { return c.RunSOR(SORUntiled, m) }},
+		{"Hand-tiled", "table7: hand-tiled", func() SimResult { return c.RunSOR(SORHandTiled, m) }},
+		{"Threaded", "table7: threaded", func() SimResult { return c.RunSOR(SORThreaded, m) }},
+	})
 	return missTable("Table 7",
 		fmt.Sprintf("SOR memory references and cache misses in thousands (n=%d, %s)", c.SORN, m.Name),
 		tables.Table7Order, tables.PaperTable7, meas, c.Scale)
@@ -296,13 +313,16 @@ func (c Config) Table7(prog Progress) *tables.Table {
 
 // Table8 reproduces Table 8: N-body times.
 func (c Config) Table8(prog Progress) *tables.Table {
-	r8m, r10m := map[string]SimResult{}, map[string]SimResult{}
-	prog.printf("table8: unthreaded")
-	r8m["Unthreaded"] = c.RunNBody(NBodyUnthreaded, c.NBodyR8000(), c.NBodySteps)
-	r10m["Unthreaded"] = c.RunNBody(NBodyUnthreaded, c.NBodyR10000(), c.NBodySteps)
-	prog.printf("table8: threaded")
-	r8m["Threaded"] = c.RunNBody(NBodyThreaded, c.NBodyR8000(), c.NBodySteps)
-	r10m["Threaded"] = c.RunNBody(NBodyThreaded, c.NBodyR10000(), c.NBodySteps)
+	r8m, r10m := splitPair(c.runJobs(prog, []simJob{
+		{"r8/Unthreaded", "table8: unthreaded on R8000",
+			func() SimResult { return c.RunNBody(NBodyUnthreaded, c.NBodyR8000(), c.NBodySteps) }},
+		{"r10/Unthreaded", "table8: unthreaded on R10000",
+			func() SimResult { return c.RunNBody(NBodyUnthreaded, c.NBodyR10000(), c.NBodySteps) }},
+		{"r8/Threaded", "table8: threaded on R8000",
+			func() SimResult { return c.RunNBody(NBodyThreaded, c.NBodyR8000(), c.NBodySteps) }},
+		{"r10/Threaded", "table8: threaded on R10000",
+			func() SimResult { return c.RunNBody(NBodyThreaded, c.NBodyR10000(), c.NBodySteps) }},
+	}))
 	t := timeTable("Table 8",
 		fmt.Sprintf("N-body performance in seconds (%d bodies, %d steps)", c.NBodyN, c.NBodySteps),
 		tables.Table8Order, tables.PaperTable8, r8m, r10m)
@@ -313,11 +333,10 @@ func (c Config) Table8(prog Progress) *tables.Table {
 // Table9 reproduces Table 9: N-body cache misses, one iteration, R8000.
 func (c Config) Table9(prog Progress) *tables.Table {
 	m := c.NBodyR8000()
-	meas := map[string]SimResult{}
-	prog.printf("table9: unthreaded")
-	meas["Unthreaded"] = c.RunNBody(NBodyUnthreaded, m, 1)
-	prog.printf("table9: threaded")
-	meas["Threaded"] = c.RunNBody(NBodyThreaded, m, 1)
+	meas := c.runJobs(prog, []simJob{
+		{"Unthreaded", "table9: unthreaded", func() SimResult { return c.RunNBody(NBodyUnthreaded, m, 1) }},
+		{"Threaded", "table9: threaded", func() SimResult { return c.RunNBody(NBodyThreaded, m, 1) }},
+	})
 	return missTable("Table 9",
 		fmt.Sprintf("N-body memory references and cache misses in thousands (%d bodies, 1 step, %s)", c.NBodyN, m.Name),
 		tables.Table9Order, tables.PaperTable9, meas, c.NBodyScale)
@@ -347,19 +366,27 @@ func (c Config) Figure4(prog Progress) *tables.Table {
 			m.Name, m.L2CacheSize()>>10),
 		Columns: []string{"block", "matrix multiply", "SOR", "PDE", "N-body"},
 	}
+	var jobs []simJob
 	for _, b := range Figure4RelativeBlocks {
 		block := m.L2CacheSize() * b.Num / b.Den
 		nblock := nm.L2CacheSize() * b.Num / b.Den
-		prog.printf("figure4: block %s", b.Label)
-		mm := c.RunMatmulThreadedBlock(m, block)
-		so := c.RunSORThreadedBlock(m, block)
-		pd := c.RunPDEThreadedBlock(m, block)
-		nb := c.RunNBodyThreadedBlock(nm, nblock)
+		jobs = append(jobs,
+			simJob{b.Label + "/matmul", "figure4: block " + b.Label + " matmul",
+				func() SimResult { return c.RunMatmulThreadedBlock(m, block) }},
+			simJob{b.Label + "/sor", "figure4: block " + b.Label + " SOR",
+				func() SimResult { return c.RunSORThreadedBlock(m, block) }},
+			simJob{b.Label + "/pde", "figure4: block " + b.Label + " PDE",
+				func() SimResult { return c.RunPDEThreadedBlock(m, block) }},
+			simJob{b.Label + "/nbody", "figure4: block " + b.Label + " N-body",
+				func() SimResult { return c.RunNBodyThreadedBlock(nm, nblock) }})
+	}
+	meas := c.runJobs(prog, jobs)
+	for _, b := range Figure4RelativeBlocks {
 		t.AddRow(b.Label,
-			tables.Seconds(mm.Seconds()),
-			tables.Seconds(so.Seconds()),
-			tables.Seconds(pd.Seconds()),
-			tables.Seconds(nb.Seconds()))
+			tables.Seconds(meas[b.Label+"/matmul"].Seconds()),
+			tables.Seconds(meas[b.Label+"/sor"].Seconds()),
+			tables.Seconds(meas[b.Label+"/pde"].Seconds()),
+			tables.Seconds(meas[b.Label+"/nbody"].Seconds()))
 	}
 	t.AddNote("paper shape: %s", tables.Figure4Shape)
 	return t

@@ -10,14 +10,50 @@
 package harness
 
 import (
+	"sync"
 	"time"
 
 	"threadsched/internal/cache"
 	"threadsched/internal/core"
 	"threadsched/internal/machine"
 	"threadsched/internal/sim"
+	"threadsched/internal/trace"
 	"threadsched/internal/vm"
 )
+
+// Mode selects how a traced run feeds the cache simulator. All three
+// modes are bit-exact: the hierarchy observes the identical reference
+// sequence, so stats, miss classification, and rendered tables are
+// byte-identical (enforced by the golden equivalence tests).
+type Mode int
+
+const (
+	// ModeBatched (the default) buffers references in the model CPU and
+	// hands them to the hierarchy in chunks — one virtual dispatch per
+	// chunk instead of per reference.
+	ModeBatched Mode = iota
+	// ModeSerial is the original per-reference path: every emit is one
+	// Recorder.Record interface call. Kept as the equivalence baseline.
+	ModeSerial
+	// ModePipelined batches and additionally moves the cache simulation
+	// to its own goroutine behind a bounded SPSC chunk ring, overlapping
+	// trace generation with simulation on multicore hosts.
+	ModePipelined
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeBatched:
+		return "batch"
+	case ModeSerial:
+		return "serial"
+	case ModePipelined:
+		return "pipeline"
+	default:
+		return "mode?"
+	}
+}
 
 // Config selects workload sizes and cache scaling for the experiments.
 type Config struct {
@@ -40,6 +76,13 @@ type Config struct {
 
 	// Table1Threads is the null-thread count for the overhead benchmark.
 	Table1Threads int
+
+	// Mode selects the reference-stream path (batched by default).
+	Mode Mode
+	// Parallel bounds how many independent simulations a table runs
+	// concurrently; 0 or 1 is serial. Experiments share nothing but
+	// their table sink, so any value is exact.
+	Parallel int
 }
 
 // Scaled returns the default laptop-scale configuration: caches ÷16
@@ -128,12 +171,26 @@ func (r SimResult) Seconds() float64 { return r.Time.Seconds() }
 // execute and return the scheduler if one was used (else nil).
 type runner func(cpu *sim.CPU, as *vm.AddressSpace) *core.Scheduler
 
-// simulate runs one traced variant against one machine model.
-func simulate(m machine.Machine, fn runner) SimResult {
+// simulate runs one traced variant against one machine model through the
+// configured reference-stream mode.
+func (c Config) simulate(m machine.Machine, fn runner) SimResult {
 	h := cache.MustNewHierarchy(m.Caches, nil)
-	cpu := sim.NewCPU(h)
+	var rec trace.Recorder = h
+	var pipe *trace.Pipeline
+	if c.Mode == ModePipelined {
+		pipe = trace.NewPipeline(h, 0, 0)
+		rec = pipe
+	}
+	cpu := sim.NewCPU(rec)
+	if c.Mode != ModeSerial {
+		cpu.Buffer(0)
+	}
 	as := vm.NewAddressSpace()
 	sched := fn(cpu, as)
+	cpu.Flush()
+	if pipe != nil {
+		pipe.Close()
+	}
 	res := SimResult{
 		Machine:      m,
 		Instructions: cpu.Instructions,
@@ -148,8 +205,54 @@ func simulate(m machine.Machine, fn runner) SimResult {
 	return res
 }
 
+// simJob is one independent simulation inside a table: a result key, a
+// progress label, and the run itself.
+type simJob struct {
+	key  string
+	what string
+	run  func() SimResult
+}
+
+// runJobs executes a table's simulations, concurrently when
+// Config.Parallel allows, and returns results keyed for rendering. The
+// jobs share nothing (each builds its own hierarchy, CPU, and address
+// space), so the result map — and every table rendered from it — is
+// identical at any parallelism.
+func (c Config) runJobs(prog Progress, jobs []simJob) map[string]SimResult {
+	out := make(map[string]SimResult, len(jobs))
+	if c.Parallel <= 1 {
+		for _, j := range jobs {
+			prog.printf("%s", j.what)
+			out[j.key] = j.run()
+		}
+		return out
+	}
+	var (
+		mu  sync.Mutex
+		wg  sync.WaitGroup
+		sem = make(chan struct{}, c.Parallel)
+	)
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j simJob) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			prog.printf("%s", j.what)
+			r := j.run()
+			mu.Lock()
+			out[j.key] = r
+			mu.Unlock()
+		}(j)
+	}
+	wg.Wait()
+	return out
+}
+
 // Progress is an optional sink for per-run progress lines (nil to
-// suppress); the CLI points it at stderr for the long sweeps.
+// suppress); the CLI points it at stderr for the long sweeps. When
+// Config.Parallel is above one, the sink is invoked from multiple
+// goroutines and must be safe for concurrent use.
 type Progress func(format string, args ...any)
 
 func (p Progress) printf(format string, args ...any) {

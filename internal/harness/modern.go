@@ -30,15 +30,19 @@ func (c Config) Modern(prog Progress) *tables.Table {
 		{"Tiled interchanged", MatmulTiledInterchanged},
 		{"Threaded", MatmulThreaded},
 	}
-	res := map[string]SimResult{}
+	var jobs []simJob
 	for _, v := range variants {
-		prog.printf("modern: %s on R8000", v.name)
-		old := c.RunMatmul(v.v, r8)
-		prog.printf("modern: %s on Modern", v.name)
-		now := c.RunMatmul(v.v, modern)
-		res[v.name] = now
+		jobs = append(jobs,
+			simJob{"r8/" + v.name, "modern: " + v.name + " on R8000",
+				func() SimResult { return c.RunMatmul(v.v, r8) }},
+			simJob{"r10/" + v.name, "modern: " + v.name + " on Modern",
+				func() SimResult { return c.RunMatmul(v.v, modern) }})
+	}
+	old, res := splitPair(c.runJobs(prog, jobs))
+	for _, v := range variants {
+		now := res[v.name]
 		t.AddRow(v.name,
-			tables.Seconds(old.Seconds()),
+			tables.Seconds(old[v.name].Seconds()),
 			fmt.Sprintf("%.4f", now.Seconds()),
 			fmt.Sprintf("%d", now.Summary.L2.Misses),
 			fmt.Sprintf("%d", now.Summary.L3.Misses))

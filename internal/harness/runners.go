@@ -65,13 +65,13 @@ func (c Config) matmulRunner(v MatmulVariant, m machine.Machine, o schedOverride
 
 // RunMatmul simulates one matmul variant on machine m.
 func (c Config) RunMatmul(v MatmulVariant, m machine.Machine) SimResult {
-	return simulate(m, c.matmulRunner(v, m, schedOverride{}))
+	return c.simulate(m, c.matmulRunner(v, m, schedOverride{}))
 }
 
 // RunMatmulThreadedBlock simulates the threaded matmul with an explicit
 // scheduler block size (Figure 4 sweeps this).
 func (c Config) RunMatmulThreadedBlock(m machine.Machine, block uint64) SimResult {
-	return simulate(m, c.matmulRunner(MatmulThreaded, m, schedOverride{blockSize: block}))
+	return c.simulate(m, c.matmulRunner(MatmulThreaded, m, schedOverride{blockSize: block}))
 }
 
 // PDE runners (Tables 4, 5; Figure 4).
@@ -107,13 +107,13 @@ func (c Config) pdeRunner(v PDEVariant, m machine.Machine, o schedOverride) runn
 
 // RunPDE simulates one PDE variant on machine m.
 func (c Config) RunPDE(v PDEVariant, m machine.Machine) SimResult {
-	return simulate(m, c.pdeRunner(v, m, schedOverride{}))
+	return c.simulate(m, c.pdeRunner(v, m, schedOverride{}))
 }
 
 // RunPDEThreadedBlock simulates the threaded PDE with an explicit block
 // size.
 func (c Config) RunPDEThreadedBlock(m machine.Machine, block uint64) SimResult {
-	return simulate(m, c.pdeRunner(PDEThreaded, m, schedOverride{blockSize: block}))
+	return c.simulate(m, c.pdeRunner(PDEThreaded, m, schedOverride{blockSize: block}))
 }
 
 // SOR runners (Tables 6, 7; Figure 4).
@@ -153,13 +153,13 @@ func (c Config) sorRunner(v SORVariant, m machine.Machine, o schedOverride) runn
 
 // RunSOR simulates one SOR variant on machine m.
 func (c Config) RunSOR(v SORVariant, m machine.Machine) SimResult {
-	return simulate(m, c.sorRunner(v, m, schedOverride{}))
+	return c.simulate(m, c.sorRunner(v, m, schedOverride{}))
 }
 
 // RunSORThreadedBlock simulates the threaded SOR with an explicit block
 // size.
 func (c Config) RunSORThreadedBlock(m machine.Machine, block uint64) SimResult {
-	return simulate(m, c.sorRunner(SORThreaded, m, schedOverride{blockSize: block}))
+	return c.simulate(m, c.sorRunner(SORThreaded, m, schedOverride{blockSize: block}))
 }
 
 // N-body runners (Tables 8, 9; Figure 4).
@@ -197,17 +197,17 @@ func (c Config) nbodyRunner(v NBodyVariant, m machine.Machine, steps int, o sche
 
 // RunNBody simulates one N-body variant for the given number of steps.
 func (c Config) RunNBody(v NBodyVariant, m machine.Machine, steps int) SimResult {
-	return simulate(m, c.nbodyRunner(v, m, steps, schedOverride{}))
+	return c.simulate(m, c.nbodyRunner(v, m, steps, schedOverride{}))
 }
 
 // RunNBodyThreadedBlock simulates the threaded N-body (one step) with an
 // explicit block size.
 func (c Config) RunNBodyThreadedBlock(m machine.Machine, block uint64) SimResult {
-	return simulate(m, c.nbodyRunner(NBodyThreaded, m, 1, schedOverride{blockSize: block}))
+	return c.simulate(m, c.nbodyRunner(NBodyThreaded, m, 1, schedOverride{blockSize: block}))
 }
 
 // RunNBodyThreadedTour simulates the threaded N-body with a bin tour
 // order, for the tour ablation.
 func (c Config) RunNBodyThreadedTour(m machine.Machine, tour core.TourOrder) SimResult {
-	return simulate(m, c.nbodyRunner(NBodyThreaded, m, 1, schedOverride{tour: tour}))
+	return c.simulate(m, c.nbodyRunner(NBodyThreaded, m, 1, schedOverride{tour: tour}))
 }

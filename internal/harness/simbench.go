@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"runtime"
+	"time"
+)
+
+// StageResult is one pipeline stage's throughput measurement from SimBench.
+type StageResult struct {
+	// Stage names the reference-stream path measured: "serial", "batch",
+	// "pipeline", or "parallel" (batched mode with Config.Parallel workers).
+	Stage string `json:"stage"`
+	// Refs is the total number of references the cache hierarchies
+	// observed across the stage's experiments.
+	Refs uint64 `json:"refs"`
+	// WallNS is the stage's wall-clock time in nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+	// RefsPerSec is the end-to-end simulation throughput: references
+	// generated *and* simulated per second of wall time.
+	RefsPerSec float64 `json:"refs_per_sec"`
+	// SpeedupVsSerial is RefsPerSec divided by the serial stage's.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+// simBenchJobs is the fixed experiment set every SimBench stage runs, so
+// refs/sec is comparable across stages: four independent traced workloads
+// on the scaled R8000.
+func (c Config) simBenchJobs() []simJob {
+	m := c.R8000()
+	return []simJob{
+		{"matmul-interchanged", "simbench: matmul interchanged",
+			func() SimResult { return c.RunMatmul(MatmulInterchanged, m) }},
+		{"matmul-tiled", "simbench: matmul tiled",
+			func() SimResult { return c.RunMatmul(MatmulTiledInterchanged, m) }},
+		{"sor-untiled", "simbench: SOR untiled",
+			func() SimResult { return c.RunSOR(SORUntiled, m) }},
+		{"pde-regular", "simbench: PDE regular",
+			func() SimResult { return c.RunPDE(PDERegular, m) }},
+	}
+}
+
+// SimBench measures end-to-end simulation throughput (references per
+// second, trace generation plus cache simulation) through each
+// reference-stream path: the per-reference serial path, the batched path,
+// the SPSC pipelined path, and the batched path with the experiment pool
+// running all workloads concurrently. Every stage runs the identical
+// four-workload set and — by the exactness contract — observes the
+// identical reference stream, so the refs counts agree and only wall time
+// differs. The pipeline and parallel stages only pay off with spare cores;
+// on a single-CPU host they measure the coordination overhead honestly.
+func (c Config) SimBench(prog Progress) []StageResult {
+	stages := []struct {
+		name string
+		cfg  Config
+	}{
+		{"serial", func() Config { d := c; d.Mode = ModeSerial; d.Parallel = 1; return d }()},
+		{"batch", func() Config { d := c; d.Mode = ModeBatched; d.Parallel = 1; return d }()},
+		{"pipeline", func() Config { d := c; d.Mode = ModePipelined; d.Parallel = 1; return d }()},
+		{"parallel", func() Config {
+			d := c
+			d.Mode = ModeBatched
+			if d.Parallel <= 1 {
+				d.Parallel = runtime.NumCPU()
+			}
+			return d
+		}()},
+	}
+	var out []StageResult
+	for _, s := range stages {
+		prog.printf("simbench: stage %s", s.name)
+		start := time.Now()
+		res := s.cfg.runJobs(prog, s.cfg.simBenchJobs())
+		wall := time.Since(start)
+		var refs uint64
+		for _, r := range res {
+			refs += r.Summary.IFetches + r.Summary.DataRefs
+		}
+		sr := StageResult{
+			Stage:      s.name,
+			Refs:       refs,
+			WallNS:     wall.Nanoseconds(),
+			RefsPerSec: float64(refs) / wall.Seconds(),
+		}
+		if len(out) > 0 {
+			sr.SpeedupVsSerial = sr.RefsPerSec / out[0].RefsPerSec
+		} else {
+			sr.SpeedupVsSerial = 1
+		}
+		out = append(out, sr)
+	}
+	return out
+}

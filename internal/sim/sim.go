@@ -32,9 +32,16 @@ const DefaultILine = 32
 const InstrBytes = 4
 
 // CPU is the model processor: it counts instructions and forwards memory
-// references to a recorder.
+// references to a recorder, either one at a time (the default) or through
+// a fixed-size reference buffer drained in chunks (see Buffer).
 type CPU struct {
 	rec trace.Recorder
+	// buf, when non-nil, batches references: emits append here and the
+	// full buffer is handed to the recorder as one RecordBatch call. The
+	// recorder observes exactly the emission order, just later, so
+	// buffered and unbuffered runs produce identical results once Flush
+	// has been called.
+	buf []trace.Ref
 	// Instructions is the number of instructions executed via Exec.
 	Instructions uint64
 	// TextBase is the base address of the simulated text segment.
@@ -53,6 +60,41 @@ func NewCPU(rec trace.Recorder) *CPU {
 // Recorder returns the recorder this CPU emits to.
 func (c *CPU) Recorder() trace.Recorder { return c.rec }
 
+// Buffer switches the CPU to batched emission with an n-reference buffer
+// (n <= 0 selects trace.DefaultChunk) and returns the CPU. The caller
+// must call Flush after the workload finishes and before reading results
+// out of the recorder.
+func (c *CPU) Buffer(n int) *CPU {
+	c.Flush()
+	if n <= 0 {
+		n = trace.DefaultChunk
+	}
+	c.buf = make([]trace.Ref, 0, n)
+	return c
+}
+
+// Flush drains the reference buffer to the recorder. It is a no-op on an
+// unbuffered CPU.
+func (c *CPU) Flush() {
+	if len(c.buf) > 0 {
+		trace.RecordBatch(c.rec, c.buf)
+		c.buf = c.buf[:0]
+	}
+}
+
+// emit delivers one reference, through the buffer when batching.
+func (c *CPU) emit(r trace.Ref) {
+	if c.buf == nil {
+		c.rec.Record(r)
+		return
+	}
+	c.buf = append(c.buf, r)
+	if len(c.buf) == cap(c.buf) {
+		trace.RecordBatch(c.rec, c.buf)
+		c.buf = c.buf[:0]
+	}
+}
+
 // Exec models executing a basic block of n instructions whose first
 // instruction lives at text offset pc (in bytes, relative to TextBase).
 // One instruction-fetch reference is emitted per I-line the block covers.
@@ -68,18 +110,18 @@ func (c *CPU) Exec(pc uint64, n int) {
 		if addr < start {
 			addr = start
 		}
-		c.rec.Record(trace.Ref{Kind: trace.IFetch, Addr: addr, Size: InstrBytes})
+		c.emit(trace.Ref{Kind: trace.IFetch, Addr: addr, Size: InstrBytes})
 	}
 }
 
 // Load emits a data-read reference.
 func (c *CPU) Load(addr uint64, size uint8) {
-	c.rec.Record(trace.Ref{Kind: trace.Load, Addr: addr, Size: size})
+	c.emit(trace.Ref{Kind: trace.Load, Addr: addr, Size: size})
 }
 
 // Store emits a data-write reference.
 func (c *CPU) Store(addr uint64, size uint8) {
-	c.rec.Record(trace.Ref{Kind: trace.Store, Addr: addr, Size: size})
+	c.emit(trace.Ref{Kind: trace.Store, Addr: addr, Size: size})
 }
 
 // F64 is a simulated array of float64: real values backed by a simulated

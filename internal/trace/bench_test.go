@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// benchRefs models the dense kernels' stream: mostly sequential loads
+// with periodic ifetches and stores, the shape the delta encoder and the
+// batch path are tuned for.
+func benchRefs(n int) []Ref {
+	refs := make([]Ref, n)
+	for i := range refs {
+		switch i % 8 {
+		case 0:
+			refs[i] = Ref{Kind: IFetch, Addr: 0x1000_0000 + uint64(i/8%64)*32, Size: 4}
+		case 5:
+			refs[i] = Ref{Kind: Store, Addr: 0x3000_0000 + uint64(i)*8, Size: 8}
+		default:
+			refs[i] = Ref{Kind: Load, Addr: 0x2000_0000 + uint64(i)*8, Size: 8}
+		}
+	}
+	return refs
+}
+
+// BenchmarkFileRoundTrip measures encode-then-decode throughput of the
+// binary trace format, per-record versus chunked, in refs per op (use
+// ns/op ÷ 64k for ns/ref). The byte streams are identical; only the call
+// granularity differs.
+func BenchmarkFileRoundTrip(b *testing.B) {
+	refs := benchRefs(1 << 16)
+	b.Run("record", func(b *testing.B) {
+		var buf bytes.Buffer
+		b.ReportAllocs()
+		b.SetBytes(int64(len(refs)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			w := NewWriter(&buf)
+			for j := range refs {
+				w.Record(refs[j])
+			}
+			if err := w.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			r := NewReader(&buf)
+			if err := r.ForEach(func(Ref) error { return nil }); err != nil && err != io.EOF {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		var buf bytes.Buffer
+		b.ReportAllocs()
+		b.SetBytes(int64(len(refs)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			w := NewWriter(&buf)
+			for off := 0; off < len(refs); off += DefaultChunk {
+				end := off + DefaultChunk
+				if end > len(refs) {
+					end = len(refs)
+				}
+				w.RecordBatch(refs[off:end])
+			}
+			if err := w.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			r := NewReader(&buf)
+			if err := r.ForEachBatch(0, func([]Ref) error { return nil }); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPipeline measures the SPSC chunk ring's producer-side cost:
+// references recorded through the pipeline into a Counts sink.
+func BenchmarkPipeline(b *testing.B) {
+	refs := benchRefs(1 << 16)
+	b.Run("direct", func(b *testing.B) {
+		var c Counts
+		b.SetBytes(int64(len(refs)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.RecordBatch(refs)
+		}
+	})
+	b.Run("pipelined", func(b *testing.B) {
+		var c Counts
+		b.ReportAllocs()
+		b.SetBytes(int64(len(refs)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := NewPipeline(&c, 0, 0)
+			p.RecordBatch(refs)
+			p.Close()
+		}
+	})
+}

@@ -29,23 +29,35 @@ var (
 	errBadKind    = errors.New("trace: invalid record kind")
 )
 
-// Writer encodes a reference stream to an io.Writer. It implements Recorder;
-// call Flush (or Close) when done.
+// WriterBufSize is the explicit size of the encoder's buffered writer:
+// 64 KiB holds several thousand encoded records, so file-backed traces
+// flush to the OS in large sequential writes even on the per-ref path.
+const WriterBufSize = 1 << 16
+
+// Writer encodes a reference stream to an io.Writer. It implements
+// Recorder and BatchRecorder; call Flush (or Close) when done.
 type Writer struct {
 	w       *bufio.Writer
 	last    [numKinds]uint64
 	n       uint64
 	scratch [binary.MaxVarintLen64 + 2]byte
+	batch   []byte // reused chunk-encoding buffer for RecordBatch
 	err     error
 	wrote   bool
 }
 
-var _ Recorder = (*Writer)(nil)
+var _ BatchRecorder = (*Writer)(nil)
 
-// NewWriter returns a Writer that encodes to w. The header is written
-// lazily on the first record (or on Flush).
+// NewWriter returns a Writer that encodes to w with a WriterBufSize
+// buffer. The header is written lazily on the first record (or on Flush).
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+	return NewWriterSize(w, WriterBufSize)
+}
+
+// NewWriterSize is NewWriter with an explicit output buffer size in bytes
+// (values below bufio's minimum are rounded up by bufio).
+func NewWriterSize(w io.Writer, size int) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, size)}
 }
 
 func (tw *Writer) writeHeader() {
@@ -85,6 +97,41 @@ func (tw *Writer) Record(r Ref) {
 		return
 	}
 	tw.n++
+}
+
+// RecordBatch implements BatchRecorder: the whole chunk is encoded into
+// one reused scratch buffer and handed to the buffered writer in a single
+// Write, so the encoder does delta bookkeeping — not I/O plumbing — per
+// reference. The byte stream is identical to per-record encoding.
+func (tw *Writer) RecordBatch(refs []Ref) {
+	if tw.err != nil {
+		return
+	}
+	tw.writeHeader()
+	if tw.err != nil {
+		return
+	}
+	if cap(tw.batch) == 0 {
+		tw.batch = make([]byte, 0, DefaultChunk*(binary.MaxVarintLen64+2))
+	}
+	buf := tw.batch[:0]
+	for i := range refs {
+		r := &refs[i]
+		if r.Kind >= numKinds {
+			tw.err = errBadKind
+			return
+		}
+		delta := int64(r.Addr - tw.last[r.Kind])
+		tw.last[r.Kind] = r.Addr
+		buf = append(buf, byte(r.Kind), r.Size)
+		buf = binary.AppendVarint(buf, delta)
+	}
+	tw.batch = buf[:0]
+	if _, err := tw.w.Write(buf); err != nil {
+		tw.err = err
+		return
+	}
+	tw.n += uint64(len(refs))
 }
 
 // Count returns the number of records successfully encoded.
@@ -161,6 +208,24 @@ func (tr *Reader) Read() (Ref, error) {
 	return Ref{Kind: k, Addr: tr.last[k], Size: size}, nil
 }
 
+// ReadBatch decodes up to len(buf) records into buf, returning the number
+// decoded. At the clean end of the trace it returns the final short count
+// with a nil error, then (0, io.EOF) on the next call; any other error is
+// returned alongside the records decoded before it.
+func (tr *Reader) ReadBatch(buf []Ref) (int, error) {
+	for n := range buf {
+		r, err := tr.Read()
+		if err != nil {
+			if n > 0 && err == io.EOF {
+				return n, nil
+			}
+			return n, err
+		}
+		buf[n] = r
+	}
+	return len(buf), nil
+}
+
 // ForEach decodes the whole remaining trace, invoking fn per record.
 func (tr *Reader) ForEach(fn func(Ref) error) error {
 	for {
@@ -172,6 +237,31 @@ func (tr *Reader) ForEach(fn func(Ref) error) error {
 			return err
 		}
 		if err := fn(r); err != nil {
+			return err
+		}
+	}
+}
+
+// ForEachBatch decodes the whole remaining trace in chunks of the given
+// size (<=0 selects DefaultChunk), invoking fn once per chunk. Replaying a
+// trace through a BatchRecorder this way is equivalent to ForEach but pays
+// one callback per chunk instead of per record.
+func (tr *Reader) ForEachBatch(chunk int, fn func([]Ref) error) error {
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	buf := make([]Ref, chunk)
+	for {
+		n, err := tr.ReadBatch(buf)
+		if n > 0 {
+			if ferr := fn(buf[:n]); ferr != nil {
+				return ferr
+			}
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,111 @@
+package trace
+
+import "sync"
+
+// DefaultPipelineDepth is the number of in-flight chunks a Pipeline's ring
+// holds before the producer blocks. Small on purpose: the bound keeps the
+// working set of buffered references cache-sized and throttles a fast
+// producer to the consumer's pace instead of ballooning memory.
+const DefaultPipelineDepth = 8
+
+// Pipeline decouples reference generation from reference consumption
+// inside one experiment: the producer (the traced workload) records into
+// fixed-size chunks that travel over a bounded single-producer
+// single-consumer ring to a goroutine draining into dst. Chunks are
+// recycled through a sync.Pool, so a steady-state pipeline allocates
+// nothing per reference.
+//
+// Ordering is the exactness contract: one producer, one consumer, and a
+// FIFO ring mean dst observes exactly the recorded sequence, so results
+// are bit-identical to recording into dst directly. Pipeline itself is a
+// Recorder (and BatchRecorder); it is NOT safe for concurrent producers.
+// Call Close to flush the final partial chunk and wait for the consumer
+// to drain before reading results out of dst.
+type Pipeline struct {
+	dst   Recorder
+	ch    chan []Ref
+	pool  sync.Pool
+	cur   []Ref
+	done  chan struct{}
+	close sync.Once
+}
+
+var _ BatchRecorder = (*Pipeline)(nil)
+
+// NewPipeline starts a pipeline draining into dst. chunk is the references
+// per ring slot (<=0 selects DefaultChunk) and depth the ring capacity in
+// chunks (<=0 selects DefaultPipelineDepth).
+func NewPipeline(dst Recorder, chunk, depth int) *Pipeline {
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	if depth <= 0 {
+		depth = DefaultPipelineDepth
+	}
+	p := &Pipeline{
+		dst:  dst,
+		ch:   make(chan []Ref, depth),
+		done: make(chan struct{}),
+	}
+	p.pool.New = func() any {
+		s := make([]Ref, 0, chunk)
+		return &s
+	}
+	p.cur = p.next()
+	go p.consume()
+	return p
+}
+
+func (p *Pipeline) next() []Ref {
+	return (*(p.pool.Get().(*[]Ref)))[:0]
+}
+
+func (p *Pipeline) consume() {
+	defer close(p.done)
+	for chunk := range p.ch {
+		RecordBatch(p.dst, chunk)
+		chunk = chunk[:0]
+		p.pool.Put(&chunk)
+	}
+}
+
+// Record implements Recorder on the producer side.
+func (p *Pipeline) Record(r Ref) {
+	p.cur = append(p.cur, r)
+	if len(p.cur) == cap(p.cur) {
+		p.ship()
+	}
+}
+
+// RecordBatch implements BatchRecorder on the producer side. The caller
+// keeps ownership of refs (producers reuse their buffers), so the chunk is
+// copied into ring slots rather than aliased.
+func (p *Pipeline) RecordBatch(refs []Ref) {
+	for len(refs) > 0 {
+		n := copy(p.cur[len(p.cur):cap(p.cur)], refs)
+		p.cur = p.cur[:len(p.cur)+n]
+		refs = refs[n:]
+		if len(p.cur) == cap(p.cur) {
+			p.ship()
+		}
+	}
+}
+
+func (p *Pipeline) ship() {
+	p.ch <- p.cur
+	p.cur = p.next()
+}
+
+// Close flushes the partial chunk, waits for the consumer to drain the
+// ring, and returns once dst has observed the full stream. Idempotent;
+// the Pipeline must not be recorded to afterwards.
+func (p *Pipeline) Close() {
+	p.close.Do(func() {
+		if len(p.cur) > 0 {
+			p.ch <- p.cur
+			p.cur = nil
+		}
+		close(p.ch)
+		<-p.done
+	})
+}

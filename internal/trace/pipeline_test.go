@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// pipeRefs builds a deterministic mixed-kind stream big enough to wrap
+// the ring several times at the given chunk size.
+func pipeRefs(n int) []Ref {
+	refs := make([]Ref, n)
+	rng := uint64(42)
+	for i := range refs {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		refs[i] = Ref{Kind: Kind(rng >> 62 % 3), Addr: (rng >> 16) % (1 << 30), Size: 8}
+	}
+	return refs
+}
+
+// The pipeline's exactness contract: dst observes exactly the recorded
+// sequence, whatever the chunk geometry or producer call pattern.
+func TestPipelineDeliversExactSequence(t *testing.T) {
+	refs := pipeRefs(10000)
+	for _, chunk := range []int{1, 7, 64, 4096} {
+		var got []Ref
+		sink := FuncRecorder(func(r Ref) { got = append(got, r) })
+		p := NewPipeline(sink, chunk, 2)
+		for i := range refs {
+			p.Record(refs[i])
+		}
+		p.Close()
+		if len(got) != len(refs) {
+			t.Fatalf("chunk %d: delivered %d refs, want %d", chunk, len(got), len(refs))
+		}
+		for i := range refs {
+			if got[i] != refs[i] {
+				t.Fatalf("chunk %d: ref %d = %+v, want %+v", chunk, i, got[i], refs[i])
+			}
+		}
+	}
+}
+
+// RecordBatch must copy: the producer's buffer is reused immediately
+// after the call, so aliasing it into the ring would corrupt the stream.
+func TestPipelineRecordBatchCopies(t *testing.T) {
+	refs := pipeRefs(20000)
+	var counts Counts
+	p := NewPipeline(&counts, 128, 4)
+	buf := make([]Ref, 0, 97) // deliberately mismatched with chunk size
+	var want Counts
+	for i := range refs {
+		buf = append(buf, refs[i])
+		want.ByKind[refs[i].Kind]++
+		if len(buf) == cap(buf) {
+			p.RecordBatch(buf)
+			for j := range buf {
+				buf[j] = Ref{} // scribble over the reused buffer
+			}
+			buf = buf[:0]
+		}
+	}
+	p.RecordBatch(buf)
+	p.Close()
+	if counts != want {
+		t.Errorf("pipelined counts %+v, want %+v", counts, want)
+	}
+}
+
+// Counts through the pipeline equal counts recorded directly, and Close
+// is idempotent.
+func TestPipelineMatchesDirectAndCloseIdempotent(t *testing.T) {
+	refs := pipeRefs(5000)
+	var direct Counts
+	for i := range refs {
+		direct.Record(refs[i])
+	}
+	var piped Counts
+	p := NewPipeline(&piped, 0, 0)
+	RecordBatch(p, refs)
+	p.Close()
+	p.Close()
+	if piped != direct {
+		t.Errorf("pipelined counts %+v, want %+v", piped, direct)
+	}
+}
+
+// The pipeline in front of a file Writer must produce the identical byte
+// stream to recording into the Writer directly — the encoder is stateful
+// (per-kind deltas), so this pins ordering through the ring.
+func TestPipelineFileBytesIdentical(t *testing.T) {
+	refs := pipeRefs(3000)
+	var serial bytes.Buffer
+	w := NewWriter(&serial)
+	for i := range refs {
+		w.Record(refs[i])
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var piped bytes.Buffer
+	pw := NewWriter(&piped)
+	p := NewPipeline(pw, 256, 3)
+	RecordBatch(p, refs)
+	p.Close()
+	if err := pw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), piped.Bytes()) {
+		t.Errorf("pipelined encoding differs from serial (%d vs %d bytes)",
+			piped.Len(), serial.Len())
+	}
+}

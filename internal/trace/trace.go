@@ -54,15 +54,52 @@ type Recorder interface {
 	Record(r Ref)
 }
 
+// BatchRecorder is an optional extension of Recorder for consumers that
+// can process a chunk of references in one call, turning one virtual
+// dispatch per reference into one per chunk. The batch must be consumed
+// in slice order and produce state byte-identical to recording each
+// element individually; implementations must not retain or mutate the
+// slice after returning.
+type BatchRecorder interface {
+	Recorder
+	// RecordBatch consumes refs in order.
+	RecordBatch(refs []Ref)
+}
+
+// DefaultChunk is the reference-buffer size used by batching producers
+// (sim.CPU, Pipeline). 4096 24-byte records is ~96 KiB — large enough to
+// amortize dispatch, small enough to stay cache-resident.
+const DefaultChunk = 4096
+
+// RecordBatch delivers refs to rec in order, using the batch fast path
+// when rec implements BatchRecorder and falling back to one Record call
+// per reference otherwise.
+func RecordBatch(rec Recorder, refs []Ref) {
+	if br, ok := rec.(BatchRecorder); ok {
+		br.RecordBatch(refs)
+		return
+	}
+	for i := range refs {
+		rec.Record(refs[i])
+	}
+}
+
 // Counts tallies a reference stream by kind. The zero value is ready to use.
 type Counts struct {
 	ByKind [numKinds]uint64
 }
 
-var _ Recorder = (*Counts)(nil)
+var _ BatchRecorder = (*Counts)(nil)
 
 // Record implements Recorder.
 func (c *Counts) Record(r Ref) { c.ByKind[r.Kind]++ }
+
+// RecordBatch implements BatchRecorder.
+func (c *Counts) RecordBatch(refs []Ref) {
+	for i := range refs {
+		c.ByKind[refs[i].Kind]++
+	}
+}
 
 // IFetches returns the number of instruction fetches recorded.
 func (c *Counts) IFetches() uint64 { return c.ByKind[IFetch] }
@@ -89,12 +126,20 @@ func (c *Counts) Add(o Counts) {
 // Tee forwards every reference to each of its recorders in order.
 type Tee []Recorder
 
-var _ Recorder = Tee(nil)
+var _ BatchRecorder = Tee(nil)
 
 // Record implements Recorder.
 func (t Tee) Record(r Ref) {
 	for _, rec := range t {
 		rec.Record(r)
+	}
+}
+
+// RecordBatch implements BatchRecorder, forwarding the chunk to each
+// recorder in order (batch-capable recorders get it in one call).
+func (t Tee) RecordBatch(refs []Ref) {
+	for _, rec := range t {
+		RecordBatch(rec, refs)
 	}
 }
 
@@ -105,18 +150,41 @@ type discard struct{}
 
 func (discard) Record(Ref) {}
 
+func (discard) RecordBatch([]Ref) {}
+
 // Filter forwards only references matching Keep to Next.
 type Filter struct {
 	Next Recorder
 	Keep func(Ref) bool
 }
 
-var _ Recorder = (*Filter)(nil)
+var _ BatchRecorder = (*Filter)(nil)
 
 // Record implements Recorder.
 func (f *Filter) Record(r Ref) {
 	if f.Keep(r) {
 		f.Next.Record(r)
+	}
+}
+
+// RecordBatch implements BatchRecorder, forwarding maximal kept runs so a
+// batch-capable Next still sees chunks rather than single records.
+func (f *Filter) RecordBatch(refs []Ref) {
+	start := -1
+	for i := range refs {
+		if f.Keep(refs[i]) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			RecordBatch(f.Next, refs[start:i])
+			start = -1
+		}
+	}
+	if start >= 0 {
+		RecordBatch(f.Next, refs[start:])
 	}
 }
 
