@@ -7,11 +7,14 @@
 #   make bench-core — the fork/run pipeline benchmarks with real counts
 #   make bench-sim  — the simulation-pipeline benchmarks; writes a
 #                  versioned BENCH_SIM.json (refs/sec per stage)
+#   make bench-apps — the native application-kernel benchmarks; writes a
+#                  versioned BENCH_APPS.json (serial vs threaded vs
+#                  parallel per app)
 #   make json    — regenerate BENCH_CORE.json at the quick geometry
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-core bench-sim json
+.PHONY: check build vet test race bench bench-core bench-sim bench-apps json
 
 check: build vet test race
 
@@ -26,6 +29,7 @@ test:
 
 race:
 	$(GO) test -race ./internal/core/... ./internal/trace/...
+	$(GO) test -race -run 'Parallel|Exact|Threaded' ./internal/apps/...
 	$(GO) test -race -run 'TestGoldenEquivalence' ./internal/harness/
 
 bench:
@@ -36,6 +40,9 @@ bench-core:
 
 bench-sim:
 	$(GO) run ./cmd/locality-bench -size scaled -simbench BENCH_SIM.json
+
+bench-apps:
+	$(GO) run ./cmd/locality-bench -appbench BENCH_APPS.json
 
 json:
 	$(GO) run ./cmd/locality-bench -size quick -json BENCH_CORE.json

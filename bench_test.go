@@ -55,6 +55,7 @@ func BenchmarkTable1ThreadOverhead(b *testing.B) {
 // Table 2: matmul times, both machines.
 func BenchmarkTable2MatmulTime(b *testing.B) {
 	c := quick()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		un := c.RunMatmul(harness.MatmulInterchanged, c.R8000())
 		th := c.RunMatmul(harness.MatmulThreaded, c.R8000())
@@ -80,6 +81,7 @@ func BenchmarkTable3MatmulMisses(b *testing.B) {
 // Table 4: PDE times.
 func BenchmarkTable4PDETime(b *testing.B) {
 	c := quick()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		reg := c.RunPDE(harness.PDERegular, c.R8000())
 		cc := c.RunPDE(harness.PDECacheConscious, c.R8000())
@@ -104,6 +106,7 @@ func BenchmarkTable5PDEMisses(b *testing.B) {
 // Table 6: SOR times.
 func BenchmarkTable6SORTime(b *testing.B) {
 	c := quick()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		un := c.RunSOR(harness.SORUntiled, c.R8000())
 		ti := c.RunSOR(harness.SORHandTiled, c.R8000())
@@ -128,6 +131,7 @@ func BenchmarkTable7SORMisses(b *testing.B) {
 // Table 8: N-body times.
 func BenchmarkTable8NBodyTime(b *testing.B) {
 	c := quick()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		un := c.RunNBody(harness.NBodyUnthreaded, c.NBodyR8000(), c.NBodySteps)
 		th := c.RunNBody(harness.NBodyThreaded, c.NBodyR8000(), c.NBodySteps)

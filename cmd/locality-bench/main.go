@@ -6,7 +6,7 @@
 //	locality-bench [-exp all|table1..table9|figure4|ablations] [-size quick|scaled|full]
 //	               [-mode batch|serial|pipeline] [-parallel N]
 //	               [-progress] [-list] [-json BENCH_CORE.json]
-//	               [-simbench BENCH_SIM.json]
+//	               [-simbench BENCH_SIM.json] [-appbench BENCH_APPS.json]
 //
 // -json additionally writes a machine-readable record of the run — wall
 // nanoseconds per experiment plus each table's attached metrics (bins
@@ -21,6 +21,12 @@
 // -simbench skips the experiment tables and instead measures end-to-end
 // simulation throughput (refs/sec) through each reference-stream path,
 // writing the pipeline benchmark record (see results/README.md).
+//
+// -appbench benchmarks the native application kernels (matmul, SOR, PDE,
+// N-body) — pre-optimization vs optimized serial inner loops, and the
+// threaded variants serial vs through the parallel scheduler at 1/2/4
+// workers — writing the application benchmark record (see
+// results/README.md).
 //
 // By default every experiment runs at the scaled geometry (caches ÷16,
 // data sets shrunk to preserve the paper's data:cache ratios; see
@@ -54,6 +60,8 @@ func main() {
 	simbench := flag.String("simbench", "", "measure pipeline throughput instead of running experiments; write the record to this file (e.g. BENCH_SIM.json)")
 	baselineRPS := flag.Float64("baseline-rps", 0, "with -simbench: refs/sec of a pre-optimization build for the same workloads, recorded as the speedup baseline")
 	baselineNote := flag.String("baseline-note", "", "with -simbench: provenance note for -baseline-rps")
+	appbench := flag.String("appbench", "", "benchmark the native application kernels instead of running experiments; write the record to this file (e.g. BENCH_APPS.json)")
+	appbenchReps := flag.Int("appbench-reps", 5, "with -appbench: best-of repetition count per measurement")
 	flag.Parse()
 
 	if *list {
@@ -101,6 +109,14 @@ func main() {
 	if *simbench != "" {
 		if err := runSimBench(cfg, prog, *size, *simbench, *baselineRPS, *baselineNote); err != nil {
 			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *appbench != "" {
+		if err := runAppBench(prog, *appbench, *appbenchReps); err != nil {
+			fmt.Fprintf(os.Stderr, "appbench: %v\n", err)
 			os.Exit(1)
 		}
 		return

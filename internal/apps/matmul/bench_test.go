@@ -1,0 +1,72 @@
+package matmul
+
+import (
+	"fmt"
+	"testing"
+)
+
+const benchN = 256
+
+func benchMatrices(n int) (C, A, B []float64) {
+	C = make([]float64, n*n)
+	A = make([]float64, n*n)
+	B = make([]float64, n*n)
+	Fill(A, n, 1.0)
+	Fill(B, n, 2.0)
+	return
+}
+
+func reportGFLOPS(b *testing.B, n int) {
+	flops := 2 * float64(n) * float64(n) * float64(n)
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+// BenchmarkTiledTransposedRef is the pre-optimization 3×3 kernel baseline.
+func BenchmarkTiledTransposedRef(b *testing.B) {
+	C, A, B2 := benchMatrices(benchN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TiledTransposedRef(C, A, B2, benchN, 0)
+	}
+	reportGFLOPS(b, benchN)
+}
+
+// BenchmarkTiledTransposed is the optimized 4×4 micro-kernel.
+func BenchmarkTiledTransposed(b *testing.B) {
+	C, A, B2 := benchMatrices(benchN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TiledTransposed(C, A, B2, benchN, 0)
+	}
+	reportGFLOPS(b, benchN)
+}
+
+// BenchmarkThreaded measures the threaded variant serial and through the
+// parallel scheduler at 1/2/4 workers.
+func BenchmarkThreaded(b *testing.B) {
+	C, A, B2 := benchMatrices(benchN)
+	const l2 = 2 << 20
+	b.Run("serial", func(b *testing.B) {
+		sched := ThreadedScheduler(l2)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			Threaded(C, A, B2, benchN, sched)
+		}
+		reportGFLOPS(b, benchN)
+	})
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("parallel-w%d", w), func(b *testing.B) {
+			sched := ParallelScheduler(l2, w)
+			defer sched.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Threaded(C, A, B2, benchN, sched)
+			}
+			reportGFLOPS(b, benchN)
+		})
+	}
+}

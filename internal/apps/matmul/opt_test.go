@@ -1,0 +1,84 @@
+package matmul
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTiledTransposedMatchesRefBitwise requires the 4×4 micro-kernel to
+// be bit-identical to the pre-optimization 3×3 kernel: both accumulate
+// each C element in ascending-k order within a tile and add tiles in
+// the same sequence, so the association is unchanged.
+func TestTiledTransposedMatchesRefBitwise(t *testing.T) {
+	for _, n := range []int{4, 16, 53, 64, 100} {
+		for _, tile := range []int{0, 8, 16} {
+			ref := make([]float64, n*n)
+			opt := make([]float64, n*n)
+			A := make([]float64, n*n)
+			B := make([]float64, n*n)
+			Fill(A, n, 1.0)
+			Fill(B, n, 2.0)
+			TiledTransposedRef(ref, append([]float64(nil), A...), B, n, tile)
+			TiledTransposed(opt, A, B, n, tile)
+			for k := range ref {
+				if ref[k] != opt[k] {
+					t.Fatalf("n=%d tile=%d: C[%d] = %v, ref %v",
+						n, tile, k, opt[k], ref[k])
+				}
+			}
+		}
+	}
+}
+
+// TestTiledTransposedNearReference bounds the tile-reassociation error
+// against the naive triple loop on remainder-heavy geometries.
+func TestTiledTransposedNearReference(t *testing.T) {
+	for _, n := range []int{5, 53, 64} {
+		ref := make([]float64, n*n)
+		opt := make([]float64, n*n)
+		A := make([]float64, n*n)
+		B := make([]float64, n*n)
+		Fill(A, n, 1.0)
+		Fill(B, n, 2.0)
+		Reference(ref, append([]float64(nil), A...), B, n)
+		TiledTransposed(opt, A, B, n, 16)
+		for k := range ref {
+			rel := math.Abs(opt[k]-ref[k]) / math.Max(1, math.Abs(ref[k]))
+			if rel > 1e-9 {
+				t.Fatalf("n=%d: C[%d] = %v, reference %v (rel %v)",
+					n, k, opt[k], ref[k], rel)
+			}
+		}
+	}
+}
+
+// TestThreadedParallelMatchesSerial drives Threaded through the parallel
+// fork path and requires a bit-identical product and identical bin
+// statistics versus the serial scheduler.
+func TestThreadedParallelMatchesSerial(t *testing.T) {
+	const n = 96
+	serial := make([]float64, n*n)
+	A := make([]float64, n*n)
+	B := make([]float64, n*n)
+	Fill(A, n, 1.0)
+	Fill(B, n, 2.0)
+	ss := ThreadedScheduler(1 << 16)
+	Threaded(serial, append([]float64(nil), A...), B, n, ss)
+	want := ss.LastRun()
+
+	for _, w := range []int{1, 2, 4} {
+		par := make([]float64, n*n)
+		ps := ParallelScheduler(1<<16, w)
+		Threaded(par, append([]float64(nil), A...), B, n, ps)
+		got := ps.LastRun()
+		ps.Close()
+		for k := range serial {
+			if serial[k] != par[k] {
+				t.Fatalf("workers=%d: C[%d] = %v, serial %v", w, k, par[k], serial[k])
+			}
+		}
+		if got.Threads != want.Threads || got.Bins != want.Bins {
+			t.Fatalf("workers=%d: stats %+v, serial %+v", w, got, want)
+		}
+	}
+}

@@ -259,3 +259,16 @@ func (t *Traced) ThreadedEach(th *sim.Threads, beforeBin func(bin, threads int))
 func ThreadedScheduler(l2Size uint64) *core.Scheduler {
 	return core.New(core.Config{CacheSize: l2Size, BlockSize: l2Size / 2})
 }
+
+// ParallelScheduler is ThreadedScheduler's multicore counterpart: the same
+// binning plus sharded concurrent fork and the segmented parallel run
+// across workers. Close it to release the worker pool.
+func ParallelScheduler(l2Size uint64, workers int) *core.Scheduler {
+	return core.New(core.Config{
+		CacheSize:    l2Size,
+		BlockSize:    l2Size / 2,
+		Workers:      workers,
+		Dispatch:     core.DispatchSegmented,
+		ParallelFork: true,
+	})
+}

@@ -1,0 +1,92 @@
+package nbody
+
+import (
+	"fmt"
+	"testing"
+)
+
+const (
+	benchBodies = 4096
+	benchL      = 2 << 20
+)
+
+func reportBodies(b *testing.B) {
+	b.ReportMetric(float64(benchBodies)*float64(b.N)/b.Elapsed().Seconds(), "bodies/s")
+}
+
+// BenchmarkStepRef is the pre-optimization step: recursive build and
+// traversal, fresh tree allocation every step.
+func BenchmarkStepRef(b *testing.B) {
+	s := NewSystem(benchBodies, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		StepUnthreadedRef(s, nil)
+	}
+	reportBodies(b)
+}
+
+// BenchmarkStep is the optimized step: iterative build into a pooled
+// tree, flattened traversal — allocation-free once the pool is warm.
+func BenchmarkStep(b *testing.B) {
+	s := NewSystem(benchBodies, 42)
+	t := &Tree{}
+	StepUnthreadedReuse(s, t, nil) // warm the pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		StepUnthreadedReuse(s, t, nil)
+	}
+	reportBodies(b)
+}
+
+// BenchmarkTreeBuild isolates the tree construction: recursive fresh
+// build vs iterative pooled rebuild.
+func BenchmarkTreeBuild(b *testing.B) {
+	s := NewSystem(benchBodies, 42)
+	b.Run("recursive-fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			BuildRef(s, nil)
+		}
+	})
+	b.Run("iterative-pooled", func(b *testing.B) {
+		t := &Tree{}
+		t.Rebuild(s, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t.Rebuild(s, nil)
+		}
+	})
+}
+
+// BenchmarkStepThreaded measures the threaded step serial and through the
+// parallel scheduler at 1/2/4 workers.
+func BenchmarkStepThreaded(b *testing.B) {
+	b.Run("serial", func(b *testing.B) {
+		s := NewSystem(benchBodies, 42)
+		sched := ThreadedScheduler(benchL)
+		t := &Tree{}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			StepThreadedReuse(s, t, sched, nil)
+		}
+		reportBodies(b)
+	})
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("parallel-w%d", w), func(b *testing.B) {
+			s := NewSystem(benchBodies, 42)
+			sched := ParallelScheduler(benchL, w)
+			defer sched.Close()
+			t := &Tree{}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				StepThreadedReuse(s, t, sched, nil)
+			}
+			reportBodies(b)
+		})
+	}
+}

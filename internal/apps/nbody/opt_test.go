@@ -1,0 +1,118 @@
+package nbody
+
+import "testing"
+
+// TestRebuildMatchesBuildRef requires the iterative pooled build to
+// produce node-for-node the same tree as the recursive reference build,
+// including after pool reuse across steps.
+func TestRebuildMatchesBuildRef(t *testing.T) {
+	s := NewSystem(700, 9)
+	pooled := &Tree{}
+	for step := 0; step < 3; step++ {
+		ref := BuildRef(s, nil)
+		pooled.Rebuild(s, nil)
+		if len(ref.nodes) != len(pooled.nodes) {
+			t.Fatalf("step %d: %d nodes, ref %d", step, len(pooled.nodes), len(ref.nodes))
+		}
+		if ref.root != pooled.root || ref.Min != pooled.Min || ref.Edge != pooled.Edge {
+			t.Fatalf("step %d: tree header diverged", step)
+		}
+		for k := range ref.nodes {
+			if ref.nodes[k] != pooled.nodes[k] {
+				t.Fatalf("step %d: node %d = %+v, ref %+v",
+					step, k, pooled.nodes[k], ref.nodes[k])
+			}
+		}
+		StepUnthreadedReuse(s, pooled, nil) // advance so reuse is exercised
+	}
+}
+
+// TestAccelMatchesRef requires the flattened traversal to visit cells in
+// the recursive order, giving bit-identical accelerations.
+func TestAccelMatchesRef(t *testing.T) {
+	s := NewSystem(700, 9)
+	tree := Build(s, nil)
+	for i := range s.Bodies {
+		ref := tree.AccelRef(s, s.Bodies[i].Pos, nil)
+		got := tree.Accel(s, s.Bodies[i].Pos, nil)
+		if ref != got {
+			t.Fatalf("body %d: accel %v, ref %v", i, got, ref)
+		}
+	}
+}
+
+// TestAccelMatchesRefDeepTree forces the coincident-body overflow chain
+// (depth > maxDepth) and checks the flattened traversal still matches.
+func TestAccelMatchesRefDeepTree(t *testing.T) {
+	s := NewSystem(64, 3)
+	for i := 1; i < 8; i++ {
+		s.Bodies[i].Pos = s.Bodies[0].Pos // coincident cluster
+	}
+	tree := Build(s, nil)
+	for i := range s.Bodies {
+		ref := tree.AccelRef(s, s.Bodies[i].Pos, nil)
+		got := tree.Accel(s, s.Bodies[i].Pos, nil)
+		if ref != got {
+			t.Fatalf("body %d: accel %v, ref %v", i, got, ref)
+		}
+	}
+}
+
+// TestStepMatchesRef requires the optimized full step (pooled build +
+// flattened traversal) to reproduce the reference step bit-for-bit.
+func TestStepMatchesRef(t *testing.T) {
+	a := NewSystem(400, 21)
+	b := a.Clone()
+	tree := &Tree{}
+	for step := 0; step < 3; step++ {
+		StepUnthreadedRef(a, nil)
+		StepUnthreadedReuse(b, tree, nil)
+	}
+	for i := range a.Bodies {
+		if a.Bodies[i] != b.Bodies[i] {
+			t.Fatalf("body %d diverged:\n%+v\n%+v", i, a.Bodies[i], b.Bodies[i])
+		}
+	}
+}
+
+// TestStepThreadedParallelMatchesSerial drives the threaded step through
+// the parallel fork path and requires bit-identical trajectories and
+// identical bin statistics.
+func TestStepThreadedParallelMatchesSerial(t *testing.T) {
+	for _, w := range []int{1, 2, 4} {
+		a := NewSystem(400, 21)
+		b := a.Clone()
+		ss := ThreadedScheduler(1 << 16)
+		ps := ParallelScheduler(1<<16, w)
+		ta, tb := &Tree{}, &Tree{}
+		for step := 0; step < 3; step++ {
+			StepThreadedReuse(a, ta, ss, nil)
+			StepThreadedReuse(b, tb, ps, nil)
+			sa, sb := ss.LastRun(), ps.LastRun()
+			if sa.Threads != sb.Threads || sa.Bins != sb.Bins {
+				t.Fatalf("w=%d step %d: stats %+v, serial %+v", w, step, sb, sa)
+			}
+		}
+		ps.Close()
+		for i := range a.Bodies {
+			if a.Bodies[i] != b.Bodies[i] {
+				t.Fatalf("w=%d: body %d diverged:\n%+v\n%+v",
+					w, i, a.Bodies[i], b.Bodies[i])
+			}
+		}
+	}
+}
+
+// TestRebuildAllocationFree guards the pooled build: after one warm-up
+// build the rebuild must not allocate.
+func TestRebuildAllocationFree(t *testing.T) {
+	s := NewSystem(1500, 5)
+	tree := &Tree{}
+	tree.Rebuild(s, nil)
+	allocs := testing.AllocsPerRun(5, func() {
+		tree.Rebuild(s, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("Rebuild allocated %v objects/run after warm-up", allocs)
+	}
+}

@@ -1,6 +1,8 @@
 package nbody
 
 import (
+	"sync"
+
 	"threadsched/internal/core"
 	"threadsched/internal/sim"
 )
@@ -21,11 +23,18 @@ func applyBody(s *System, t *Tree, i int, tr *Tracer) {
 // StepUnthreaded advances the system one time step, processing bodies in
 // array order. tr may be nil. It returns the tree (for inspection).
 func StepUnthreaded(s *System, tr *Tracer) *Tree {
-	t := Build(s, tr)
+	t := &Tree{}
+	StepUnthreadedReuse(s, t, tr)
+	return t
+}
+
+// StepUnthreadedReuse is StepUnthreaded rebuilding into t's node pool, so
+// stepping in a loop allocates nothing once the pool is warm.
+func StepUnthreadedReuse(s *System, t *Tree, tr *Tracer) {
+	t.Rebuild(s, tr)
 	for i := range s.Bodies {
 		applyBody(s, t, i, tr)
 	}
-	return t
 }
 
 // HintSpanFactor scales the unit cube to the dimensions of the scheduling
@@ -74,19 +83,71 @@ func (f schedForker) Run(keep bool) { f.s.Run(keep) }
 // body with its spatial coordinates as hints. Results are bit-for-bit
 // identical to StepUnthreaded: forces come from the tree snapshot, so
 // execution order cannot change them.
+//
+// With a ParallelScheduler and no tracer, forking splits across the
+// worker count and Run drains bins on the worker pool; body threads write
+// disjoint bodies off an immutable tree snapshot, so the parallel run is
+// race-free, bit-identical, and — bins being a pure function of the hints
+// — reports identical RunStats.
 func StepThreaded(s *System, sched *core.Scheduler, tr *Tracer) *Tree {
-	return stepThreaded(s, schedForker{sched}, sched.CacheSize(), tr)
+	t := &Tree{}
+	stepThreadedInto(t, s, schedForker{sched}, sched.CacheSize(), tr, schedForkers(sched, tr))
+	return t
+}
+
+// StepThreadedReuse is StepThreaded rebuilding into t's node pool.
+func StepThreadedReuse(s *System, t *Tree, sched *core.Scheduler, tr *Tracer) {
+	stepThreadedInto(t, s, schedForker{sched}, sched.CacheSize(), tr, schedForkers(sched, tr))
+}
+
+// schedForkers returns how many goroutines may fork into sched
+// concurrently. The tracer charges a single simulated CPU and is not safe
+// for concurrent use, so traced runs always fork serially.
+func schedForkers(sched *core.Scheduler, tr *Tracer) int {
+	if tr != nil || !sched.ConcurrentFork() {
+		return 1
+	}
+	if w := sched.Workers(); w > 1 {
+		return w
+	}
+	return 1
 }
 
 func stepThreaded(s *System, f forker, cacheSize uint64, tr *Tracer) *Tree {
-	t := Build(s, tr)
+	t := &Tree{}
+	stepThreadedInto(t, s, f, cacheSize, tr, 1)
+	return t
+}
+
+func stepThreadedInto(t *Tree, s *System, f forker, cacheSize uint64, tr *Tracer, forkers int) {
+	t.Rebuild(s, tr)
+	// One closure for every thread: forking must stay allocation-free.
 	body := func(i, _ int) { applyBody(s, t, i, tr) }
-	for i := range s.Bodies {
-		h1, h2, h3 := Hints(t, cacheSize, s.Bodies[i].Pos)
-		f.Fork(body, i, 0, h1, h2, h3)
+	forkRange := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			h1, h2, h3 := Hints(t, cacheSize, s.Bodies[i].Pos)
+			f.Fork(body, i, 0, h1, h2, h3)
+		}
+	}
+	if forkers > 1 {
+		var wg sync.WaitGroup
+		chunk := (len(s.Bodies) + forkers - 1) / forkers
+		for lo := 0; lo < len(s.Bodies); lo += chunk {
+			hi := lo + chunk
+			if hi > len(s.Bodies) {
+				hi = len(s.Bodies)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				forkRange(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		forkRange(0, len(s.Bodies))
 	}
 	f.Run(false)
-	return t
 }
 
 // StepThreadedTraced is StepThreaded through the traced scheduler wrapper,
@@ -105,4 +166,16 @@ func StepThreadedWith(s *System, f Forker, cacheSize uint64, tr *Tracer) *Tree {
 // workload: three-dimensional hints, default block size (cache/3).
 func ThreadedScheduler(l2Size uint64) *core.Scheduler {
 	return core.New(core.Config{CacheSize: l2Size})
+}
+
+// ParallelScheduler is ThreadedScheduler's multicore counterpart: the
+// same binning plus sharded concurrent fork and the segmented parallel
+// run across workers. Close it to release the worker pool.
+func ParallelScheduler(l2Size uint64, workers int) *core.Scheduler {
+	return core.New(core.Config{
+		CacheSize:    l2Size,
+		Workers:      workers,
+		Dispatch:     core.DispatchSegmented,
+		ParallelFork: true,
+	})
 }

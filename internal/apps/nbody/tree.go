@@ -69,9 +69,24 @@ func octant(c [3]float64, half float64, p [3]float64) (int, [3]float64) {
 // Build constructs the octree for the system's current positions. tr may
 // be nil; when present the build's memory traffic is charged to it.
 func Build(s *System, tr *Tracer) *Tree {
+	t := &Tree{}
+	t.Rebuild(s, tr)
+	return t
+}
+
+// Rebuild reconstructs the octree for the system's current positions,
+// reusing the tree's node pool: after the first build the capacity is
+// warm and rebuilding allocates nothing (alloc overwrites pool slots via
+// append). Node identifiers, contents and tracer traffic are identical to
+// a fresh Build.
+func (t *Tree) Rebuild(s *System, tr *Tracer) {
 	min, edge := s.Bounds()
-	t := &Tree{Min: min, Edge: edge}
-	t.nodes = make([]node, 0, 2*len(s.Bodies)+8)
+	t.Min, t.Edge = min, edge
+	if t.nodes == nil {
+		t.nodes = make([]node, 0, 2*len(s.Bodies)+8)
+	} else {
+		t.nodes = t.nodes[:0]
+	}
 	center := [3]float64{min[0] + edge/2, min[1] + edge/2, min[2] + edge/2}
 	t.root = t.alloc(center, edge/2)
 	t.nodes[t.root].mass = 0
@@ -90,60 +105,65 @@ func Build(s *System, tr *Tracer) *Tree {
 		}
 		t.insert(t.root, b.Pos, b.Mass, 0, tr)
 	}
-	return t
 }
 
-// insert adds a body snapshot below node k.
+// insert adds a body snapshot below node k. The descent is an iterative
+// loop — the recursive reference's tail calls become `k = child` and the
+// split case re-enters the same node — emitting the identical node,
+// trace, and floating-point sequence with no call overhead (see
+// insertRef).
 func (t *Tree) insert(k int32, pos [3]float64, mass float64, depth int, tr *Tracer) {
-	tr.loadNode(k)
-	n := &t.nodes[k]
-	if n.leaf {
-		if n.mass == 0 {
-			// Empty leaf: take the body.
-			n.com = pos
-			n.mass = mass
-			tr.storeNode(k)
+	for {
+		tr.loadNode(k)
+		n := &t.nodes[k]
+		if n.leaf {
+			if n.mass == 0 {
+				// Empty leaf: take the body.
+				n.com = pos
+				n.mass = mass
+				tr.storeNode(k)
+				return
+			}
+			if depth >= maxDepth {
+				// Coincident overflow: chain a pseudo-leaf.
+				ov := t.alloc(n.center, n.half)
+				n = &t.nodes[k] // alloc may have moved the slice
+				t.nodes[ov].com = pos
+				t.nodes[ov].mass = mass
+				t.nodes[ov].next = n.next
+				n.next = ov
+				tr.storeNode(k)
+				return
+			}
+			// Occupied leaf: split — push the resident body down, then
+			// re-enter this (now internal) node with the new body.
+			oldCom, oldMass := n.com, n.mass
+			n.leaf = false
+			n.com = [3]float64{}
+			n.mass = 0
+			t.pushDown(k, oldCom, oldMass, depth, tr)
+			continue
+		}
+		// Internal: update aggregate, descend.
+		invM := n.mass + mass
+		for d := 0; d < 3; d++ {
+			n.com[d] = (n.com[d]*n.mass + pos[d]*mass) / invM
+		}
+		n.mass = invM
+		tr.storeNode(k)
+		idx, cc := octant(n.center, n.half, pos)
+		child := n.children[idx]
+		if child == noChild {
+			child = t.alloc(cc, n.half/2)
+			t.nodes[k].children[idx] = child
+			t.nodes[child].com = pos
+			t.nodes[child].mass = mass
+			tr.storeNode(child)
 			return
 		}
-		if depth >= maxDepth {
-			// Coincident overflow: chain a pseudo-leaf.
-			ov := t.alloc(n.center, n.half)
-			n = &t.nodes[k] // alloc may have moved the slice
-			t.nodes[ov].com = pos
-			t.nodes[ov].mass = mass
-			t.nodes[ov].next = n.next
-			n.next = ov
-			tr.storeNode(k)
-			return
-		}
-		// Occupied leaf: split — push the resident body down, then
-		// re-insert the new one at this (now internal) node.
-		oldCom, oldMass := n.com, n.mass
-		n.leaf = false
-		n.com = [3]float64{}
-		n.mass = 0
-		t.pushDown(k, oldCom, oldMass, depth, tr)
-		t.insert(k, pos, mass, depth, tr)
-		return
+		k = child
+		depth++
 	}
-	// Internal: update aggregate, descend.
-	invM := n.mass + mass
-	for d := 0; d < 3; d++ {
-		n.com[d] = (n.com[d]*n.mass + pos[d]*mass) / invM
-	}
-	n.mass = invM
-	tr.storeNode(k)
-	idx, cc := octant(n.center, n.half, pos)
-	child := n.children[idx]
-	if child == noChild {
-		child = t.alloc(cc, n.half/2)
-		t.nodes[k].children[idx] = child
-		t.nodes[child].com = pos
-		t.nodes[child].mass = mass
-		tr.storeNode(child)
-		return
-	}
-	t.insert(child, pos, mass, depth+1, tr)
 }
 
 // pushDown places an existing body snapshot into the correct child of the
@@ -161,56 +181,69 @@ func (t *Tree) pushDown(k int32, pos [3]float64, mass float64, depth int, tr *Tr
 	tr.storeNode(child)
 }
 
+// accelStackLen bounds Accel's explicit DFS stack: at most seven pending
+// siblings per level of a (maxDepth+1)-deep tree, plus the root.
+const accelStackLen = 7*(maxDepth+1) + 1
+
 // Accel computes the acceleration at pos (excluding self-interaction via
 // the softening; the caller's own snapshot contributes zero force because
 // the displacement is zero). tr may be nil.
+//
+// The traversal is a flattened depth-first walk over an explicit stack;
+// children are pushed in reverse index order so nodes pop in exactly the
+// recursive reference's visit order — the acceleration sums in the same
+// order and the trace is identical (see accelRef).
 func (t *Tree) Accel(s *System, pos [3]float64, tr *Tracer) [3]float64 {
 	var acc [3]float64
-	t.accel(t.root, s, pos, &acc, tr)
-	return acc
-}
-
-func (t *Tree) accel(k int32, s *System, pos [3]float64, acc *[3]float64, tr *Tracer) {
-	tr.loadNode(k)
-	n := &t.nodes[k]
-	dx := n.com[0] - pos[0]
-	dy := n.com[1] - pos[1]
-	dz := n.com[2] - pos[2]
-	d2 := dx*dx + dy*dy + dz*dz
-	if n.leaf || (2*n.half)*(2*n.half) < s.Theta*s.Theta*d2 {
-		// Interact with the aggregate (or the single body).
-		tr.interact()
-		if n.mass != 0 && d2 > 0 {
-			d2e := d2 + s.Eps*s.Eps
-			inv := s.G * n.mass / (d2e * math.Sqrt(d2e))
-			acc[0] += dx * inv
-			acc[1] += dy * inv
-			acc[2] += dz * inv
-		}
-		for ov := n.next; ov != noChild; ov = t.nodes[ov].next {
-			tr.loadNode(ov)
+	var stack [accelStackLen]int32
+	stack[0] = t.root
+	sp := 1
+	for sp > 0 {
+		sp--
+		k := stack[sp]
+		tr.loadNode(k)
+		n := &t.nodes[k]
+		dx := n.com[0] - pos[0]
+		dy := n.com[1] - pos[1]
+		dz := n.com[2] - pos[2]
+		d2 := dx*dx + dy*dy + dz*dz
+		if n.leaf || (2*n.half)*(2*n.half) < s.Theta*s.Theta*d2 {
+			// Interact with the aggregate (or the single body).
 			tr.interact()
-			o := &t.nodes[ov]
-			ox := o.com[0] - pos[0]
-			oy := o.com[1] - pos[1]
-			oz := o.com[2] - pos[2]
-			od2 := ox*ox + oy*oy + oz*oz
-			if od2 == 0 {
-				continue
+			if n.mass != 0 && d2 > 0 {
+				d2e := d2 + s.Eps*s.Eps
+				inv := s.G * n.mass / (d2e * math.Sqrt(d2e))
+				acc[0] += dx * inv
+				acc[1] += dy * inv
+				acc[2] += dz * inv
 			}
-			od2e := od2 + s.Eps*s.Eps
-			inv := s.G * o.mass / (od2e * math.Sqrt(od2e))
-			acc[0] += ox * inv
-			acc[1] += oy * inv
-			acc[2] += oz * inv
+			for ov := n.next; ov != noChild; ov = t.nodes[ov].next {
+				tr.loadNode(ov)
+				tr.interact()
+				o := &t.nodes[ov]
+				ox := o.com[0] - pos[0]
+				oy := o.com[1] - pos[1]
+				oz := o.com[2] - pos[2]
+				od2 := ox*ox + oy*oy + oz*oz
+				if od2 == 0 {
+					continue
+				}
+				od2e := od2 + s.Eps*s.Eps
+				inv := s.G * o.mass / (od2e * math.Sqrt(od2e))
+				acc[0] += ox * inv
+				acc[1] += oy * inv
+				acc[2] += oz * inv
+			}
+			continue
 		}
-		return
-	}
-	for _, c := range n.children {
-		if c != noChild {
-			t.accel(c, s, pos, acc, tr)
+		for ci := 7; ci >= 0; ci-- {
+			if c := n.children[ci]; c != noChild {
+				stack[sp] = c
+				sp++
+			}
 		}
 	}
+	return acc
 }
 
 // Mass returns the root aggregate mass; equals the system's total mass.

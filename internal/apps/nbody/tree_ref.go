@@ -1,0 +1,149 @@
+package nbody
+
+import "math"
+
+// The pre-optimization recursive tree build and traversal, kept as the
+// differential-test oracle and speedup baseline for the iterative,
+// pool-reusing versions in tree.go. Both emit the identical node layout,
+// tracer traffic, and floating-point operation sequence.
+
+// BuildRef constructs the octree with the recursive insertion and a fresh
+// node allocation, exactly as the pre-optimization Build did.
+func BuildRef(s *System, tr *Tracer) *Tree {
+	min, edge := s.Bounds()
+	t := &Tree{Min: min, Edge: edge}
+	t.nodes = make([]node, 0, 2*len(s.Bodies)+8)
+	center := [3]float64{min[0] + edge/2, min[1] + edge/2, min[2] + edge/2}
+	t.root = t.alloc(center, edge/2)
+	t.nodes[t.root].mass = 0
+	first := true
+	for i := range s.Bodies {
+		b := &s.Bodies[i]
+		tr.loadBodyPos(i)
+		if first {
+			r := &t.nodes[t.root]
+			r.com = b.Pos
+			r.mass = b.Mass
+			tr.storeNode(t.root)
+			first = false
+			continue
+		}
+		t.insertRef(t.root, b.Pos, b.Mass, 0, tr)
+	}
+	return t
+}
+
+// insertRef adds a body snapshot below node k, recursively.
+func (t *Tree) insertRef(k int32, pos [3]float64, mass float64, depth int, tr *Tracer) {
+	tr.loadNode(k)
+	n := &t.nodes[k]
+	if n.leaf {
+		if n.mass == 0 {
+			n.com = pos
+			n.mass = mass
+			tr.storeNode(k)
+			return
+		}
+		if depth >= maxDepth {
+			ov := t.alloc(n.center, n.half)
+			n = &t.nodes[k] // alloc may have moved the slice
+			t.nodes[ov].com = pos
+			t.nodes[ov].mass = mass
+			t.nodes[ov].next = n.next
+			n.next = ov
+			tr.storeNode(k)
+			return
+		}
+		oldCom, oldMass := n.com, n.mass
+		n.leaf = false
+		n.com = [3]float64{}
+		n.mass = 0
+		t.pushDown(k, oldCom, oldMass, depth, tr)
+		t.insertRef(k, pos, mass, depth, tr)
+		return
+	}
+	invM := n.mass + mass
+	for d := 0; d < 3; d++ {
+		n.com[d] = (n.com[d]*n.mass + pos[d]*mass) / invM
+	}
+	n.mass = invM
+	tr.storeNode(k)
+	idx, cc := octant(n.center, n.half, pos)
+	child := n.children[idx]
+	if child == noChild {
+		child = t.alloc(cc, n.half/2)
+		t.nodes[k].children[idx] = child
+		t.nodes[child].com = pos
+		t.nodes[child].mass = mass
+		tr.storeNode(child)
+		return
+	}
+	t.insertRef(child, pos, mass, depth+1, tr)
+}
+
+// AccelRef computes the acceleration at pos with the recursive traversal.
+func (t *Tree) AccelRef(s *System, pos [3]float64, tr *Tracer) [3]float64 {
+	var acc [3]float64
+	t.accelRef(t.root, s, pos, &acc, tr)
+	return acc
+}
+
+func (t *Tree) accelRef(k int32, s *System, pos [3]float64, acc *[3]float64, tr *Tracer) {
+	tr.loadNode(k)
+	n := &t.nodes[k]
+	dx := n.com[0] - pos[0]
+	dy := n.com[1] - pos[1]
+	dz := n.com[2] - pos[2]
+	d2 := dx*dx + dy*dy + dz*dz
+	if n.leaf || (2*n.half)*(2*n.half) < s.Theta*s.Theta*d2 {
+		tr.interact()
+		if n.mass != 0 && d2 > 0 {
+			d2e := d2 + s.Eps*s.Eps
+			inv := s.G * n.mass / (d2e * math.Sqrt(d2e))
+			acc[0] += dx * inv
+			acc[1] += dy * inv
+			acc[2] += dz * inv
+		}
+		for ov := n.next; ov != noChild; ov = t.nodes[ov].next {
+			tr.loadNode(ov)
+			tr.interact()
+			o := &t.nodes[ov]
+			ox := o.com[0] - pos[0]
+			oy := o.com[1] - pos[1]
+			oz := o.com[2] - pos[2]
+			od2 := ox*ox + oy*oy + oz*oz
+			if od2 == 0 {
+				continue
+			}
+			od2e := od2 + s.Eps*s.Eps
+			inv := s.G * o.mass / (od2e * math.Sqrt(od2e))
+			acc[0] += ox * inv
+			acc[1] += oy * inv
+			acc[2] += oz * inv
+		}
+		return
+	}
+	for _, c := range n.children {
+		if c != noChild {
+			t.accelRef(c, s, pos, acc, tr)
+		}
+	}
+}
+
+// StepUnthreadedRef advances one step on the recursive build and
+// traversal with a fresh tree allocation — the pre-optimization step,
+// kept as the speedup baseline.
+func StepUnthreadedRef(s *System, tr *Tracer) *Tree {
+	t := BuildRef(s, tr)
+	for i := range s.Bodies {
+		tr.loadBodyPos(i)
+		acc := t.AccelRef(s, s.Bodies[i].Pos, tr)
+		b := &s.Bodies[i]
+		for d := 0; d < 3; d++ {
+			b.Vel[d] += acc[d] * s.DT
+			b.Pos[d] += b.Vel[d] * s.DT
+		}
+		tr.update(i)
+	}
+	return t
+}

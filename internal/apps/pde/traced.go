@@ -129,10 +129,3 @@ func (g *TracedGrid) Threaded(iters int, th *sim.Threads) {
 		th.Run(false)
 	}
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

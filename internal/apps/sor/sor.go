@@ -39,8 +39,25 @@ func NewArray(n int) []float64 {
 	return a
 }
 
-// relaxColumn applies the stencil down interior column j.
+// relaxColumn applies the stencil down interior column j, carrying the
+// just-written col[i−1] in a register instead of reloading it through the
+// store. Operand order matches relaxColumnRef exactly (Go's + is
+// left-associative), so the result is bit-identical.
 func relaxColumn(a []float64, n, j int) {
+	col := a[j*n : (j+1)*n]
+	left := a[(j-1)*n : j*n]
+	right := a[(j+1)*n : (j+2)*n]
+	prev := col[0]
+	for i := 1; i < n-1; i++ {
+		v := 0.2 * (col[i] + col[i+1] + prev + right[i] + left[i])
+		col[i] = v
+		prev = v
+	}
+}
+
+// relaxColumnRef is the pre-optimization stencil kept as the
+// differential-test oracle for relaxColumn and relaxColumnPair.
+func relaxColumnRef(a []float64, n, j int) {
 	col := a[j*n : (j+1)*n]
 	left := a[(j-1)*n : j*n]
 	right := a[(j+1)*n : (j+2)*n]
@@ -49,11 +66,64 @@ func relaxColumn(a []float64, n, j int) {
 	}
 }
 
-// Untiled runs t sweeps in storage order.
+// relaxColumnPair relaxes interior columns j and j+1 in one software-
+// pipelined row sweep: at row i column j is relaxed at i and column j+1
+// at i−1, so one pass streams four columns while updating two (half the
+// memory traffic of two single-column sweeps) and the two Gauss–Seidel
+// recurrences overlap instead of serializing on one dependence chain.
+//
+// Every value each update reads is the same one the sequential order
+// (all of column j, then all of column j+1) reads: j+1's left neighbour
+// at row i−1 was written at step i−1, and j's right neighbour at row i is
+// untouched until step i+1. Operand order is preserved, so the sweep is
+// bit-identical to relaxColumnRef on j then j+1. Requires n ≥ 4.
+func relaxColumnPair(a []float64, n, j int) {
+	c0 := a[j*n : (j+1)*n]
+	c1 := a[(j+1)*n : (j+2)*n]
+	l := a[(j-1)*n : j*n]
+	r := a[(j+2)*n : (j+3)*n]
+	p0 := c0[0]
+	p1 := c1[0]
+	v0 := 0.2 * (c0[1] + c0[2] + p0 + c1[1] + l[1])
+	c0[1] = v0
+	p0 = v0
+	for i := 2; i < n-1; i++ {
+		v0 = 0.2 * (c0[i] + c0[i+1] + p0 + c1[i] + l[i])
+		c0[i] = v0
+		p0 = v0
+		v1 := 0.2 * (c1[i-1] + c1[i] + p1 + r[i-1] + c0[i-1])
+		c1[i-1] = v1
+		p1 = v1
+	}
+	v1 := 0.2 * (c1[n-2] + c1[n-1] + p1 + r[n-2] + c0[n-2])
+	c1[n-2] = v1
+}
+
+// Untiled runs t sweeps in storage order, two columns per pass where the
+// geometry allows; bit-identical to UntiledRef.
 func Untiled(a []float64, n, t int) {
+	if n < 4 {
+		UntiledRef(a, n, t)
+		return
+	}
+	for it := 0; it < t; it++ {
+		j := 1
+		for ; j+2 <= n-1; j += 2 {
+			relaxColumnPair(a, n, j)
+		}
+		for ; j < n-1; j++ {
+			relaxColumn(a, n, j)
+		}
+	}
+}
+
+// UntiledRef is the pre-optimization sweep (one column at a time, no
+// carried register), kept as the differential-test oracle and speedup
+// baseline.
+func UntiledRef(a []float64, n, t int) {
 	for it := 0; it < t; it++ {
 		for j := 1; j < n-1; j++ {
-			relaxColumn(a, n, j)
+			relaxColumnRef(a, n, j)
 		}
 	}
 }

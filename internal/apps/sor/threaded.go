@@ -40,6 +40,18 @@ func ThreadedScheduler(l2Size uint64) *core.Scheduler {
 	return core.New(core.Config{CacheSize: l2Size, BlockSize: l2Size / 2})
 }
 
+// ParallelScheduler is ThreadedScheduler's multicore counterpart for the
+// dependence-exact variant: the same binning plus the parallel wavefront
+// executor. Concurrently runnable threads of the SOR DAG are at least two
+// columns apart (thread (it₂,j₂) transitively requires (it₁, j₂+(it₂−it₁))
+// with it₁ < it₂, so a pending (it₁,j₁) has j₁ ≥ j₂+2), which keeps each
+// thread's written column out of the other's three-column window — the
+// parallel run is race-free and still bit-identical to Untiled. Close it
+// to release the worker pool.
+func ParallelScheduler(l2Size uint64, workers int) *core.DepScheduler {
+	return core.NewDep(core.Config{CacheSize: l2Size, BlockSize: l2Size / 2, Workers: workers})
+}
+
 // ThreadedExact runs t SOR sweeps with fine-grained column threads under
 // wavefront dependence constraints, using the dependence-aware scheduler
 // (the §6 extension): thread (it, j) runs after (it, j−1) — which also

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // DepScheduler extends the thread package with dependence constraints —
@@ -18,11 +19,22 @@ import (
 // predecessors are still pending stay queued and their bin is revisited.
 // Independent threads therefore keep the paper's bin clustering, and
 // dependent ones are delayed exactly as long as the DAG requires.
+//
+// With Config.Workers > 1, Run instead drains the DAG in waves: each wave
+// gathers every currently runnable thread, partitions them by bin into
+// contiguous weighted segments (PartitionWeights, so each worker walks
+// neighbouring bins just like the parallel Scheduler tour), and executes
+// the wave on the persistent worker pool. Threads with no dependence path
+// between them may then run concurrently — callers must ensure the
+// dependence edges cover every conflicting access, which is exactly what
+// the wavefront variants (sor.ThreadedExact, pde.ThreadedExact) encode.
+// Fork remains single-goroutine either way.
 type DepScheduler struct {
 	sched *Scheduler // reuses binning via an internal fork of metadata
 
 	blockShift uint
 	fold       bool
+	workers    int
 
 	threads []depThread
 	bins    []*depBin
@@ -37,8 +49,10 @@ type depThread struct {
 	fn         Func
 	arg1, arg2 int
 	bin        int
-	// waits is the number of unfinished predecessors.
-	waits int
+	// waits is the number of unfinished predecessors (-1 marks an invalid
+	// dependence). Parallel waves decrement it atomically; every read
+	// happens after the wave barrier, so plain loads elsewhere are safe.
+	waits int32
 	// dependents are thread IDs to notify on completion.
 	dependents []ThreadID
 	done       bool
@@ -56,15 +70,25 @@ type depBin struct {
 var ErrDependencyCycle = errors.New("core: dependency cycle among threads")
 
 // NewDep returns a dependence-aware scheduler configured like New.
+// Config.Workers > 1 selects the parallel wavefront executor.
 func NewDep(cfg Config) *DepScheduler {
 	s := New(cfg)
 	return &DepScheduler{
 		sched:      s,
 		blockShift: s.blockShift,
 		fold:       cfg.FoldSymmetric,
+		workers:    cfg.Workers,
 		binIdx:     make(map[binKey]int),
 	}
 }
+
+// Workers returns the configured wave-executor worker count; values below
+// two mean Run drains bins serially.
+func (d *DepScheduler) Workers() int { return d.workers }
+
+// Close releases the worker goroutines a parallel Run left parked; see
+// Scheduler.Close.
+func (d *DepScheduler) Close() { d.sched.Close() }
 
 // BlockSize returns the per-dimension block size in effect.
 func (d *DepScheduler) BlockSize() uint64 { return d.sched.BlockSize() }
@@ -115,13 +139,17 @@ func (d *DepScheduler) Fork(f Func, arg1, arg2 int, h1, h2, h3 uint64, deps ...T
 
 // Run executes all threads in a locality-greedy topological order,
 // destroying the schedule. It fails (leaving unexecuted threads
-// unexecuted) if dependencies are invalid or cyclic.
+// unexecuted) if dependencies are invalid or cyclic. With Workers > 1
+// each wave of runnable threads executes concurrently on the worker pool.
 func (d *DepScheduler) Run() error {
+	defer d.reset()
 	for _, t := range d.threads {
 		if t.waits < 0 {
-			d.reset()
 			return fmt.Errorf("core: thread depends on an unknown thread ID")
 		}
+	}
+	if d.workers > 1 {
+		return d.runWaves()
 	}
 	remaining := d.pending
 	for remaining > 0 {
@@ -130,13 +158,80 @@ func (d *DepScheduler) Run() error {
 			ranThisRound += d.drainBin(b)
 		}
 		if ranThisRound == 0 {
-			d.reset()
 			return ErrDependencyCycle
 		}
 		remaining -= ranThisRound
 	}
-	d.reset()
 	return nil
+}
+
+// runWaves is the parallel executor: repeatedly collect the runnable
+// frontier (per bin, in forked order), cut it into contiguous weighted
+// bin segments, and execute one segment per worker. The barrier between
+// waves is what lets dependents observe completed predecessors without
+// per-thread synchronization; within a wave only threads with no
+// dependence path between them run, and they are at least two bins apart
+// in the wavefront codes, so per-worker bin runs keep the paper's
+// clustering.
+func (d *DepScheduler) runWaves() error {
+	var (
+		ids     [][]ThreadID
+		weights []int
+	)
+	for d.pending > 0 {
+		ids, weights = ids[:0], weights[:0]
+		total := 0
+		for _, b := range d.bins {
+			var runnable []ThreadID
+			for i := b.next; i < len(b.queue); i++ {
+				id := b.queue[i]
+				t := &d.threads[id]
+				if t.done {
+					if i == b.next {
+						b.next++
+					}
+					continue
+				}
+				if t.waits > 0 {
+					continue
+				}
+				runnable = append(runnable, id)
+			}
+			if len(runnable) > 0 {
+				ids = append(ids, runnable)
+				weights = append(weights, len(runnable))
+				total += len(runnable)
+			}
+		}
+		if total == 0 {
+			return ErrDependencyCycle
+		}
+		d.executeWave(ids, weights)
+		d.pending -= total
+	}
+	return nil
+}
+
+// executeWave runs the collected frontier on the worker pool, one
+// contiguous run of bins per worker.
+func (d *DepScheduler) executeWave(ids [][]ThreadID, weights []int) {
+	starts := PartitionWeights(weights, d.workers)
+	d.sched.fanOut(len(starts), func(self int) {
+		hi := len(ids)
+		if self+1 < len(starts) {
+			hi = starts[self+1]
+		}
+		for bi := starts[self]; bi < hi; bi++ {
+			for _, id := range ids[bi] {
+				t := &d.threads[id]
+				t.fn(t.arg1, t.arg2)
+				t.done = true
+				for _, dep := range t.dependents {
+					atomic.AddInt32(&d.threads[dep].waits, -1)
+				}
+			}
+		}
+	})
 }
 
 // drainBin runs every currently runnable thread of the bin, in forked

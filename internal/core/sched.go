@@ -164,6 +164,15 @@ func (s *Scheduler) CacheSize() uint64 { return s.cfg.CacheSize }
 // HashDim returns the per-dimension hash table size currently in effect.
 func (s *Scheduler) HashDim() int { return s.hashDim }
 
+// Workers returns the configured parallel-run worker count; values below
+// two mean Run executes serially on the calling goroutine.
+func (s *Scheduler) Workers() int { return s.cfg.Workers }
+
+// ConcurrentFork reports whether the scheduler was built with
+// Config.ParallelFork, i.e. whether Fork may be called from multiple
+// goroutines concurrently (never concurrently with Run).
+func (s *Scheduler) ConcurrentFork() bool { return s.shards != nil }
+
 // Pending returns the number of threads forked but not yet run.
 func (s *Scheduler) Pending() int { return s.pendingCount() }
 

@@ -107,13 +107,6 @@ func (c Config) Ablations(prog Progress) *tables.Table {
 	return t
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // lineFootprint counts distinct cache lines touched, resettable per bin.
 type lineFootprint struct {
 	shift uint

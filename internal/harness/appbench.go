@@ -1,0 +1,202 @@
+package harness
+
+import (
+	"strconv"
+	"time"
+
+	"threadsched/internal/apps/matmul"
+	"threadsched/internal/apps/nbody"
+	"threadsched/internal/apps/pde"
+	"threadsched/internal/apps/sor"
+	"threadsched/internal/core"
+)
+
+// AppResult is one application's native-kernel benchmark from AppBench:
+// best-of-N wall times for the pre-optimization serial kernel, the
+// optimized serial kernel, the threaded variant on the serial
+// scheduler, and the threaded variant through the parallel machinery at
+// several worker counts.
+type AppResult struct {
+	// App names the workload: "matmul", "sor", "pde", or "nbody".
+	App string `json:"app"`
+	// Size describes the problem geometry measured.
+	Size string `json:"size"`
+	// Unit names the Throughput unit.
+	Unit string `json:"unit"`
+	// SerialRefNS is the pre-optimization serial kernel's best wall time.
+	SerialRefNS int64 `json:"serial_ref_ns"`
+	// SerialNS is the optimized serial kernel's best wall time.
+	SerialNS int64 `json:"serial_ns"`
+	// ThreadedNS is the threaded variant on the serial scheduler.
+	ThreadedNS int64 `json:"threaded_ns"`
+	// ParallelNS maps worker count ("1", "2", "4") to the threaded
+	// variant's best wall time through the parallel scheduler.
+	ParallelNS map[string]int64 `json:"parallel_ns"`
+	// KernelRefNS and KernelNS, when set, time just the optimized inner
+	// kernel where the serial times above include phases the optimization
+	// does not target (nbody: the tree build, while the step time is
+	// dominated by the force traversal). KernelSpeedup then compares
+	// these; otherwise it is SerialRefNS / SerialNS.
+	KernelRefNS int64 `json:"kernel_ref_ns,omitempty"`
+	KernelNS    int64 `json:"kernel_ns,omitempty"`
+	// KernelSpeedup is the optimized inner kernel's win over the
+	// pre-optimization kernel.
+	KernelSpeedup float64 `json:"kernel_speedup"`
+	// ParallelSpeedup4W is ThreadedNS / ParallelNS["4"].
+	ParallelSpeedup4W float64 `json:"parallel_speedup_4w"`
+	// Throughput is the optimized serial kernel's rate in Unit.
+	Throughput float64 `json:"throughput"`
+}
+
+// appWorkers is the worker-count sweep every app's parallel variant runs.
+var appWorkers = []int{1, 2, 4}
+
+// bestOf runs fn reps times and returns the minimum wall time: the
+// least-interrupted observation, the standard estimator for a
+// deterministic kernel on a noisy host.
+func bestOf(reps int, fn func()) int64 {
+	best := int64(0)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		fn()
+		d := time.Since(start).Nanoseconds()
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// appBenchL2 is the scheduler cache-size parameter all app benchmarks
+// share (a 2 MiB L2, the paper's R8000 configuration scaled down).
+const appBenchL2 = 2 << 20
+
+func appBenchMatmul(reps int) AppResult {
+	const n = 256
+	C := make([]float64, n*n)
+	A := make([]float64, n*n)
+	B := make([]float64, n*n)
+	matmul.Fill(A, n, 1.0)
+	matmul.Fill(B, n, 2.0)
+
+	r := AppResult{App: "matmul", Size: "n=256", Unit: "GFLOP/s",
+		ParallelNS: map[string]int64{}}
+	r.SerialRefNS = bestOf(reps, func() { matmul.TiledTransposedRef(C, A, B, n, 0) })
+	r.SerialNS = bestOf(reps, func() { matmul.TiledTransposed(C, A, B, n, 0) })
+	sched := matmul.ThreadedScheduler(appBenchL2)
+	r.ThreadedNS = bestOf(reps, func() { matmul.Threaded(C, A, B, n, sched) })
+	for _, w := range appWorkers {
+		ps := matmul.ParallelScheduler(appBenchL2, w)
+		r.ParallelNS[strconv.Itoa(w)] = bestOf(reps, func() { matmul.Threaded(C, A, B, n, ps) })
+		ps.Close()
+	}
+	r.Throughput = 2 * float64(n) * float64(n) * float64(n) / float64(r.SerialNS)
+	return r
+}
+
+func appBenchSOR(reps int) AppResult {
+	const n, iters = 501, 10
+	a := sor.NewArray(n)
+
+	r := AppResult{App: "sor", Size: "n=501 t=10", Unit: "Mupdates/s",
+		ParallelNS: map[string]int64{}}
+	r.SerialRefNS = bestOf(reps, func() { sor.UntiledRef(a, n, iters) })
+	r.SerialNS = bestOf(reps, func() { sor.Untiled(a, n, iters) })
+	ds := core.NewDep(core.Config{CacheSize: appBenchL2, BlockSize: appBenchL2 / 2})
+	r.ThreadedNS = bestOf(reps, func() { _ = sor.ThreadedExact(a, n, iters, ds) })
+	for _, w := range appWorkers {
+		ps := sor.ParallelScheduler(appBenchL2, w)
+		r.ParallelNS[strconv.Itoa(w)] = bestOf(reps, func() { _ = sor.ThreadedExact(a, n, iters, ps) })
+		ps.Close()
+	}
+	r.Throughput = float64(iters) * float64(n-2) * float64(n-2) / float64(r.SerialNS) * 1e3
+	return r
+}
+
+func appBenchPDE(reps int) AppResult {
+	const n, iters = 513, 5
+	g := pde.NewGrid(n)
+
+	r := AppResult{App: "pde", Size: "n=513 iters=5", Unit: "Mupdates/s",
+		ParallelNS: map[string]int64{}}
+	r.SerialRefNS = bestOf(reps, func() { pde.CacheConsciousRef(g, iters) })
+	r.SerialNS = bestOf(reps, func() { pde.CacheConscious(g, iters) })
+	ds := core.NewDep(core.Config{CacheSize: appBenchL2, BlockSize: appBenchL2 / 2})
+	r.ThreadedNS = bestOf(reps, func() { _ = pde.ThreadedExact(g, iters, ds) })
+	for _, w := range appWorkers {
+		ps := pde.ParallelScheduler(appBenchL2, w)
+		r.ParallelNS[strconv.Itoa(w)] = bestOf(reps, func() { _ = pde.ThreadedExact(g, iters, ps) })
+		ps.Close()
+	}
+	r.Throughput = float64(iters) * float64(n-2) * float64(n-2) / float64(r.SerialNS) * 1e3
+	return r
+}
+
+func appBenchNBody(reps int) AppResult {
+	const bodies = 4096
+	r := AppResult{App: "nbody", Size: "bodies=4096", Unit: "bodies/s",
+		ParallelNS: map[string]int64{}}
+
+	sRef := nbody.NewSystem(bodies, 42)
+	r.SerialRefNS = bestOf(reps, func() { nbody.StepUnthreadedRef(sRef, nil) })
+
+	s := nbody.NewSystem(bodies, 42)
+	tree := &nbody.Tree{}
+	nbody.StepUnthreadedReuse(s, tree, nil) // warm the node pool
+	r.SerialNS = bestOf(reps, func() { nbody.StepUnthreadedReuse(s, tree, nil) })
+
+	// The optimized inner kernel is the tree build (iterative, pooled
+	// nodes); the step is dominated by the force traversal, so time the
+	// build on its own as well.
+	r.KernelRefNS = bestOf(reps, func() { nbody.BuildRef(s, nil) })
+	r.KernelNS = bestOf(reps, func() { tree.Rebuild(s, nil) })
+
+	st := nbody.NewSystem(bodies, 42)
+	sched := nbody.ThreadedScheduler(appBenchL2)
+	tt := &nbody.Tree{}
+	r.ThreadedNS = bestOf(reps, func() { nbody.StepThreadedReuse(st, tt, sched, nil) })
+	for _, w := range appWorkers {
+		sp := nbody.NewSystem(bodies, 42)
+		ps := nbody.ParallelScheduler(appBenchL2, w)
+		tp := &nbody.Tree{}
+		r.ParallelNS[strconv.Itoa(w)] = bestOf(reps, func() { nbody.StepThreadedReuse(sp, tp, ps, nil) })
+		ps.Close()
+	}
+	r.Throughput = float64(bodies) / float64(r.SerialNS) * 1e9
+	return r
+}
+
+// AppBench benchmarks the paper's four application kernels: serial
+// reference vs optimized inner loop, and the threaded variant serial vs
+// through the parallel scheduler at 1/2/4 workers. reps is the best-of
+// repetition count per measurement.
+func AppBench(reps int, prog Progress) []AppResult {
+	if reps < 1 {
+		reps = 1
+	}
+	benches := []struct {
+		name string
+		fn   func(int) AppResult
+	}{
+		{"matmul", appBenchMatmul},
+		{"sor", appBenchSOR},
+		{"pde", appBenchPDE},
+		{"nbody", appBenchNBody},
+	}
+	var out []AppResult
+	for _, b := range benches {
+		prog.printf("appbench: %s", b.name)
+		r := b.fn(reps)
+		switch {
+		case r.KernelNS > 0:
+			r.KernelSpeedup = float64(r.KernelRefNS) / float64(r.KernelNS)
+		case r.SerialNS > 0:
+			r.KernelSpeedup = float64(r.SerialRefNS) / float64(r.SerialNS)
+		}
+		if p4 := r.ParallelNS["4"]; p4 > 0 {
+			r.ParallelSpeedup4W = float64(r.ThreadedNS) / float64(p4)
+		}
+		out = append(out, r)
+	}
+	return out
+}
