@@ -11,10 +11,14 @@
 #                  versioned BENCH_APPS.json (serial vs threaded vs
 #                  parallel per app)
 #   make json    — regenerate BENCH_CORE.json at the quick geometry
+#   make timeline — demo the observability layer: run one table with
+#                  metrics + worker timeline attached, writing
+#                  metrics.json and timeline.json (load the latter in
+#                  chrome://tracing or https://ui.perfetto.dev)
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-core bench-sim bench-apps json
+.PHONY: check build vet test race bench bench-core bench-sim bench-apps json timeline
 
 check: build vet test race
 
@@ -28,7 +32,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/trace/...
+	$(GO) test -race ./internal/core/... ./internal/trace/... ./internal/obs/...
 	$(GO) test -race -run 'Parallel|Exact|Threaded' ./internal/apps/...
 	$(GO) test -race -run 'TestGoldenEquivalence' ./internal/harness/
 
@@ -46,3 +50,7 @@ bench-apps:
 
 json:
 	$(GO) run ./cmd/locality-bench -size quick -json BENCH_CORE.json
+
+timeline:
+	$(GO) run ./cmd/locality-bench -exp table2 -size quick -mode pipeline -parallel 2 \
+		-metrics metrics.json -timeline timeline.json

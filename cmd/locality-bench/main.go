@@ -7,6 +7,7 @@
 //	               [-mode batch|serial|pipeline] [-parallel N]
 //	               [-progress] [-list] [-json BENCH_CORE.json]
 //	               [-simbench BENCH_SIM.json] [-appbench BENCH_APPS.json]
+//	               [-metrics metrics.json] [-timeline timeline.json]
 //
 // -json additionally writes a machine-readable record of the run — wall
 // nanoseconds per experiment plus each table's attached metrics (bins
@@ -21,6 +22,15 @@
 // -simbench skips the experiment tables and instead measures end-to-end
 // simulation throughput (refs/sec) through each reference-stream path,
 // writing the pipeline benchmark record (see results/README.md).
+//
+// -metrics writes a merged JSON snapshot of the observability registry —
+// per-worker steals, bins and threads run, segment drain times, pipeline
+// ring depth and stalls, cache-sim wall time and refs/sec. -timeline
+// writes a Chrome trace_event JSON worker timeline (one row per worker
+// lane, spans for segment drains, pipeline drains, and harness jobs);
+// load it in chrome://tracing or https://ui.perfetto.dev. Either flag
+// attaches the observability layer; neither changes any table number
+// (pinned by the harness equivalence tests).
 //
 // -appbench benchmarks the native application kernels (matmul, SOR, PDE,
 // N-body) — pre-optimization vs optimized serial inner loops, and the
@@ -45,6 +55,7 @@ import (
 	"time"
 
 	"threadsched/internal/harness"
+	"threadsched/internal/obs"
 	"threadsched/internal/tables"
 )
 
@@ -62,6 +73,8 @@ func main() {
 	baselineNote := flag.String("baseline-note", "", "with -simbench: provenance note for -baseline-rps")
 	appbench := flag.String("appbench", "", "benchmark the native application kernels instead of running experiments; write the record to this file (e.g. BENCH_APPS.json)")
 	appbenchReps := flag.Int("appbench-reps", 5, "with -appbench: best-of repetition count per measurement")
+	metricsOut := flag.String("metrics", "", "write a merged scheduler/pipeline/sim metrics snapshot (JSON) to this file")
+	timelineOut := flag.String("timeline", "", "write a Chrome trace_event worker timeline (JSON, for chrome://tracing or Perfetto) to this file")
 	flag.Parse()
 
 	if *list {
@@ -95,6 +108,28 @@ func main() {
 	}
 	cfg.Parallel = *parallel
 
+	// The observability layer attaches when either output is requested:
+	// one metrics track per parallel simulation lane plus room for the
+	// pipeline-drain and job lanes AcquireTrack hands out.
+	var o *obs.Obs
+	if *metricsOut != "" || *timelineOut != "" {
+		tracks := 2 * *parallel
+		if tracks < 4 {
+			tracks = 4
+		}
+		o = obs.New(tracks)
+		if *timelineOut != "" {
+			o.WithTimeline()
+		}
+		cfg.Obs = o
+	}
+	writeObs := func() {
+		if err := writeObsFiles(o, *metricsOut, *timelineOut); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	var prog harness.Progress
 	if *progress {
 		var mu sync.Mutex
@@ -111,6 +146,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
 			os.Exit(1)
 		}
+		writeObs()
 		return
 	}
 
@@ -119,6 +155,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "appbench: %v\n", err)
 			os.Exit(1)
 		}
+		writeObs()
 		return
 	}
 
@@ -192,6 +229,44 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s (%d experiments)\n", *jsonOut, len(record.Experiments))
 	}
+	writeObs()
+}
+
+// writeObsFiles dumps the metrics snapshot and/or timeline collected by o;
+// a nil o (neither flag given) writes nothing.
+func writeObsFiles(o *obs.Obs, metricsPath, timelinePath string) error {
+	if o == nil {
+		return nil
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		err = o.Snapshot().WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing %s: %v", metricsPath, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", metricsPath)
+	}
+	if timelinePath != "" {
+		f, err := os.Create(timelinePath)
+		if err != nil {
+			return err
+		}
+		err = o.Timeline().WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing %s: %v", timelinePath, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (load in chrome://tracing or https://ui.perfetto.dev)\n", timelinePath)
+	}
+	return nil
 }
 
 // benchRecord is the machine-readable run summary written by -json; its

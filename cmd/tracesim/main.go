@@ -10,6 +10,7 @@
 //	         [-l1i size,line,assoc] [-l1d size,line,assoc] [-l2 size,line,assoc]
 //	         [-pagesize N -placement identity|sequential|random|coloring]
 //	         [-mode batch|serial] [-parallel N]
+//	         [-metrics metrics.json] [-timeline timeline.json]
 //	         trace-file... (or - for stdin)
 //
 // Multiple trace files replay through independent hierarchies built from
@@ -18,6 +19,11 @@
 // parallelism, and both -mode paths produce identical counters (the
 // batch path decodes and presents references in chunks, saving one
 // interface dispatch per reference).
+//
+// -metrics writes a JSON snapshot counting each replay's references
+// (tracesim.refs, one track per input file) and replay wall times;
+// -timeline writes a Chrome trace_event JSON with one span per input,
+// named after it, for eyeballing how -parallel replays overlapped.
 //
 // Generate traces with the trace package's Writer, e.g. from an
 // instrumented workload (see examples/tracegen in the package docs).
@@ -32,9 +38,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"threadsched/internal/cache"
 	"threadsched/internal/machine"
+	"threadsched/internal/obs"
 	"threadsched/internal/trace"
 	"threadsched/internal/vm"
 )
@@ -60,6 +68,8 @@ func main() {
 	placement := flag.String("placement", "identity", "page placement: identity, sequential, random, coloring")
 	mode := flag.String("mode", "batch", "replay path: batch (chunked decode) or serial (both bit-identical)")
 	parallel := flag.Int("parallel", 1, "replay up to N trace files concurrently")
+	metricsOut := flag.String("metrics", "", "write per-input reference counts and replay times (JSON) to this file")
+	timelineOut := flag.String("timeline", "", "write a Chrome trace_event replay timeline (JSON) to this file")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -148,6 +158,13 @@ func main() {
 	}
 
 	names := flag.Args()
+	var o *obs.Obs
+	if *metricsOut != "" || *timelineOut != "" {
+		o = obs.New(len(names))
+		if *timelineOut != "" {
+			o.WithTimeline()
+		}
+	}
 	outs := make([]bytes.Buffer, len(names))
 	errs := make([]error, len(names))
 	workers := *parallel
@@ -165,7 +182,7 @@ func main() {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			errs[i] = replay(&outs[i], name, len(names) > 1, batch, *tlbEntries, newSetup)
+			errs[i] = replay(&outs[i], name, len(names) > 1, batch, *tlbEntries, newSetup, o, i)
 		}(i, name)
 	}
 	wg.Wait()
@@ -175,16 +192,50 @@ func main() {
 		}
 		os.Stdout.Write(outs[i].Bytes())
 	}
+	if o != nil {
+		if *metricsOut != "" {
+			if err := writeFileWith(*metricsOut, func(w io.Writer) error {
+				return o.Snapshot().WriteJSON(w)
+			}); err != nil {
+				fatal("writing %s: %v", *metricsOut, err)
+			}
+		}
+		if *timelineOut != "" {
+			if err := writeFileWith(*timelineOut, o.Timeline().WriteJSON); err != nil {
+				fatal("writing %s: %v", *timelineOut, err)
+			}
+		}
+	}
+}
+
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // replay decodes one trace through a fresh hierarchy and writes its report
 // to w. Output is buffered per input so -parallel replays print in
-// argument order.
-func replay(w io.Writer, name string, labeled, batch bool, tlbEntries int, newSetup func() (*simSetup, error)) error {
+// argument order. With o attached, the replay records its reference count
+// and wall time on its own track and a timeline span named after the
+// input.
+func replay(w io.Writer, name string, labeled, batch bool, tlbEntries int, newSetup func() (*simSetup, error), o *obs.Obs, track int) error {
 	s, err := newSetup()
 	if err != nil {
 		return err
 	}
+	var start time.Time
+	if o.Enabled() {
+		o.Timeline().SetTrackName(track, name)
+		start = time.Now()
+	}
+	sp := o.Timeline().Begin(track, name)
 	var in io.Reader
 	if name == "-" {
 		in = os.Stdin
@@ -210,6 +261,13 @@ func replay(w io.Writer, name string, labeled, batch bool, tlbEntries int, newSe
 	}
 	if err != nil {
 		return fmt.Errorf("reading trace: %v", err)
+	}
+	sp.End()
+	if o.Enabled() {
+		refs := s.h.Refs()
+		reg := o.Registry()
+		reg.Counter("tracesim.refs").Add(track, refs.Total())
+		reg.Histogram("tracesim.replay_ns").Observe(track, uint64(time.Since(start)))
 	}
 	if labeled {
 		fmt.Fprintf(w, "== %s ==\n", name)

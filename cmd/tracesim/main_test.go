@@ -65,17 +65,17 @@ func TestReplayBatchSerialIdentical(t *testing.T) {
 		return &simSetup{h: cache.MustNewHierarchy(m.Caches, nil), cfg: m.Caches}, nil
 	}
 	var serial, batch bytes.Buffer
-	if err := replay(&serial, path, false, false, 0, setup); err != nil {
+	if err := replay(&serial, path, false, false, 0, setup, nil, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := replay(&batch, path, false, true, 0, setup); err != nil {
+	if err := replay(&batch, path, false, true, 0, setup, nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	if serial.String() != batch.String() {
 		t.Errorf("batch replay diverges from serial:\nserial:\n%s\nbatch:\n%s", serial.String(), batch.String())
 	}
 	var labeled bytes.Buffer
-	if err := replay(&labeled, path, true, true, 0, setup); err != nil {
+	if err := replay(&labeled, path, true, true, 0, setup, nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(labeled.String(), "== "+path+" ==\n") {

@@ -71,6 +71,8 @@ import (
 	"fmt"
 	"math/bits"
 	"runtime"
+
+	"threadsched/internal/obs"
 )
 
 // Func is the thread body: the paper's f(arg1, arg2).
@@ -194,6 +196,12 @@ type Config struct {
 	// rounded up to a power of two; 0 selects a default derived from
 	// GOMAXPROCS.
 	ForkShards int
+	// Obs attaches the observability layer: per-worker scheduler metrics
+	// (steals, bins and threads per worker, segment drain times), worker
+	// timeline spans, and pprof labels on the worker pool. Nil (the
+	// default) disables all of it; the disabled path is a nil-check fast
+	// path that performs no timing calls and no allocation.
+	Obs *obs.Obs
 }
 
 // defaultForkShards sizes the lock striping at several stripes per

@@ -4,6 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
+
+	"threadsched/internal/obs"
 )
 
 // DepScheduler extends the thread package with dependence constraints —
@@ -35,6 +38,10 @@ type DepScheduler struct {
 	blockShift uint
 	fold       bool
 	workers    int
+
+	// met records the wavefront metrics (dep.waves, dep.frontier,
+	// dep.wave_ns); disabled when the Config carried no Obs.
+	met depObs
 
 	threads []depThread
 	bins    []*depBin
@@ -78,6 +85,7 @@ func NewDep(cfg Config) *DepScheduler {
 		blockShift: s.blockShift,
 		fold:       cfg.FoldSymmetric,
 		workers:    cfg.Workers,
+		met:        newDepObs(cfg.Obs),
 		binIdx:     make(map[binKey]int),
 	}
 }
@@ -89,6 +97,11 @@ func (d *DepScheduler) Workers() int { return d.workers }
 // Close releases the worker goroutines a parallel Run left parked; see
 // Scheduler.Close.
 func (d *DepScheduler) Close() { d.sched.Close() }
+
+// Snapshot merges the attached observability registry (wave counts,
+// frontier sizes, wave times plus the shared worker metrics); the zero
+// Snapshot without Config.Obs. See Scheduler.Snapshot.
+func (d *DepScheduler) Snapshot() obs.Snapshot { return d.sched.Snapshot() }
 
 // BlockSize returns the per-dimension block size in effect.
 func (d *DepScheduler) BlockSize() uint64 { return d.sched.BlockSize() }
@@ -206,7 +219,16 @@ func (d *DepScheduler) runWaves() error {
 		if total == 0 {
 			return ErrDependencyCycle
 		}
+		d.met.waves.Inc(0)
+		d.met.frontier.Observe(0, uint64(total))
+		var start time.Time
+		if d.met.o != nil {
+			start = time.Now()
+		}
 		d.executeWave(ids, weights)
+		if d.met.o != nil {
+			d.met.waveNS.Observe(0, uint64(time.Since(start)))
+		}
 		d.pending -= total
 	}
 	return nil
@@ -216,7 +238,9 @@ func (d *DepScheduler) runWaves() error {
 // contiguous run of bins per worker.
 func (d *DepScheduler) executeWave(ids [][]ThreadID, weights []int) {
 	starts := PartitionWeights(weights, d.workers)
-	d.sched.fanOut(len(starts), func(self int) {
+	d.sched.fanOut(len(starts), "wave", func(self int) {
+		sp := d.sched.met.span(self, "wave")
+		defer sp.End()
 		hi := len(ids)
 		if self+1 < len(starts) {
 			hi = starts[self+1]

@@ -132,7 +132,10 @@ func (s *Scheduler) runParallel(order []*bin) {
 }
 
 // runSegmented is the default dispatch: weighted contiguous tour segments
-// plus chunked stealing.
+// plus chunked stealing. With observability attached, each contiguous
+// drain (the initial segment and every stolen refill) is timed into
+// sched.segment_drain_ns and spanned on the worker's timeline track, and
+// sched.steals counts successful refills per thief.
 func (s *Scheduler) runSegmented(order []*bin, workers int) {
 	weights := make([]int, len(order))
 	for i, b := range order {
@@ -147,15 +150,25 @@ func (s *Scheduler) runSegmented(order []*bin, workers int) {
 		}
 		segs[i].bounds.Store(packRange(starts[i], hi))
 	}
-	s.fanOut(len(segs), func(self int) {
+	s.fanOut(len(segs), "run", func(self int) {
 		for {
-			if i, ok := segs[self].next(); ok {
-				s.runBin(order[i])
-				continue
+			start := s.met.now()
+			sp := s.met.span(self, "drain")
+			bins, threads := 0, 0
+			for {
+				i, ok := segs[self].next()
+				if !ok {
+					break
+				}
+				threads += s.runBin(order[i])
+				bins++
 			}
+			s.met.threadsRun.Add(self, uint64(threads))
+			s.met.drainDone(self, start, bins, sp)
 			if !stealInto(segs, self) {
 				return
 			}
+			s.met.steals.Inc(self)
 		}
 	})
 }
@@ -192,21 +205,33 @@ func stealInto(segs []binSegment, self int) bool {
 // on different workers.
 func (s *Scheduler) runAtomic(order []*bin, workers int) {
 	var next int64 = -1
-	s.fanOut(workers, func(int) {
+	s.fanOut(workers, "run", func(self int) {
+		start := s.met.now()
+		sp := s.met.span(self, "atomic-drain")
+		bins, threads := 0, 0
 		for {
 			i := atomic.AddInt64(&next, 1)
 			if i >= int64(len(order)) {
-				return
+				break
 			}
-			s.runBin(order[i])
+			threads += s.runBin(order[i])
+			bins++
 		}
+		s.met.threadsRun.Add(self, uint64(threads))
+		s.met.drainDone(self, start, bins, sp)
 	})
 }
 
 // fanOut runs fn(0..n-1) concurrently: fn(0) on the calling goroutine and
 // the rest on pooled workers, so a keep=true re-run spawns no goroutines
-// after the first Run.
-func (s *Scheduler) fanOut(n int, fn func(worker int)) {
+// after the first Run. With observability attached, every worker runs
+// under pprof labels naming its track and phase, so profiles of a
+// parallel run split per worker.
+func (s *Scheduler) fanOut(n int, phase string, fn func(worker int)) {
+	if o := s.cfg.Obs; o != nil {
+		inner := fn
+		fn = func(w int) { o.Labeled(w, phase, func() { inner(w) }) }
+	}
 	if n <= 1 {
 		fn(0)
 		return

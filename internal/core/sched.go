@@ -73,10 +73,17 @@ type Scheduler struct {
 
 	pool *workerPool // persistent parallel-run workers, lazily created
 
+	// met holds the pre-resolved observability handles (disabled when
+	// Config.Obs is nil); see internal/core/obs.go for the metric set.
+	met schedObs
+
 	totalForked uint64 // serial-path count (sharded counts fold in via forkedCount)
 	totalRun    uint64
-	runs        uint64
-	lastRun     RunStats
+	// runs and lastRun are written by Run/RunEach and read by Stats and
+	// LastRun, which are documented callable concurrently with a live
+	// Run — hence the atomics.
+	runs    atomic.Uint64
+	lastRun atomic.Pointer[RunStats]
 }
 
 // RunStats snapshots one Run call's bin occupancy, taken before the bins
@@ -88,11 +95,18 @@ type RunStats struct {
 	Threads int
 	// Bins is the number of non-empty bins visited.
 	Bins int
-	// MinPerBin and MaxPerBin bound the per-bin thread counts.
+	// MinPerBin and MaxPerBin bound the per-bin thread counts. A bin
+	// exists only because a Fork placed a thread in it, so MinPerBin is
+	// at least 1 whenever Bins > 0; the empty snapshot — a Run with
+	// nothing forked — is all-zero and identified by Empty.
 	MinPerBin, MaxPerBin int
-	// AvgPerBin is Threads / Bins.
+	// AvgPerBin is Threads / Bins, or 0 for the empty snapshot.
 	AvgPerBin float64
 }
+
+// Empty reports whether the snapshot is of a run that visited no bins —
+// the only case in which MinPerBin and MaxPerBin read 0.
+func (r RunStats) Empty() bool { return r.Bins == 0 }
 
 // New returns a Scheduler configured by cfg.
 func New(cfg Config) *Scheduler {
@@ -105,7 +119,7 @@ func New(cfg Config) *Scheduler {
 	if cfg.GroupSize <= 0 {
 		cfg.GroupSize = DefaultGroupSize
 	}
-	s := &Scheduler{cfg: cfg}
+	s := &Scheduler{cfg: cfg, met: newSchedObs(cfg.Obs)}
 	s.Init(cfg.BlockSize, uint64(cfg.HashDim))
 	return s
 }
@@ -274,7 +288,7 @@ func (s *Scheduler) Run(keep bool) {
 	order := s.tour()
 	s.snapshotRun(order)
 	s.executeAll(order)
-	s.runs++
+	s.runs.Add(1)
 	if !keep {
 		s.release()
 	}
@@ -290,9 +304,14 @@ func (s *Scheduler) executeAll(order []*bin) {
 		s.runParallel(order)
 		return
 	}
+	start := s.met.now()
+	sp := s.met.span(0, "run")
+	threads := 0
 	for _, b := range order {
-		s.runBin(b)
+		threads += s.runBin(b)
 	}
+	s.met.threadsRun.Add(0, uint64(threads))
+	s.met.drainDone(0, start, len(order), sp)
 }
 
 // RunEach is Run with a per-bin hook: beforeBin is invoked before each
@@ -314,25 +333,26 @@ func (s *Scheduler) RunEach(keep bool, beforeBin func(bin, threads int)) {
 			s.runBin(b)
 		}
 	}()
-	s.runs++
+	s.runs.Add(1)
 	if !keep {
 		s.release()
 	}
 }
 
 func (s *Scheduler) snapshotRun(order []*bin) {
-	s.lastRun = RunStats{Threads: s.pendingCount(), Bins: len(order)}
+	st := RunStats{Threads: s.pendingCount(), Bins: len(order)}
 	for i, b := range order {
-		if i == 0 || b.threads < s.lastRun.MinPerBin {
-			s.lastRun.MinPerBin = b.threads
+		if i == 0 || b.threads < st.MinPerBin {
+			st.MinPerBin = b.threads
 		}
-		if b.threads > s.lastRun.MaxPerBin {
-			s.lastRun.MaxPerBin = b.threads
+		if b.threads > st.MaxPerBin {
+			st.MaxPerBin = b.threads
 		}
 	}
 	if len(order) > 0 {
-		s.lastRun.AvgPerBin = float64(s.lastRun.Threads) / float64(len(order))
+		st.AvgPerBin = float64(st.Threads) / float64(len(order))
 	}
+	s.lastRun.Store(&st)
 }
 
 // tour returns the bins in execution order. The order is memoized: it
@@ -347,16 +367,44 @@ func (s *Scheduler) tour() []*bin {
 	s.eachBin(func(b *bin) { bins = append(bins, b) })
 	switch s.cfg.Tour {
 	case TourMorton:
+		if tourOverflows(bins) {
+			// Distant bins would alias under the masked single-chunk
+			// curve index; use the full-width chunked compare instead.
+			s.met.tourOverflow.Inc(0)
+			sort.SliceStable(bins, func(i, j int) bool {
+				return mortonLessWide(bins[i].key, bins[j].key)
+			})
+			break
+		}
 		sort.SliceStable(bins, func(i, j int) bool {
 			return morton3(bins[i].key) < morton3(bins[j].key)
 		})
 	case TourHilbert:
+		if tourOverflows(bins) {
+			// The Hilbert transform has no exact chunked widening (curve
+			// state carries across bit planes), so overflow falls back to
+			// the paper's allocation order rather than silently aliasing
+			// distant bins onto one curve index.
+			s.met.tourOverflow.Inc(0)
+			break
+		}
 		sort.SliceStable(bins, func(i, j int) bool {
 			return hilbertLess(bins[i].key, bins[j].key)
 		})
 	}
 	s.tourCache = bins
 	return bins
+}
+
+// tourOverflows reports whether any bin's block coordinates exceed the
+// curveBits range the space-filling curves index exactly.
+func tourOverflows(bins []*bin) bool {
+	for _, b := range bins {
+		if !keyFits(b.key) {
+			return true
+		}
+	}
+	return false
 }
 
 // tourConsumeStale reports whether a bin was allocated since the cached
@@ -402,8 +450,9 @@ func (s *Scheduler) eachBin(f func(*bin)) {
 
 // runBin executes every thread of one bin, group FIFO order within the
 // bin; "the scheduling order of threads in the same bin can be arbitrary"
-// (§2.3) — we use fork order.
-func (s *Scheduler) runBin(b *bin) {
+// (§2.3) — we use fork order. It returns the thread count so dispatch
+// paths can attribute work to their worker without re-walking the groups.
+func (s *Scheduler) runBin(b *bin) int {
 	n := uint64(0)
 	for g := b.groups; g != nil; g = g.next {
 		for i := range g.recs {
@@ -413,6 +462,7 @@ func (s *Scheduler) runBin(b *bin) {
 		n += uint64(len(g.recs))
 	}
 	atomic.AddUint64(&s.totalRun, n)
+	return int(n)
 }
 
 // release destroys thread specifications after a non-keep run, recycling

@@ -1,6 +1,10 @@
 package core
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"threadsched/internal/obs"
+)
 
 // Stats reports scheduler occupancy, matching the figures quoted in the
 // paper's text (e.g. matmul: "1,048,576 threads distributed in 81 bins for
@@ -11,9 +15,12 @@ type Stats struct {
 	Pending int
 	// BinsUsed is the number of bins holding at least one thread.
 	BinsUsed int
-	// MinPerBin and MaxPerBin bound the per-bin thread counts.
+	// MinPerBin and MaxPerBin bound the per-bin thread counts. A bin
+	// exists only because a Fork placed a thread in it, so MinPerBin is
+	// at least 1 whenever BinsUsed > 0; the empty-scheduler snapshot is
+	// all-zero and identified by Empty.
 	MinPerBin, MaxPerBin int
-	// AvgPerBin is Pending / BinsUsed.
+	// AvgPerBin is Pending / BinsUsed, or 0 for the empty snapshot.
 	AvgPerBin float64
 	// TotalForked and TotalRun count threads over the scheduler's
 	// lifetime (TotalRun counts re-executions under keep).
@@ -25,29 +32,43 @@ type Stats struct {
 	HashDim   int
 }
 
+// Empty reports whether the snapshot is of a scheduler holding no bins —
+// the only case in which MinPerBin and MaxPerBin read 0.
+func (st Stats) Empty() bool { return st.BinsUsed == 0 }
+
 // Stats returns a snapshot of scheduler occupancy. Under ParallelFork it
-// may be called concurrently with Fork (stripe counters are summed under
-// their locks); the snapshot is then a consistent-enough aggregate, not a
-// point-in-time cut across stripes.
+// may be called concurrently with anything except Init: occupancy is
+// summed under the stripe locks (release takes the same locks) and the
+// lifetime counters are read atomically; the snapshot is then a
+// consistent-enough aggregate, not a point-in-time cut across stripes.
+// Without ParallelFork it may additionally be called concurrently with
+// the thread-execution phase of a Run — the bin population is frozen
+// from the start of Run until its release phase — but a caller must
+// synchronize with the completion of a keep=false Run (whose release
+// recycles the bins Stats walks), exactly as it must for Fork.
 func (s *Scheduler) Stats() Stats {
 	st := Stats{
-		Pending:     s.pendingCount(),
-		BinsUsed:    s.binsCount(),
 		TotalForked: s.forkedCount(),
 		TotalRun:    atomic.LoadUint64(&s.totalRun),
-		Runs:        s.runs,
+		Runs:        s.runs.Load(),
 		BlockSize:   s.cfg.BlockSize,
 		HashDim:     s.hashDim,
 	}
-	first := true
+	// BinsUsed, Pending, and the min/max all come from one bin walk rather
+	// than the stripe counters, so the Min ≥ 1 invariant holds even when a
+	// concurrent release has emptied a still-linked bin mid-snapshot.
 	s.eachBin(func(b *bin) {
-		if first || b.threads < st.MinPerBin {
+		if b.threads == 0 {
+			return
+		}
+		if st.BinsUsed == 0 || b.threads < st.MinPerBin {
 			st.MinPerBin = b.threads
 		}
-		if first || b.threads > st.MaxPerBin {
+		if b.threads > st.MaxPerBin {
 			st.MaxPerBin = b.threads
 		}
-		first = false
+		st.BinsUsed++
+		st.Pending += b.threads
 	})
 	if st.BinsUsed > 0 {
 		st.AvgPerBin = float64(st.Pending) / float64(st.BinsUsed)
@@ -55,8 +76,22 @@ func (s *Scheduler) Stats() Stats {
 	return st
 }
 
-// LastRun returns the occupancy snapshot of the most recent Run call.
-func (s *Scheduler) LastRun() RunStats { return s.lastRun }
+// LastRun returns the occupancy snapshot of the most recent Run call (the
+// zero RunStats before the first). Like Stats, it is safe to call while a
+// Run is in progress; it then reports that run's own snapshot, taken as
+// the run began.
+func (s *Scheduler) LastRun() RunStats {
+	if r := s.lastRun.Load(); r != nil {
+		return *r
+	}
+	return RunStats{}
+}
+
+// Snapshot merges the attached observability registry — per-worker steal,
+// bin, and drain-time metrics recorded by parallel runs — into a
+// JSON-serializable snapshot. It returns the zero Snapshot when the
+// scheduler was built without Config.Obs.
+func (s *Scheduler) Snapshot() obs.Snapshot { return s.cfg.Obs.Snapshot() }
 
 // BinOccupancy returns the per-bin thread counts in ready-list order; used
 // by the harness to report thread distribution uniformity (§4.2, §4.4).

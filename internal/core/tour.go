@@ -9,10 +9,39 @@ package core
 
 const curveBits = 21 // 3×21 = 63 bits of interleaved index
 
+// keyFits reports whether every block coordinate fits in curveBits, i.e.
+// whether the single-chunk curve index is exact for this key. Coordinates
+// beyond that range used to be silently masked, aliasing bins ≥2²¹ blocks
+// apart onto one curve index; the tour now detects overflow and switches
+// to mortonLessWide (Morton) or allocation order (Hilbert).
+func keyFits(k binKey) bool {
+	return (k[0]|k[1]|k[2])>>curveBits == 0
+}
+
 // morton3 interleaves the low curveBits bits of the three block
 // coordinates into a Z-order index.
 func morton3(k binKey) uint64 {
 	return spread(k[0]) | spread(k[1])<<1 | spread(k[2])<<2
+}
+
+// mortonLessWide orders two bin keys by the Z-order of their full 64-bit
+// coordinates. The 192-bit interleaved index is never materialized:
+// comparing Morton codes chunk-wise from the most significant coordinate
+// bits down is exactly comparing the full codes, because each chunk's
+// interleaved bits outrank everything below it.
+func mortonLessWide(a, b binKey) bool {
+	for shift := 63; shift >= 0; shift -= curveBits {
+		ma := morton3(shiftKey(a, uint(shift)))
+		mb := morton3(shiftKey(b, uint(shift)))
+		if ma != mb {
+			return ma < mb
+		}
+	}
+	return false
+}
+
+func shiftKey(k binKey, shift uint) binKey {
+	return binKey{k[0] >> shift, k[1] >> shift, k[2] >> shift}
 }
 
 // spread distributes the low 21 bits of v so consecutive bits land three

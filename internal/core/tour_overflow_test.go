@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Pin the coordinate-aliasing bug at its boundary: block coordinates
+// exactly 2^curveBits apart used to collapse onto one masked curve index.
+func TestMortonLessWideBoundary(t *testing.T) {
+	const edge = uint64(1) << curveBits
+	cases := []struct {
+		a, b binKey
+		less bool
+	}{
+		{binKey{edge - 1, 0, 0}, binKey{edge, 0, 0}, true},  // aliased to edge-1 vs 0 before
+		{binKey{edge, 0, 0}, binKey{edge - 1, 0, 0}, false}, // ... and 0 < edge-1 before
+		{binKey{edge, 0, 0}, binKey{edge, 0, 0}, false},
+		{binKey{0, 0, 0}, binKey{edge, 0, 0}, true}, // both masked to 0 before
+		{binKey{edge, 0, 0}, binKey{0, 0, 0}, false},
+		{binKey{edge, 0, 0}, binKey{edge + 1, 0, 0}, true},
+		{binKey{0, edge, 0}, binKey{0, 0, edge}, true}, // y outranks z in Z-order
+	}
+	for _, c := range cases {
+		if got := mortonLessWide(c.a, c.b); got != c.less {
+			t.Errorf("mortonLessWide(%v, %v) = %v, want %v", c.a, c.b, got, c.less)
+		}
+	}
+}
+
+// Property: within the non-overflow range the wide compare agrees exactly
+// with the single-chunk Morton index, so the fast path and the widened
+// path order bins identically.
+func TestMortonLessWideAgreesInRange(t *testing.T) {
+	f := func(a1, a2, a3, b1, b2, b3 uint32) bool {
+		const mask = 1<<curveBits - 1
+		ka := binKey{uint64(a1) & mask, uint64(a2) & mask, uint64(a3) & mask}
+		kb := binKey{uint64(b1) & mask, uint64(b2) & mask, uint64(b3) & mask}
+		return mortonLessWide(ka, kb) == (morton3(ka) < morton3(kb))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// forkAtBlocks forks threads[i]+... into the bin at block coordinate
+// coords[i] (i+1 threads each, so tour positions are identifiable by
+// occupancy), and returns the scheduler.
+func forkAtBlocks(tour TourOrder, coords []uint64) *Scheduler {
+	s := New(Config{BlockSize: 1 << 12, Tour: tour})
+	for i, c := range coords {
+		for n := 0; n <= i; n++ {
+			s.Fork(func(int, int) {}, i, n, c<<12, 0, 0)
+		}
+	}
+	return s
+}
+
+// TestTourMortonOverflowBoundary pins the fixed behavior at the aliasing
+// boundary: bins 2^21 blocks apart must sort by their true coordinates.
+// Bins are forked at block coordinates {2^21, 1, 0} carrying {1, 2, 3}
+// threads respectively; the correct Morton tour visits 0, 1, 2^21 —
+// occupancy [3 2 1]. The masked index used to alias 2^21 onto 0, and the
+// stable sort then visited [1 3 2].
+func TestTourMortonOverflowBoundary(t *testing.T) {
+	const edge = uint64(1) << curveBits
+	s := forkAtBlocks(TourMorton, []uint64{edge, 1, 0})
+	got := s.TourOccupancy()
+	want := []int{3, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("overflowing Morton tour occupancy = %v, want %v", got, want)
+		}
+	}
+	if n := s.Snapshot(); len(n.Counters) != 0 {
+		t.Fatalf("no-Obs scheduler snapshot not zero: %+v", n)
+	}
+}
+
+// TestTourMortonBelowBoundary confirms the fast path still applies just
+// inside the range: coordinates {2^21-1, 1, 0} sort 0, 1, 2^21-1.
+func TestTourMortonBelowBoundary(t *testing.T) {
+	const edge = uint64(1) << curveBits
+	s := forkAtBlocks(TourMorton, []uint64{edge - 1, 1, 0})
+	got := s.TourOccupancy()
+	want := []int{3, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("in-range Morton tour occupancy = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestTourHilbertOverflowFallsBack pins the Hilbert overflow policy: the
+// transform cannot be widened chunk-wise, so a tour containing any
+// out-of-range coordinate keeps allocation order instead of aliasing.
+func TestTourHilbertOverflowFallsBack(t *testing.T) {
+	const edge = uint64(1) << curveBits
+	s := forkAtBlocks(TourHilbert, []uint64{edge, 1, 0})
+	got := s.TourOccupancy()
+	want := []int{1, 2, 3} // allocation (fork) order
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("overflowing Hilbert tour occupancy = %v, want %v (allocation order)", got, want)
+		}
+	}
+	// In range, Hilbert still reorders as before.
+	s = forkAtBlocks(TourHilbert, []uint64{edge - 1, 1, 0})
+	got = s.TourOccupancy()
+	if got[0] != 3 {
+		t.Fatalf("in-range Hilbert tour did not sort: occupancy %v", got)
+	}
+}

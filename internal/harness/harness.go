@@ -16,6 +16,7 @@ import (
 	"threadsched/internal/cache"
 	"threadsched/internal/core"
 	"threadsched/internal/machine"
+	"threadsched/internal/obs"
 	"threadsched/internal/sim"
 	"threadsched/internal/trace"
 	"threadsched/internal/vm"
@@ -83,6 +84,14 @@ type Config struct {
 	// concurrently; 0 or 1 is serial. Experiments share nothing but
 	// their table sink, so any value is exact.
 	Parallel int
+
+	// Obs, when non-nil, attaches the observability layer to every
+	// simulation this Config runs: schedulers record their worker metrics
+	// into it, pipelines their ring metrics, CPUs their reference counts,
+	// and each harness job gets a wall-time histogram, a refs/sec gauge,
+	// and a timeline span. Enabling it changes no simulation result (the
+	// golden equivalence tests pin this).
+	Obs *obs.Obs
 }
 
 // Scaled returns the default laptop-scale configuration: caches ÷16
@@ -172,24 +181,42 @@ func (r SimResult) Seconds() float64 { return r.Time.Seconds() }
 type runner func(cpu *sim.CPU, as *vm.AddressSpace) *core.Scheduler
 
 // simulate runs one traced variant against one machine model through the
-// configured reference-stream mode.
+// configured reference-stream mode. With Config.Obs attached, the run
+// acquires a metrics track of its own and reports its wall time
+// (sim.wall_ns), reference throughput (sim.refs_per_sec), and reference
+// count (sim.refs, via the CPU) on it; the pipeline mode additionally
+// records its ring metrics. None of it alters the reference stream.
 func (c Config) simulate(m machine.Machine, fn runner) SimResult {
 	h := cache.MustNewHierarchy(m.Caches, nil)
 	var rec trace.Recorder = h
 	var pipe *trace.Pipeline
+	track := c.Obs.AcquireTrack()
 	if c.Mode == ModePipelined {
-		pipe = trace.NewPipeline(h, 0, 0)
+		pipe = trace.NewPipeline(h, 0, 0).Observe(c.Obs, track)
 		rec = pipe
 	}
-	cpu := sim.NewCPU(rec)
+	cpu := sim.NewCPU(rec).Observe(c.Obs, track)
 	if c.Mode != ModeSerial {
 		cpu.Buffer(0)
 	}
 	as := vm.NewAddressSpace()
+	var start time.Time
+	if c.Obs.Enabled() {
+		start = time.Now()
+	}
 	sched := fn(cpu, as)
 	cpu.Flush()
 	if pipe != nil {
 		pipe.Close()
+	}
+	if c.Obs.Enabled() {
+		wall := time.Since(start)
+		reg := c.Obs.Registry()
+		reg.Histogram("sim.wall_ns").Observe(track, uint64(wall))
+		if secs := wall.Seconds(); secs > 0 {
+			refs := h.Refs()
+			reg.Gauge("sim.refs_per_sec").Set(track, uint64(float64(refs.Total())/secs))
+		}
 	}
 	res := SimResult{
 		Machine:      m,
@@ -223,7 +250,7 @@ func (c Config) runJobs(prog Progress, jobs []simJob) map[string]SimResult {
 	if c.Parallel <= 1 {
 		for _, j := range jobs {
 			prog.printf("%s", j.what)
-			out[j.key] = j.run()
+			out[j.key] = c.runJob(j)
 		}
 		return out
 	}
@@ -239,7 +266,7 @@ func (c Config) runJobs(prog Progress, jobs []simJob) map[string]SimResult {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			prog.printf("%s", j.what)
-			r := j.run()
+			r := c.runJob(j)
 			mu.Lock()
 			out[j.key] = r
 			mu.Unlock()
@@ -247,6 +274,24 @@ func (c Config) runJobs(prog Progress, jobs []simJob) map[string]SimResult {
 	}
 	wg.Wait()
 	return out
+}
+
+// runJob runs one simulation, wrapped — when Config.Obs is attached — in
+// a timeline span named after the job and pprof labels, so a profile or
+// Perfetto view of a parallel table shows which experiment each lane was
+// busy with.
+func (c Config) runJob(j simJob) SimResult {
+	if !c.Obs.Enabled() {
+		return j.run()
+	}
+	tk := c.Obs.AcquireTrack()
+	var r SimResult
+	c.Obs.Labeled(tk, "job", func() {
+		sp := c.Obs.Timeline().Begin(tk, j.what)
+		r = j.run()
+		sp.End()
+	})
+	return r
 }
 
 // Progress is an optional sink for per-run progress lines (nil to

@@ -7,15 +7,19 @@ import (
 	"threadsched/internal/apps/sor"
 	"threadsched/internal/core"
 	"threadsched/internal/machine"
+	"threadsched/internal/obs"
 	"threadsched/internal/sim"
 	"threadsched/internal/vm"
 )
 
 // schedOverride builds a scheduler for a threaded variant: blockSize 0
-// selects the variant's paper default; tour selects the bin traversal.
+// selects the variant's paper default; tour selects the bin traversal;
+// obs (set by the runner constructors from Config.Obs) attaches the
+// observability layer.
 type schedOverride struct {
 	blockSize uint64
 	tour      core.TourOrder
+	obs       *obs.Obs
 }
 
 func (o schedOverride) build(l2 uint64, defaultBlock uint64) *core.Scheduler {
@@ -23,7 +27,7 @@ func (o schedOverride) build(l2 uint64, defaultBlock uint64) *core.Scheduler {
 	if block == 0 {
 		block = defaultBlock
 	}
-	return core.New(core.Config{CacheSize: l2, BlockSize: block, Tour: o.tour})
+	return core.New(core.Config{CacheSize: l2, BlockSize: block, Tour: o.tour, Obs: o.obs})
 }
 
 // Matrix multiply runners (Tables 2, 3; Figure 4).
@@ -42,6 +46,7 @@ const (
 
 func (c Config) matmulRunner(v MatmulVariant, m machine.Machine, o schedOverride) runner {
 	n := c.MatmulN
+	o.obs = c.Obs
 	return func(cpu *sim.CPU, as *vm.AddressSpace) *core.Scheduler {
 		tr := matmul.NewTraced(cpu, as, n)
 		switch v {
@@ -88,6 +93,7 @@ const (
 
 func (c Config) pdeRunner(v PDEVariant, m machine.Machine, o schedOverride) runner {
 	n, iters := c.PDEN, c.PDEIters
+	o.obs = c.Obs
 	return func(cpu *sim.CPU, as *vm.AddressSpace) *core.Scheduler {
 		g := pde.NewTracedGrid(cpu, as, n)
 		switch v {
@@ -130,6 +136,7 @@ const (
 
 func (c Config) sorRunner(v SORVariant, m machine.Machine, o schedOverride) runner {
 	n, iters := c.SORN, c.SORIters
+	o.obs = c.Obs
 	return func(cpu *sim.CPU, as *vm.AddressSpace) *core.Scheduler {
 		tr := sor.NewTracedArray(cpu, as, n)
 		switch v {
@@ -175,6 +182,7 @@ const (
 
 func (c Config) nbodyRunner(v NBodyVariant, m machine.Machine, steps int, o schedOverride) runner {
 	n := c.NBodyN
+	o.obs = c.Obs
 	return func(cpu *sim.CPU, as *vm.AddressSpace) *core.Scheduler {
 		s := nbody.NewSystem(n, 42)
 		tr := nbody.NewTracer(cpu, as, n)

@@ -1,0 +1,82 @@
+package obs
+
+import "testing"
+
+// TestDisabledPathDoesNotAllocate pins the zero-overhead contract: every
+// recording operation through nil (disabled) handles must be free of
+// allocation, since instrumented hot paths call them unconditionally.
+func TestDisabledPathDoesNotAllocate(t *testing.T) {
+	var o *Obs
+	c := o.Registry().Counter("c")
+	g := o.Registry().Gauge("g")
+	h := o.Registry().Histogram("h")
+	tl := o.Timeline()
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Add(1, 2)
+		c.Inc(0)
+		g.Set(0, 3)
+		h.Observe(2, 4)
+		sp := tl.Begin(0, "span")
+		sp.End()
+		_ = o.AcquireTrack()
+	}); n != 0 {
+		t.Fatalf("disabled recording path allocates %v per op, want 0", n)
+	}
+}
+
+// The enabled steady-state recording path must not allocate either —
+// cells are preallocated at metric creation.
+func TestEnabledRecordingDoesNotAllocate(t *testing.T) {
+	o := New(4)
+	c := o.Registry().Counter("c")
+	g := o.Registry().Gauge("g")
+	h := o.Registry().Histogram("h")
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc(1)
+		g.Set(1, 7)
+		h.Observe(1, 9)
+	}); n != 0 {
+		t.Fatalf("enabled recording path allocates %v per op, want 0", n)
+	}
+}
+
+func BenchmarkCounterDisabled(b *testing.B) {
+	b.ReportAllocs()
+	var c *Counter
+	for i := 0; i < b.N; i++ {
+		c.Inc(0)
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	b.ReportAllocs()
+	c := NewRegistry(4).Counter("c")
+	for i := 0; i < b.N; i++ {
+		c.Inc(1)
+	}
+}
+
+func BenchmarkHistogramDisabled(b *testing.B) {
+	b.ReportAllocs()
+	var h *Histogram
+	for i := 0; i < b.N; i++ {
+		h.Observe(0, uint64(i))
+	}
+}
+
+func BenchmarkHistogramEnabled(b *testing.B) {
+	b.ReportAllocs()
+	h := NewRegistry(4).Histogram("h")
+	for i := 0; i < b.N; i++ {
+		h.Observe(1, uint64(i))
+	}
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	b.ReportAllocs()
+	var tl *Timeline
+	for i := 0; i < b.N; i++ {
+		sp := tl.Begin(0, "x")
+		sp.End()
+	}
+}

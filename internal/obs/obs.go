@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+	"sync/atomic"
+)
+
+// Obs bundles the pieces of the observability layer an instrumented
+// component needs: the metrics registry, the (optional) span timeline,
+// and pprof labelling for worker goroutines. A nil *Obs is the disabled
+// state; every method on it is a safe no-op fast path, so code threads
+// an *Obs through unconditionally and pays only nil checks when
+// observability is off.
+type Obs struct {
+	reg    *Registry
+	tl     *Timeline
+	ticket atomic.Uint64
+}
+
+// New returns an enabled Obs with a metrics registry sharded over the
+// given number of tracks. The timeline stays disabled until
+// WithTimeline.
+func New(tracks int) *Obs {
+	return &Obs{reg: NewRegistry(tracks)}
+}
+
+// WithTimeline enables span tracing with one timeline row per registry
+// track, returning o for chaining. No-op on a nil Obs or if already
+// enabled.
+func (o *Obs) WithTimeline() *Obs {
+	if o != nil && o.tl == nil {
+		o.tl = NewTimeline(o.reg.Tracks())
+	}
+	return o
+}
+
+// Enabled reports whether metrics are being recorded.
+func (o *Obs) Enabled() bool { return o != nil }
+
+// Registry returns the metrics registry; nil when disabled (the nil
+// registry hands out nil — disabled but usable — metric handles).
+func (o *Obs) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Timeline returns the span timeline; nil when disabled or not enabled
+// by WithTimeline (the nil timeline hands out no-op Spans).
+func (o *Obs) Timeline() *Timeline {
+	if o == nil {
+		return nil
+	}
+	return o.tl
+}
+
+// Tracks returns the registry's track count; 0 when disabled.
+func (o *Obs) Tracks() int { return o.Registry().Tracks() }
+
+// AcquireTrack hands out track indexes round-robin, for components that
+// need a lane of their own (a pipeline's consumer goroutine, one
+// harness job) rather than a fixed worker id. Returns 0 when disabled.
+func (o *Obs) AcquireTrack() int {
+	if o == nil {
+		return 0
+	}
+	return int((o.ticket.Add(1) - 1) % uint64(o.reg.Tracks()))
+}
+
+// Snapshot merges the registry into a JSON-serializable snapshot; the
+// zero Snapshot when disabled.
+func (o *Obs) Snapshot() Snapshot { return o.Registry().Snapshot() }
+
+// Labeled runs fn under runtime/pprof labels naming the worker track
+// and phase, so CPU and goroutine profiles of a parallel run attribute
+// samples per worker and per phase (filter on tsched_worker /
+// tsched_phase in pprof). Disabled: calls fn directly.
+func (o *Obs) Labeled(track int, phase string, fn func()) {
+	if o == nil {
+		fn()
+		return
+	}
+	labels := pprof.Labels("tsched_worker", strconv.Itoa(track), "tsched_phase", phase)
+	pprof.Do(context.Background(), labels, func(context.Context) { fn() })
+}

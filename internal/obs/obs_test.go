@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterShardMerge(t *testing.T) {
+	r := NewRegistry(4)
+	c := r.Counter("x")
+	c.Add(0, 5)
+	c.Inc(1)
+	c.Add(3, 2)
+	c.Add(7, 1) // clamps onto track 3
+	c.Add(-1, 1)
+	if again := r.Counter("x"); again != c {
+		t.Fatalf("Counter(name) is not idempotent")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 1 || s.Counters[0].Name != "x" {
+		t.Fatalf("snapshot counters = %+v", s.Counters)
+	}
+	cs := s.Counters[0]
+	if cs.Total != 10 {
+		t.Errorf("total = %d, want 10", cs.Total)
+	}
+	want := []uint64{5, 1, 0, 4}
+	for i, w := range want {
+		if cs.PerTrack[i] != w {
+			t.Errorf("track %d = %d, want %d", i, cs.PerTrack[i], w)
+		}
+	}
+}
+
+func TestGaugeWatermark(t *testing.T) {
+	r := NewRegistry(2)
+	g := r.Gauge("depth")
+	g.Set(0, 7)
+	g.Set(0, 3)
+	g.Set(1, 5)
+	s := r.Snapshot()
+	gs := s.Gauges[0]
+	if gs.Max != 7 {
+		t.Errorf("max = %d, want 7", gs.Max)
+	}
+	if gs.PerTrack[0] != 3 || gs.PerTrack[1] != 5 {
+		t.Errorf("per-track = %v, want [3 5]", gs.PerTrack)
+	}
+}
+
+func TestHistogramBucketsAndStats(t *testing.T) {
+	r := NewRegistry(2)
+	h := r.Histogram("lat")
+	h.Observe(0, 0)    // bucket 0
+	h.Observe(0, 1)    // bucket 1
+	h.Observe(1, 1000) // bucket 10: [512, 1024)
+	h.Observe(1, 1023)
+	s := r.Snapshot()
+	hs := s.Histograms[0]
+	if hs.Count != 4 || hs.Sum != 2024 || hs.Min != 0 || hs.Max != 1023 {
+		t.Errorf("stats = %+v", hs)
+	}
+	if hs.Mean != 506 {
+		t.Errorf("mean = %v, want 506", hs.Mean)
+	}
+	wantBuckets := map[uint64]uint64{1: 1, 2: 1, 1024: 2}
+	if len(hs.Buckets) != len(wantBuckets) {
+		t.Fatalf("buckets = %+v", hs.Buckets)
+	}
+	for _, b := range hs.Buckets {
+		if wantBuckets[b.UpperBound] != b.Count {
+			t.Errorf("bucket le=%d count=%d, want %d", b.UpperBound, b.Count, wantBuckets[b.UpperBound])
+		}
+	}
+}
+
+func TestEmptyHistogramSnapshot(t *testing.T) {
+	r := NewRegistry(1)
+	r.Histogram("empty")
+	hs := r.Snapshot().Histograms[0]
+	if hs.Count != 0 || hs.Min != 0 || hs.Max != 0 || hs.Mean != 0 || len(hs.Buckets) != 0 {
+		t.Errorf("empty histogram snapshot = %+v", hs)
+	}
+}
+
+func TestConcurrentRecordingAndSnapshot(t *testing.T) {
+	o := New(4).WithTimeline()
+	r := o.Registry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc(w)
+				g.Set(w, uint64(i))
+				h.Observe(w, uint64(i))
+				if i%100 == 0 {
+					sp := o.Timeline().Begin(w, "work")
+					sp.End()
+				}
+			}
+		}(w)
+	}
+	donesnap := make(chan struct{})
+	go func() {
+		defer close(donesnap)
+		for i := 0; i < 50; i++ {
+			_ = o.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-donesnap
+	s := o.Snapshot()
+	if got := s.Counters[0].Total; got != 4*perWorker {
+		t.Errorf("counter total = %d, want %d", got, 4*perWorker)
+	}
+	if got := s.Histograms[0].Count; got != 4*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, 4*perWorker)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	o := New(2)
+	o.Registry().Counter("sched.steals").Add(1, 3)
+	o.Registry().Histogram("sched.drain_ns").Observe(0, 12345)
+	var buf bytes.Buffer
+	if err := o.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if back.Tracks != 2 || len(back.Counters) != 1 || back.Counters[0].Total != 3 {
+		t.Errorf("round-trip mismatch: %+v", back)
+	}
+}
+
+// TestTimelineJSON pins the Chrome trace_event shape Perfetto loads: a
+// traceEvents array, metadata thread_name records, and complete events
+// with name/ph/pid/tid/ts/dur.
+func TestTimelineJSON(t *testing.T) {
+	tl := NewTimeline(2)
+	tl.SetTrackName(0, "worker 0")
+	sp := tl.Begin(0, "drain")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	tl.Instant(1, "steal")
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("timeline JSON does not parse: %v\n%s", err, buf.String())
+	}
+	var sawThreadName, sawSpan, sawInstant bool
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Ph == "M" && e.Name == "thread_name" && e.Tid == 0:
+			sawThreadName = e.Args["name"] == "worker 0"
+		case e.Ph == "X" && e.Name == "drain":
+			sawSpan = e.Dur > 0
+		case e.Ph == "i" && e.Name == "steal" && e.Tid == 1:
+			sawInstant = true
+		}
+	}
+	if !sawThreadName || !sawSpan || !sawInstant {
+		t.Errorf("missing events (thread_name=%v span=%v instant=%v):\n%s",
+			sawThreadName, sawSpan, sawInstant, buf.String())
+	}
+}
+
+func TestTimelineEventCap(t *testing.T) {
+	tl := NewTimeline(1)
+	tl.limit = 4
+	for i := 0; i < 10; i++ {
+		tl.Instant(0, "e")
+	}
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if tl.tracks[0].dropped != 6 {
+		t.Errorf("dropped = %d, want 6", tl.tracks[0].dropped)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("events dropped")) {
+		t.Errorf("drop marker missing from output")
+	}
+}
+
+// TestNilSafety exercises every recording entry point through the
+// disabled (nil) values: nothing may panic, and observers must see the
+// zero state.
+func TestNilSafety(t *testing.T) {
+	var o *Obs
+	if o.Enabled() {
+		t.Fatal("nil Obs reports enabled")
+	}
+	o.WithTimeline()
+	o.Registry().Counter("c").Add(3, 1)
+	o.Registry().Gauge("g").Set(1, 2)
+	o.Registry().Histogram("h").Observe(0, 9)
+	sp := o.Timeline().Begin(0, "x")
+	sp.End()
+	o.Timeline().Instant(0, "y")
+	o.Timeline().SetTrackName(0, "z")
+	if tr := o.AcquireTrack(); tr != 0 {
+		t.Errorf("AcquireTrack on nil = %d", tr)
+	}
+	if s := o.Snapshot(); s.Tracks != 0 || s.Counters != nil {
+		t.Errorf("nil snapshot = %+v", s)
+	}
+	ran := false
+	o.Labeled(0, "phase", func() { ran = true })
+	if !ran {
+		t.Fatal("Labeled did not run fn on nil Obs")
+	}
+	var buf bytes.Buffer
+	if err := o.Timeline().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Errorf("nil timeline output is not JSON: %s", buf.String())
+	}
+}
+
+func TestAcquireTrackRoundRobin(t *testing.T) {
+	o := New(3)
+	got := []int{o.AcquireTrack(), o.AcquireTrack(), o.AcquireTrack(), o.AcquireTrack()}
+	want := []int{0, 1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tickets = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,343 @@
+// Package obs is the opt-in observability layer for the scheduler and
+// simulation stack: a lock-free per-track metrics registry (counters,
+// gauges, power-of-two histograms, sharded per track and merged on
+// snapshot), a worker-timeline tracer emitting Chrome trace_event JSON
+// (loadable in chrome://tracing or https://ui.perfetto.dev), and
+// runtime/pprof goroutine labels for the scheduler's worker pool.
+//
+// # The disabled contract
+//
+// A nil *Obs, nil *Registry, nil *Timeline, and every handle obtained
+// through them are valid values meaning "disabled": every recording
+// method is a nil-check fast path that performs no work and, crucially,
+// no allocation. Instrumented code therefore records unconditionally
+// through its handles and pays one predictable branch when observability
+// is off — the zero-overhead contract pinned by this package's
+// TestDisabledPathDoesNotAllocate and Benchmark*Disabled.
+//
+// # Tracks
+//
+// A track is one lane of the sharded state, usually a worker identity:
+// scheduler worker w records into track w, so a snapshot can report
+// bins-per-worker or steals-per-worker, and the timeline renders one row
+// per worker. Track indexes are clamped by modulo, so any int is safe.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// stride is the number of uint64 slots reserved per track in a metric's
+// cell array: one 64-byte cache line, so two tracks' hot counters never
+// false-share.
+const stride = 8
+
+// Registry holds named metrics sharded across a fixed number of tracks.
+// Metric creation (Counter/Gauge/Histogram by name) takes a mutex and is
+// idempotent; the recording paths on the returned handles are lock-free.
+type Registry struct {
+	tracks   int
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns a registry sharded over the given number of tracks
+// (clamped to at least one).
+func NewRegistry(tracks int) *Registry {
+	if tracks < 1 {
+		tracks = 1
+	}
+	return &Registry{
+		tracks:   tracks,
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Tracks returns the shard count; 0 on a nil registry.
+func (r *Registry) Tracks() int {
+	if r == nil {
+		return 0
+	}
+	return r.tracks
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (disabled, still usable) handle.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name, tracks: r.tracks, cells: make([]uint64, r.tracks*stride)}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name, tracks: r.tracks, cells: make([]uint64, r.tracks*stride)}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(name, r.tracks)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// clampTrack maps any int onto [0, tracks).
+func clampTrack(track, tracks int) int {
+	track %= tracks
+	if track < 0 {
+		track += tracks
+	}
+	return track
+}
+
+// Counter is a monotonically increasing per-track counter. The nil
+// handle is disabled and all methods on it are no-ops.
+type Counter struct {
+	name   string
+	tracks int
+	cells  []uint64
+}
+
+// Add adds n to the track's cell.
+func (c *Counter) Add(track int, n uint64) {
+	if c == nil {
+		return
+	}
+	atomic.AddUint64(&c.cells[clampTrack(track, c.tracks)*stride], n)
+}
+
+// Inc adds one to the track's cell.
+func (c *Counter) Inc(track int) { c.Add(track, 1) }
+
+// Gauge records a last-written value per track plus the per-track high
+// watermark. Each track is expected to have a single writer (its
+// worker); concurrent writers to one track may lose a watermark update
+// but never corrupt state.
+type Gauge struct {
+	name   string
+	tracks int
+	cells  []uint64 // per track: [current, max, _pad...]
+}
+
+// Set stores v as the track's current value, updating its watermark.
+func (g *Gauge) Set(track int, v uint64) {
+	if g == nil {
+		return
+	}
+	i := clampTrack(track, g.tracks) * stride
+	atomic.StoreUint64(&g.cells[i], v)
+	if v > atomic.LoadUint64(&g.cells[i+1]) {
+		atomic.StoreUint64(&g.cells[i+1], v)
+	}
+}
+
+// Histogram layout constants: per track, hSlots uint64 cells hold the
+// observation count, sum, min, max, and one bucket per power of two.
+const (
+	hCount   = 0
+	hSum     = 1
+	hMin     = 2
+	hMax     = 3
+	hBuckets = 4
+	nBuckets = 65 // bits.Len64 ranges over 0..64
+	hSlots   = (hBuckets + nBuckets + stride - 1) / stride * stride
+)
+
+// Histogram is a power-of-two-bucketed histogram: an observation v lands
+// in bucket bits.Len64(v), i.e. bucket b holds values in [2^(b-1), 2^b).
+// Suited to the latencies and sizes this package records, where relative
+// resolution matters and observations span many orders of magnitude.
+// Like Gauge, min/max assume a single writer per track.
+type Histogram struct {
+	name   string
+	tracks int
+	cells  []uint64
+}
+
+func newHistogram(name string, tracks int) *Histogram {
+	h := &Histogram{name: name, tracks: tracks, cells: make([]uint64, tracks*hSlots)}
+	for t := 0; t < tracks; t++ {
+		h.cells[t*hSlots+hMin] = ^uint64(0)
+	}
+	return h
+}
+
+// Observe records v on the track.
+func (h *Histogram) Observe(track int, v uint64) {
+	if h == nil {
+		return
+	}
+	i := clampTrack(track, h.tracks) * hSlots
+	atomic.AddUint64(&h.cells[i+hCount], 1)
+	atomic.AddUint64(&h.cells[i+hSum], v)
+	if v < atomic.LoadUint64(&h.cells[i+hMin]) {
+		atomic.StoreUint64(&h.cells[i+hMin], v)
+	}
+	if v > atomic.LoadUint64(&h.cells[i+hMax]) {
+		atomic.StoreUint64(&h.cells[i+hMax], v)
+	}
+	atomic.AddUint64(&h.cells[i+hBuckets+bits.Len64(v)], 1)
+}
+
+// Snapshot is the merged, JSON-serializable state of a registry at one
+// moment. Metric slices are sorted by name so two snapshots of identical
+// state render identically.
+type Snapshot struct {
+	Tracks     int             `json:"tracks"`
+	Counters   []CounterSnap   `json:"counters,omitempty"`
+	Gauges     []GaugeSnap     `json:"gauges,omitempty"`
+	Histograms []HistogramSnap `json:"histograms,omitempty"`
+}
+
+// CounterSnap is one counter's merged value plus its per-track shards.
+type CounterSnap struct {
+	Name     string   `json:"name"`
+	Total    uint64   `json:"total"`
+	PerTrack []uint64 `json:"per_track"`
+}
+
+// GaugeSnap is one gauge's per-track last values and overall watermark.
+type GaugeSnap struct {
+	Name     string   `json:"name"`
+	Max      uint64   `json:"max"`
+	PerTrack []uint64 `json:"per_track"`
+}
+
+// HistogramSnap is one histogram merged across tracks; Buckets lists
+// only the occupied power-of-two buckets.
+type HistogramSnap struct {
+	Name    string   `json:"name"`
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Min     uint64   `json:"min"`
+	Max     uint64   `json:"max"`
+	Mean    float64  `json:"mean"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one occupied histogram bucket: Count observations were below
+// UpperBound (and at least half of it, except in the 0/1 buckets).
+type Bucket struct {
+	UpperBound uint64 `json:"le"`
+	Count      uint64 `json:"count"`
+}
+
+// Snapshot merges every metric's shards. It may run concurrently with
+// recording; each cell is read atomically, so totals are consistent per
+// metric to within in-flight updates.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{Tracks: r.tracks}
+	for _, name := range sortedKeys(r.counters) {
+		c := r.counters[name]
+		cs := CounterSnap{Name: name, PerTrack: make([]uint64, r.tracks)}
+		for t := 0; t < r.tracks; t++ {
+			v := atomic.LoadUint64(&c.cells[t*stride])
+			cs.PerTrack[t] = v
+			cs.Total += v
+		}
+		s.Counters = append(s.Counters, cs)
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		g := r.gauges[name]
+		gs := GaugeSnap{Name: name, PerTrack: make([]uint64, r.tracks)}
+		for t := 0; t < r.tracks; t++ {
+			gs.PerTrack[t] = atomic.LoadUint64(&g.cells[t*stride])
+			if m := atomic.LoadUint64(&g.cells[t*stride+1]); m > gs.Max {
+				gs.Max = m
+			}
+		}
+		s.Gauges = append(s.Gauges, gs)
+	}
+	for _, name := range sortedKeys(r.hists) {
+		h := r.hists[name]
+		hs := HistogramSnap{Name: name, Min: ^uint64(0)}
+		var buckets [nBuckets]uint64
+		for t := 0; t < r.tracks; t++ {
+			base := t * hSlots
+			hs.Count += atomic.LoadUint64(&h.cells[base+hCount])
+			hs.Sum += atomic.LoadUint64(&h.cells[base+hSum])
+			if v := atomic.LoadUint64(&h.cells[base+hMin]); v < hs.Min {
+				hs.Min = v
+			}
+			if v := atomic.LoadUint64(&h.cells[base+hMax]); v > hs.Max {
+				hs.Max = v
+			}
+			for b := 0; b < nBuckets; b++ {
+				buckets[b] += atomic.LoadUint64(&h.cells[base+hBuckets+b])
+			}
+		}
+		if hs.Count == 0 {
+			hs.Min = 0
+		} else {
+			hs.Mean = float64(hs.Sum) / float64(hs.Count)
+		}
+		for b, n := range buckets {
+			if n == 0 {
+				continue
+			}
+			ub := ^uint64(0)
+			if b < 64 {
+				ub = 1 << uint(b)
+			}
+			hs.Buckets = append(hs.Buckets, Bucket{UpperBound: ub, Count: n})
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+	return s
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// DefaultTimelineEvents bounds the events retained per track; events past
+// the cap are dropped (and counted), so a long run cannot balloon the
+// trace file. 64k complete events render comfortably in Perfetto.
+const DefaultTimelineEvents = 1 << 16
+
+// Timeline records worker spans and emits them in the Chrome trace_event
+// JSON format (the "JSON Array Format" every trace viewer accepts): one
+// thread row per track, one complete ("X") event per span. A nil
+// *Timeline is disabled; Begin on it returns a no-op Span.
+type Timeline struct {
+	start  time.Time
+	limit  int
+	tracks []timelineTrack
+}
+
+type timelineTrack struct {
+	mu      sync.Mutex
+	name    string
+	events  []tevent
+	dropped uint64
+}
+
+type tevent struct {
+	name string
+	ph   byte // 'X' complete, 'i' instant
+	ts   time.Duration
+	dur  time.Duration
+}
+
+// NewTimeline returns a timeline with one row per track (clamped to at
+// least one) and the default per-track event cap.
+func NewTimeline(tracks int) *Timeline {
+	if tracks < 1 {
+		tracks = 1
+	}
+	return &Timeline{start: time.Now(), limit: DefaultTimelineEvents, tracks: make([]timelineTrack, tracks)}
+}
+
+// SetTrackName names a track's row in the viewer (default "track N").
+func (t *Timeline) SetTrackName(track int, name string) {
+	if t == nil {
+		return
+	}
+	tr := &t.tracks[clampTrack(track, len(t.tracks))]
+	tr.mu.Lock()
+	tr.name = name
+	tr.mu.Unlock()
+}
+
+// Span is an open interval on one track; End closes and records it.
+// The zero Span (from a disabled timeline) is valid and End is a no-op.
+type Span struct {
+	t     *Timeline
+	track int
+	name  string
+	ts    time.Duration
+}
+
+// Begin opens a span on the track. The caller must End it from any
+// goroutine; spans on one track may nest (the viewer stacks them).
+func (t *Timeline) Begin(track int, name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, track: track, name: name, ts: time.Since(t.start)}
+}
+
+// End records the span.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	now := time.Since(s.t.start)
+	s.t.add(s.track, tevent{name: s.name, ph: 'X', ts: s.ts, dur: now - s.ts})
+}
+
+// Instant records a zero-duration marker on the track.
+func (t *Timeline) Instant(track int, name string) {
+	if t == nil {
+		return
+	}
+	t.add(track, tevent{name: name, ph: 'i', ts: time.Since(t.start)})
+}
+
+func (t *Timeline) add(track int, e tevent) {
+	tr := &t.tracks[clampTrack(track, len(t.tracks))]
+	tr.mu.Lock()
+	if len(tr.events) >= t.limit {
+		tr.dropped++
+	} else {
+		tr.events = append(tr.events, e)
+	}
+	tr.mu.Unlock()
+}
+
+// jsonEvent is one trace_event record; ts and dur are microseconds.
+type jsonEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func usec(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// WriteJSON emits the timeline as Chrome trace_event JSON, loadable in
+// chrome://tracing and https://ui.perfetto.dev. Concurrent recording is
+// safe but events added during the write may be missed.
+func (t *Timeline) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`+"\n")
+		return err
+	}
+	events := []jsonEvent{{
+		Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]any{"name": "threadsched"},
+	}}
+	for i := range t.tracks {
+		tr := &t.tracks[i]
+		tr.mu.Lock()
+		name := tr.name
+		if name == "" {
+			name = "track " + strconv.Itoa(i)
+		}
+		events = append(events, jsonEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: i,
+			Args: map[string]any{"name": name},
+		})
+		for _, e := range tr.events {
+			je := jsonEvent{Name: e.name, Ph: string(e.ph), Pid: 1, Tid: i, Ts: usec(e.ts)}
+			if e.ph == 'X' {
+				d := usec(e.dur)
+				je.Dur = &d
+			} else if e.ph == 'i' {
+				je.S = "t" // thread-scoped instant
+			}
+			events = append(events, je)
+		}
+		if tr.dropped > 0 {
+			events = append(events, jsonEvent{
+				Name: "events dropped (per-track cap)", Ph: "i", Pid: 1, Tid: i,
+				Ts: usec(time.Since(t.start)), S: "t",
+				Args: map[string]any{"dropped": tr.dropped},
+			})
+		}
+		tr.mu.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		DisplayTimeUnit string      `json:"displayTimeUnit"`
+		TraceEvents     []jsonEvent `json:"traceEvents"`
+	}{"ms", events})
+}

@@ -15,6 +15,7 @@
 package sim
 
 import (
+	"threadsched/internal/obs"
 	"threadsched/internal/trace"
 	"threadsched/internal/vm"
 )
@@ -42,6 +43,11 @@ type CPU struct {
 	// buffered and unbuffered runs produce identical results once Flush
 	// has been called.
 	buf []trace.Ref
+	// mRefs counts emitted references (sim.refs) when observability is
+	// attached; nil otherwise. Buffered CPUs count whole batches at drain
+	// time so the per-reference hot path stays untouched.
+	mRefs    *obs.Counter
+	obsTrack int
 	// Instructions is the number of instructions executed via Exec.
 	Instructions uint64
 	// TextBase is the base address of the simulated text segment.
@@ -59,6 +65,17 @@ func NewCPU(rec trace.Recorder) *CPU {
 
 // Recorder returns the recorder this CPU emits to.
 func (c *CPU) Recorder() trace.Recorder { return c.rec }
+
+// Observe counts this CPU's emitted references into the registry's
+// sim.refs counter on the given track, and returns the CPU. A nil Obs
+// leaves the CPU disabled. On a buffered CPU the count is maintained only
+// at batch-drain boundaries (call Flush before reading a snapshot); an
+// unbuffered CPU pays one nil-check per reference.
+func (c *CPU) Observe(o *obs.Obs, track int) *CPU {
+	c.mRefs = o.Registry().Counter("sim.refs")
+	c.obsTrack = track
+	return c
+}
 
 // Buffer switches the CPU to batched emission with an n-reference buffer
 // (n <= 0 selects trace.DefaultChunk) and returns the CPU. The caller
@@ -78,6 +95,7 @@ func (c *CPU) Buffer(n int) *CPU {
 func (c *CPU) Flush() {
 	if len(c.buf) > 0 {
 		trace.RecordBatch(c.rec, c.buf)
+		c.mRefs.Add(c.obsTrack, uint64(len(c.buf)))
 		c.buf = c.buf[:0]
 	}
 }
@@ -86,11 +104,13 @@ func (c *CPU) Flush() {
 func (c *CPU) emit(r trace.Ref) {
 	if c.buf == nil {
 		c.rec.Record(r)
+		c.mRefs.Inc(c.obsTrack)
 		return
 	}
 	c.buf = append(c.buf, r)
 	if len(c.buf) == cap(c.buf) {
 		trace.RecordBatch(c.rec, c.buf)
+		c.mRefs.Add(c.obsTrack, uint64(len(c.buf)))
 		c.buf = c.buf[:0]
 	}
 }

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"time"
+
+	"threadsched/internal/obs"
+)
+
+// pipeObs is the pipeline's observability attachment. Producer-side
+// metrics (pipe.chunks shipped, pipe.stalls where the ring was full and
+// the producer blocked, the pipe.depth ring-occupancy gauge) record on
+// the producer's track; the consumer's drain times (pipe.drain_ns, plus
+// timeline spans) record on a track of its own so the drain lane shows up
+// as a separate row next to the worker rows.
+type pipeObs struct {
+	o       *obs.Obs
+	track   int // producer-side shard
+	drainTk int // consumer-side shard and timeline row
+	chunks  *obs.Counter
+	stalls  *obs.Counter
+	depth   *obs.Gauge
+	drainNS *obs.Histogram
+}
+
+// Observe attaches the observability layer to the pipeline, recording
+// producer metrics on the given track, and returns the pipeline. It must
+// be called before the first Record/RecordBatch: the consumer goroutine
+// reads the attachment only after receiving a chunk, so the channel send
+// orders the writes. A nil (or metrics-less) Obs leaves the pipeline in
+// its disabled state, whose ship path is the exact pre-observability
+// blocking send.
+func (p *Pipeline) Observe(o *obs.Obs, track int) *Pipeline {
+	if !o.Enabled() {
+		return p
+	}
+	reg := o.Registry()
+	p.met = pipeObs{
+		o:       o,
+		track:   track,
+		drainTk: o.AcquireTrack(),
+		chunks:  reg.Counter("pipe.chunks"),
+		stalls:  reg.Counter("pipe.stalls"),
+		depth:   reg.Gauge("pipe.depth"),
+		drainNS: reg.Histogram("pipe.drain_ns"),
+	}
+	o.Timeline().SetTrackName(p.met.drainTk, "pipeline drain")
+	return p
+}
+
+// send ships one chunk into the ring. The observed path tries a
+// non-blocking send first purely to detect back-pressure: a full ring
+// counts a stall, then blocks exactly as the disabled path does.
+func (p *Pipeline) send(chunk []Ref) {
+	if p.met.o == nil {
+		p.ch <- chunk
+		return
+	}
+	select {
+	case p.ch <- chunk:
+	default:
+		p.met.stalls.Inc(p.met.track)
+		p.ch <- chunk
+	}
+	p.met.chunks.Inc(p.met.track)
+	p.met.depth.Set(p.met.track, uint64(len(p.ch)))
+}
+
+// drainChunk delivers one chunk to dst on the consumer side, timing it
+// when observed.
+func (p *Pipeline) drainChunk(chunk []Ref) {
+	if p.met.o == nil {
+		RecordBatch(p.dst, chunk)
+		return
+	}
+	start := time.Now()
+	sp := p.met.o.Timeline().Begin(p.met.drainTk, "pipe-drain")
+	RecordBatch(p.dst, chunk)
+	sp.End()
+	p.met.drainNS.Observe(p.met.drainTk, uint64(time.Since(start)))
+}

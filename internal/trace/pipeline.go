@@ -28,6 +28,9 @@ type Pipeline struct {
 	cur   []Ref
 	done  chan struct{}
 	close sync.Once
+	// met is the optional observability attachment (see Observe); its
+	// zero value is the disabled state.
+	met pipeObs
 }
 
 var _ BatchRecorder = (*Pipeline)(nil)
@@ -63,7 +66,7 @@ func (p *Pipeline) next() []Ref {
 func (p *Pipeline) consume() {
 	defer close(p.done)
 	for chunk := range p.ch {
-		RecordBatch(p.dst, chunk)
+		p.drainChunk(chunk)
 		chunk = chunk[:0]
 		p.pool.Put(&chunk)
 	}
@@ -92,7 +95,7 @@ func (p *Pipeline) RecordBatch(refs []Ref) {
 }
 
 func (p *Pipeline) ship() {
-	p.ch <- p.cur
+	p.send(p.cur)
 	p.cur = p.next()
 }
 
@@ -102,7 +105,7 @@ func (p *Pipeline) ship() {
 func (p *Pipeline) Close() {
 	p.close.Do(func() {
 		if len(p.cur) > 0 {
-			p.ch <- p.cur
+			p.send(p.cur)
 			p.cur = nil
 		}
 		close(p.ch)

@@ -34,6 +34,7 @@ import (
 	"unsafe"
 
 	"threadsched/internal/core"
+	"threadsched/internal/obs"
 )
 
 // Re-exported scheduler types; see the internal/core documentation on each
@@ -92,6 +93,25 @@ type (
 	DepScheduler = core.DepScheduler
 	ThreadID     = core.ThreadID
 )
+
+// Observability layer (Config.Obs): an opt-in, zero-overhead-when-absent
+// bundle of per-worker metrics, a Chrome trace_event worker timeline, and
+// pprof labels. Attach one to Config.Obs, run, then read
+// Scheduler.Snapshot or write the timeline; see the internal/obs package
+// documentation for the disabled contract and the metric glossary.
+type (
+	// Obs is the observability bundle; nil means disabled.
+	Obs = obs.Obs
+	// ObsSnapshot is a merged, JSON-serializable metrics snapshot.
+	ObsSnapshot = obs.Snapshot
+	// Timeline is the worker-span tracer behind Obs.Timeline.
+	Timeline = obs.Timeline
+)
+
+// NewObs returns an enabled observability bundle with metrics sharded
+// over the given number of tracks (use the worker count). Chain
+// WithTimeline to also record worker spans.
+func NewObs(tracks int) *Obs { return obs.New(tracks) }
 
 // New returns a Scheduler configured by cfg. The zero Config is usable:
 // it assumes the paper's 2 MB second-level cache.
