@@ -3,6 +3,8 @@
 #   make check   — the full tier-1 gate: build, vet, tests, and the race
 #                  suites (core concurrency + trace pipeline + golden
 #                  equivalence of the batched/parallel simulation paths)
+#   make fuzz-smoke — short bursts of the trace-format fuzzers (reader
+#                  robustness + chunk/trailer integrity oracle)
 #   make bench   — one pass over every benchmark (smoke, not measurement)
 #   make bench-core — the fork/run pipeline benchmarks with real counts
 #   make bench-sim  — the simulation-pipeline benchmarks; writes a
@@ -18,7 +20,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-core bench-sim bench-apps json timeline
+.PHONY: check build vet test race fuzz-smoke bench bench-core bench-sim bench-apps json timeline
 
 check: build vet test race
 
@@ -29,12 +31,18 @@ vet:
 	$(GO) vet ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 10m ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/trace/... ./internal/obs/...
-	$(GO) test -race -run 'Parallel|Exact|Threaded' ./internal/apps/...
-	$(GO) test -race -run 'TestGoldenEquivalence' ./internal/harness/
+	$(GO) test -race -timeout 10m ./internal/core/... ./internal/trace/... ./internal/obs/... ./internal/fault/...
+	$(GO) test -race -timeout 10m -run 'Parallel|Exact|Threaded' ./internal/apps/...
+	$(GO) test -race -timeout 10m -run 'TestGoldenEquivalence|TestRunJobs' ./internal/harness/
+
+# Short deterministic-corpus + 10s random bursts of the trace fuzzers;
+# enough to catch format regressions without a dedicated fuzz farm.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime 10s ./internal/trace/
+	$(GO) test -run '^$$' -fuzz FuzzChunkTrailer -fuzztime 10s ./internal/trace/
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .

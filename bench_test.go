@@ -499,7 +499,7 @@ func encodeDecode(b *testing.B, refs []trace.Ref, sink trace.Recorder) int {
 	for _, r := range refs {
 		w.Record(r)
 	}
-	if err := w.Flush(); err != nil {
+	if err := w.Close(); err != nil {
 		b.Fatal(err)
 	}
 	written := buf.Len()

@@ -45,13 +45,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"threadsched/internal/harness"
@@ -107,6 +110,14 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Parallel = *parallel
+
+	// Interrupt (or SIGTERM) stops the run at the next job boundary: no
+	// new simulation starts, completed tables have already rendered, and
+	// the in-progress table renders the jobs that finished. A second
+	// signal kills the process via Go's default handling.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	cfg.Context = ctx
 
 	// The observability layer attaches when either output is requested:
 	// one metrics track per parallel simulation lane plus room for the
@@ -202,9 +213,16 @@ func main() {
 		CPUs:   runtime.NumCPU(),
 	}
 	for _, name := range selected {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "interrupted; skipping remaining experiments\n")
+			break
+		}
 		start := time.Now()
 		t := experiments[name]()
 		wall := time.Since(start)
+		if ctx.Err() != nil {
+			t.AddNote("INTERRUPTED: partial results, rows may be missing")
+		}
 		t.AddNote("harness wall time: %v", wall.Round(time.Millisecond))
 		switch *format {
 		case "csv":

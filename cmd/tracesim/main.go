@@ -31,13 +31,16 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"threadsched/internal/cache"
@@ -174,6 +177,10 @@ func main() {
 	if workers > len(names) {
 		workers = len(names)
 	}
+	// Interrupt (or SIGTERM) cancels in-flight replays at their next
+	// chunk and keeps queued ones from starting.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
 	for i, name := range names {
@@ -182,7 +189,10 @@ func main() {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			errs[i] = replay(&outs[i], name, len(names) > 1, batch, *tlbEntries, newSetup, o, i)
+			if errs[i] = ctx.Err(); errs[i] != nil {
+				return
+			}
+			errs[i] = replay(ctx, &outs[i], name, len(names) > 1, batch, *tlbEntries, newSetup, o, i)
 		}(i, name)
 	}
 	wg.Wait()
@@ -225,7 +235,7 @@ func writeFileWith(path string, write func(io.Writer) error) error {
 // argument order. With o attached, the replay records its reference count
 // and wall time on its own track and a timeline span named after the
 // input.
-func replay(w io.Writer, name string, labeled, batch bool, tlbEntries int, newSetup func() (*simSetup, error), o *obs.Obs, track int) error {
+func replay(ctx context.Context, w io.Writer, name string, labeled, batch bool, tlbEntries int, newSetup func() (*simSetup, error), o *obs.Obs, track int) error {
 	s, err := newSetup()
 	if err != nil {
 		return err
@@ -250,17 +260,29 @@ func replay(w io.Writer, name string, labeled, batch bool, tlbEntries int, newSe
 	r := trace.NewReader(in)
 	if batch {
 		err = r.ForEachBatch(0, func(refs []trace.Ref) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			s.h.RecordBatch(refs)
 			return nil
 		})
 	} else {
+		n := 0
 		err = r.ForEach(func(ref trace.Ref) error {
+			if n++; n&0xffff == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			s.h.Record(ref)
 			return nil
 		})
 	}
 	if err != nil {
-		return fmt.Errorf("reading trace: %v", err)
+		if err == ctx.Err() {
+			return err
+		}
+		return fmt.Errorf("reading trace: %w", err)
 	}
 	sp.End()
 	if o.Enabled() {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -55,7 +56,7 @@ func TestReplayBatchSerialIdentical(t *testing.T) {
 		k := trace.Kind(rng >> 62 % 3)
 		w.Record(trace.Ref{Kind: k, Addr: (rng >> 20) % (1 << 22), Size: 8})
 	}
-	if err := w.Flush(); err != nil {
+	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
 	f.Close()
@@ -65,17 +66,17 @@ func TestReplayBatchSerialIdentical(t *testing.T) {
 		return &simSetup{h: cache.MustNewHierarchy(m.Caches, nil), cfg: m.Caches}, nil
 	}
 	var serial, batch bytes.Buffer
-	if err := replay(&serial, path, false, false, 0, setup, nil, 0); err != nil {
+	if err := replay(context.Background(), &serial, path, false, false, 0, setup, nil, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := replay(&batch, path, false, true, 0, setup, nil, 0); err != nil {
+	if err := replay(context.Background(), &batch, path, false, true, 0, setup, nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	if serial.String() != batch.String() {
 		t.Errorf("batch replay diverges from serial:\nserial:\n%s\nbatch:\n%s", serial.String(), batch.String())
 	}
 	var labeled bytes.Buffer
-	if err := replay(&labeled, path, true, true, 0, setup, nil, 0); err != nil {
+	if err := replay(context.Background(), &labeled, path, true, true, 0, setup, nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(labeled.String(), "== "+path+" ==\n") {

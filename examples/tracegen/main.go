@@ -52,7 +52,7 @@ func main() {
 		log.Fatalf("unknown workload %q", *workload)
 	}
 
-	if err := w.Flush(); err != nil {
+	if err := w.Close(); err != nil {
 		log.Fatal(err)
 	}
 	info, err := f.Stat()

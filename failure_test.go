@@ -1,0 +1,68 @@
+package threadsched_test
+
+// Pins the failure-model facade: the re-exported error types, sentinels,
+// and fault-injection surface are usable from outside the module's
+// internal packages exactly as the README documents.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"threadsched"
+)
+
+func TestFacadeThreadPanicError(t *testing.T) {
+	in := threadsched.NewFaultInjector(threadsched.FaultConfig{
+		At: map[threadsched.FaultSite][]uint64{threadsched.FaultThreadPanic: {3}},
+	})
+	s := threadsched.New(threadsched.Config{})
+	for i := 0; i < 8; i++ {
+		n := uint64(i)
+		s.Fork(func(int, int) { in.MaybePanic(threadsched.FaultThreadPanic, n) }, i, 0, 0, 0, 0)
+	}
+	err := s.RunContext(context.Background(), false)
+	var tp *threadsched.ThreadPanicError
+	if !errors.As(err, &tp) {
+		t.Fatalf("err = %v, want *threadsched.ThreadPanicError", err)
+	}
+	if tp.Thread != 3 {
+		t.Errorf("Thread = %d, want 3", tp.Thread)
+	}
+}
+
+func TestFacadeDependencySentinels(t *testing.T) {
+	d := threadsched.NewDep(threadsched.Config{})
+	d.Fork(func(int, int) {}, 0, 0, 0, 0, 0, threadsched.ThreadID(9))
+	err := d.RunContext(context.Background())
+	if !errors.Is(err, threadsched.ErrUnknownDependency) {
+		t.Fatalf("err = %v, want ErrUnknownDependency", err)
+	}
+	var ue *threadsched.UnknownDependencyError
+	if !errors.As(err, &ue) || ue.Dep != 9 {
+		t.Fatalf("err = %#v, want *UnknownDependencyError{Dep: 9}", err)
+	}
+	// The cycle sentinel and type are wired even though the public Fork
+	// API cannot build a cycle.
+	if !errors.Is(&threadsched.DependencyCycleError{}, threadsched.ErrDependencyCycle) {
+		t.Error("DependencyCycleError does not match ErrDependencyCycle")
+	}
+}
+
+func TestFacadeTraceSentinelsDistinct(t *testing.T) {
+	if threadsched.ErrTraceCorrupt == nil || threadsched.ErrTraceTruncated == nil {
+		t.Fatal("trace sentinels are nil")
+	}
+	if errors.Is(threadsched.ErrTraceCorrupt, threadsched.ErrTraceTruncated) {
+		t.Error("corrupt and truncated sentinels must be distinct")
+	}
+}
+
+func TestFacadeNilInjectorDisabled(t *testing.T) {
+	var in *threadsched.FaultInjector
+	if in.Enabled() {
+		t.Error("nil injector reports enabled")
+	}
+	in.MaybePanic(threadsched.FaultThreadPanic, 0) // must not panic
+	in.MaybeDelay(threadsched.FaultWorkerDelay, 0)
+}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 
@@ -60,6 +62,9 @@ type depThread struct {
 	// dependence). Parallel waves decrement it atomically; every read
 	// happens after the wave barrier, so plain loads elsewhere are safe.
 	waits int32
+	// badDep is the offending dependence when waits is -1, surfaced by
+	// Run in the UnknownDependencyError.
+	badDep ThreadID
 	// dependents are thread IDs to notify on completion.
 	dependents []ThreadID
 	done       bool
@@ -73,8 +78,67 @@ type depBin struct {
 }
 
 // ErrDependencyCycle reports that Run found threads that can never become
-// runnable.
+// runnable. Run returns it wrapped in a *DependencyCycleError naming the
+// stuck threads; match with errors.Is.
 var ErrDependencyCycle = errors.New("core: dependency cycle among threads")
+
+// ErrUnknownDependency reports a Fork whose deps named a thread ID that
+// was never forked (forward references and IDs from a previous Run are
+// invalid). Run returns it wrapped in an *UnknownDependencyError naming
+// the offending thread and dependence; match with errors.Is.
+var ErrUnknownDependency = errors.New("core: thread depends on an unknown thread ID")
+
+// DependencyCycleError is the diagnosable form of ErrDependencyCycle:
+// when Run stops making progress, the threads left over — the residue of
+// the implicit Kahn topological sort Run performs — must contain a cycle,
+// and one is extracted by walking waits-on edges through the residue
+// until a thread repeats.
+type DependencyCycleError struct {
+	// Cycle is one dependency cycle among the stuck threads: Cycle[i]
+	// waits on Cycle[i+1], and the last element waits on the first.
+	Cycle []ThreadID
+	// Stuck is the total number of threads left unexecutable — the whole
+	// Kahn residue, of which Cycle is one witness loop.
+	Stuck int
+}
+
+// Error names the cycle's thread IDs.
+func (e *DependencyCycleError) Error() string {
+	if len(e.Cycle) == 0 {
+		return fmt.Sprintf("%v (%d threads stuck)", ErrDependencyCycle, e.Stuck)
+	}
+	ids := make([]byte, 0, 8*len(e.Cycle))
+	for _, id := range e.Cycle {
+		if len(ids) > 0 {
+			ids = append(ids, " -> "...)
+		}
+		ids = fmt.Appendf(ids, "%d", id)
+	}
+	return fmt.Sprintf("%v: %s -> %d (%d threads stuck)",
+		ErrDependencyCycle, ids, e.Cycle[0], e.Stuck)
+}
+
+// Unwrap matches errors.Is(err, ErrDependencyCycle).
+func (e *DependencyCycleError) Unwrap() error { return ErrDependencyCycle }
+
+// UnknownDependencyError is the diagnosable form of ErrUnknownDependency,
+// naming the first thread forked with an invalid dependence.
+type UnknownDependencyError struct {
+	// Thread is the thread that was forked with the bad dependence.
+	Thread ThreadID
+	// Dep is the dependence that named no forked thread.
+	Dep ThreadID
+}
+
+// Error names the offending thread and dependence.
+func (e *UnknownDependencyError) Error() string {
+	return fmt.Sprintf("%v: thread %d depends on %d, which was not forked before it "+
+		"(IDs are valid only for threads already forked in this Run cycle)",
+		ErrUnknownDependency, e.Thread, e.Dep)
+}
+
+// Unwrap matches errors.Is(err, ErrUnknownDependency).
+func (e *UnknownDependencyError) Unwrap() error { return ErrUnknownDependency }
 
 // NewDep returns a dependence-aware scheduler configured like New.
 // Config.Workers > 1 selects the parallel wavefront executor.
@@ -116,7 +180,15 @@ func (d *DepScheduler) BinsUsed() int { return len(d.bins) }
 // after every thread in deps has completed. It returns the new thread's
 // ID. Unknown (future) IDs in deps are an error at Run time; IDs from a
 // previous Run are invalid.
+//
+// Like Scheduler.Fork, it must never overlap a Run in progress — Fork is
+// single-goroutine and the fork phase must complete before Run starts —
+// and panics if it detects that misuse.
 func (d *DepScheduler) Fork(f Func, arg1, arg2 int, h1, h2, h3 uint64, deps ...ThreadID) ThreadID {
+	if d.sched.running.Load() {
+		panic("core: Fork called during Run; fork and run phases must not overlap " +
+			"(DepScheduler.Fork is single-goroutine and must complete before Run starts)")
+	}
 	key := binKey{h1 >> d.blockShift, h2 >> d.blockShift, h3 >> d.blockShift}
 	if d.fold {
 		sortKey(&key)
@@ -134,6 +206,7 @@ func (d *DepScheduler) Fork(f Func, arg1, arg2 int, h1, h2, h3 uint64, deps ...T
 			// Defer the error to Run by marking an impossible wait; a
 			// panic here would be hostile in library code.
 			t.waits = -1
+			t.badDep = dep
 			break
 		}
 		if !d.threads[dep].done {
@@ -154,28 +227,66 @@ func (d *DepScheduler) Fork(f Func, arg1, arg2 int, h1, h2, h3 uint64, deps ...T
 // destroying the schedule. It fails (leaving unexecuted threads
 // unexecuted) if dependencies are invalid or cyclic. With Workers > 1
 // each wave of runnable threads executes concurrently on the worker pool.
+//
+// Run is RunContext without cancellation; a thread panic propagates as a
+// panic (with a *ThreadPanicError value) exactly as it did before
+// containment existed.
 func (d *DepScheduler) Run() error {
+	err := d.RunContext(context.Background())
+	if p, ok := err.(*ThreadPanicError); ok {
+		panic(p)
+	}
+	return err
+}
+
+// RunContext is Run with cooperative cancellation and fault containment.
+// A thread panic is recovered, the run quiesces (parallel workers stop at
+// their next bin boundary; no goroutines leak), and the first panic
+// returns as a *ThreadPanicError. A done ctx stops the run at the next
+// bin (serial) or wave (parallel) boundary and returns ctx.Err(). Invalid
+// dependencies return an *UnknownDependencyError before any thread runs,
+// and a run that stops making progress returns a *DependencyCycleError
+// naming one witness cycle.
+//
+// On any outcome the schedule is destroyed: forked threads are discarded
+// (executed or not) and the scheduler is immediately reusable for a fresh
+// Fork/Run cycle.
+func (d *DepScheduler) RunContext(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	defer d.reset()
-	for _, t := range d.threads {
+	for id, t := range d.threads {
 		if t.waits < 0 {
-			return fmt.Errorf("core: thread depends on an unknown thread ID")
+			return &UnknownDependencyError{Thread: ThreadID(id), Dep: t.badDep}
 		}
 	}
+	d.sched.running.Store(true)
+	defer d.sched.running.Store(false)
 	if d.workers > 1 {
-		return d.runWaves()
+		return d.runWaves(ctx)
 	}
 	remaining := d.pending
 	for remaining > 0 {
 		ranThisRound := 0
-		for _, b := range d.bins {
-			ranThisRound += d.drainBin(b)
+		for bi, b := range d.bins {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			ran, perr := d.drainBin(b, bi)
+			ranThisRound += ran
+			if perr != nil {
+				return perr
+			}
 		}
 		if ranThisRound == 0 {
-			return ErrDependencyCycle
+			return d.cycleError()
 		}
 		remaining -= ranThisRound
 	}
-	return nil
+	// Cancellation wins even when it lands during the final drain, for
+	// consistency with the wavefront path's post-wave control check.
+	return ctx.Err()
 }
 
 // runWaves is the parallel executor: repeatedly collect the runnable
@@ -186,12 +297,16 @@ func (d *DepScheduler) Run() error {
 // dependence path between them run, and they are at least two bins apart
 // in the wavefront codes, so per-worker bin runs keep the paper's
 // clustering.
-func (d *DepScheduler) runWaves() error {
+func (d *DepScheduler) runWaves(ctx context.Context) error {
+	ctrl := newRunControl(ctx)
 	var (
 		ids     [][]ThreadID
 		weights []int
 	)
 	for d.pending > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		ids, weights = ids[:0], weights[:0]
 		total := 0
 		for _, b := range d.bins {
@@ -217,7 +332,7 @@ func (d *DepScheduler) runWaves() error {
 			}
 		}
 		if total == 0 {
-			return ErrDependencyCycle
+			return d.cycleError()
 		}
 		d.met.waves.Inc(0)
 		d.met.frontier.Observe(0, uint64(total))
@@ -225,18 +340,26 @@ func (d *DepScheduler) runWaves() error {
 		if d.met.o != nil {
 			start = time.Now()
 		}
-		d.executeWave(ids, weights)
+		d.executeWave(ids, weights, ctrl)
 		if d.met.o != nil {
 			d.met.waveNS.Observe(0, uint64(time.Since(start)))
 		}
+		// The fanOut barrier inside executeWave ordered every record call
+		// before this check, so a panic anywhere in the wave is visible.
+		if err := ctrl.err(); err != nil {
+			return err
+		}
 		d.pending -= total
 	}
-	return nil
+	return ctx.Err() // cancellation wins even on a completed drain
 }
 
 // executeWave runs the collected frontier on the worker pool, one
-// contiguous run of bins per worker.
-func (d *DepScheduler) executeWave(ids [][]ThreadID, weights []int) {
+// contiguous run of bins per worker. Workers check the shared runControl
+// between bins, so a panic on one worker (recovered into the control) or
+// an expired ctx halts the wave at bin granularity; fanOut's barrier then
+// guarantees quiescence before runWaves inspects the control.
+func (d *DepScheduler) executeWave(ids [][]ThreadID, weights []int, ctrl *runControl) {
 	starts := PartitionWeights(weights, d.workers)
 	d.sched.fanOut(len(starts), "wave", func(self int) {
 		sp := d.sched.met.span(self, "wave")
@@ -246,22 +369,65 @@ func (d *DepScheduler) executeWave(ids [][]ThreadID, weights []int) {
 			hi = starts[self+1]
 		}
 		for bi := starts[self]; bi < hi; bi++ {
-			for _, id := range ids[bi] {
-				t := &d.threads[id]
-				t.fn(t.arg1, t.arg2)
-				t.done = true
-				for _, dep := range t.dependents {
-					atomic.AddInt32(&d.threads[dep].waits, -1)
-				}
+			if ctrl.halted() {
+				return
+			}
+			if perr := d.runWaveBin(ids[bi], bi, self); perr != nil {
+				ctrl.record(perr)
+				return
 			}
 		}
 	})
 }
 
+// runWaveBin executes one wave bin's threads, recovering a thread panic
+// into a *ThreadPanicError. Threads that completed before the panic have
+// notified their dependents; the run is abandoned anyway, so the partial
+// notifications are never observed past reset.
+func (d *DepScheduler) runWaveBin(ids []ThreadID, binIdx, worker int) (perr *ThreadPanicError) {
+	cur := ThreadID(-1)
+	defer func() {
+		if r := recover(); r != nil {
+			perr = &ThreadPanicError{
+				Value:  r,
+				Phase:  "wave",
+				Worker: worker,
+				Bin:    binIdx,
+				Thread: int(cur),
+				Stack:  debug.Stack(),
+			}
+		}
+	}()
+	for _, id := range ids {
+		cur = id
+		t := &d.threads[id]
+		t.fn(t.arg1, t.arg2)
+		t.done = true
+		for _, dep := range t.dependents {
+			atomic.AddInt32(&d.threads[dep].waits, -1)
+		}
+	}
+	return nil
+}
+
 // drainBin runs every currently runnable thread of the bin, in forked
-// order, including threads unblocked by work done within this drain.
-func (d *DepScheduler) drainBin(b *depBin) int {
-	ran := 0
+// order, including threads unblocked by work done within this drain. A
+// thread panic is recovered into a *ThreadPanicError identifying the
+// thread; ran still counts the threads that completed before it.
+func (d *DepScheduler) drainBin(b *depBin, binIdx int) (ran int, perr *ThreadPanicError) {
+	cur := ThreadID(-1)
+	defer func() {
+		if r := recover(); r != nil {
+			perr = &ThreadPanicError{
+				Value:  r,
+				Phase:  "dep-run",
+				Worker: 0,
+				Bin:    binIdx,
+				Thread: int(cur),
+				Stack:  debug.Stack(),
+			}
+		}
+	}()
 	for {
 		progressed := false
 		// Advance the frontier past executed threads and run runnable
@@ -278,6 +444,7 @@ func (d *DepScheduler) drainBin(b *depBin) int {
 			if t.waits > 0 {
 				continue
 			}
+			cur = id
 			d.execute(id)
 			ran++
 			progressed = true
@@ -286,7 +453,7 @@ func (d *DepScheduler) drainBin(b *depBin) int {
 			}
 		}
 		if !progressed {
-			return ran
+			return ran, nil
 		}
 	}
 }
@@ -299,6 +466,59 @@ func (d *DepScheduler) execute(id ThreadID) {
 	d.pending--
 	for _, dep := range t.dependents {
 		d.threads[dep].waits--
+	}
+}
+
+// cycleError builds the diagnosable cycle report once a run stops making
+// progress. At that point no thread is runnable, so every unfinished
+// thread has waits > 0 — the residue of the implicit Kahn sort — and each
+// waits on at least one other residue member. Following those waits-on
+// edges (recovered by inverting the dependents lists within the residue)
+// must therefore revisit a thread, and the walked loop is the witness
+// cycle.
+func (d *DepScheduler) cycleError() *DependencyCycleError {
+	var residue []ThreadID
+	inResidue := make(map[ThreadID]bool)
+	for id := range d.threads {
+		t := &d.threads[id]
+		if !t.done && t.waits > 0 {
+			residue = append(residue, ThreadID(id))
+			inResidue[ThreadID(id)] = true
+		}
+	}
+	if len(residue) == 0 {
+		return &DependencyCycleError{}
+	}
+	// pred[x] = one unfinished predecessor x waits on, from the inverted
+	// dependents edges. Deterministic: threads are scanned in ID order.
+	pred := make(map[ThreadID]ThreadID, len(residue))
+	for _, id := range residue {
+		for _, dep := range d.threads[id].dependents {
+			if inResidue[dep] {
+				pred[dep] = id
+			}
+		}
+	}
+	seen := make(map[ThreadID]int, len(residue))
+	var path []ThreadID
+	cur := residue[0]
+	for {
+		if i, ok := seen[cur]; ok {
+			return &DependencyCycleError{
+				Cycle: append([]ThreadID(nil), path[i:]...),
+				Stuck: len(residue),
+			}
+		}
+		seen[cur] = len(path)
+		path = append(path, cur)
+		next, ok := pred[cur]
+		if !ok {
+			// Unreachable when the residue invariant holds (every stuck
+			// thread has a stuck predecessor); report the count alone
+			// rather than panic inside error construction.
+			return &DependencyCycleError{Stuck: len(residue)}
+		}
+		cur = next
 	}
 }
 

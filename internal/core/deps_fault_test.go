@@ -1,0 +1,135 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestUnknownDependencyErrorTyped: a dependence on a not-yet-forked ID
+// surfaces as a typed *UnknownDependencyError naming both the offending
+// thread and the bad dependence, before any thread runs.
+func TestUnknownDependencyErrorTyped(t *testing.T) {
+	d := NewDep(Config{})
+	ran := false
+	d.Fork(func(int, int) { ran = true }, 0, 0, 0, 0, 0)
+	d.Fork(func(int, int) { ran = true }, 0, 0, 0, 0, 0, ThreadID(7))
+	err := d.RunContext(context.Background())
+	if !errors.Is(err, ErrUnknownDependency) {
+		t.Fatalf("errors.Is(err, ErrUnknownDependency) = false for %v", err)
+	}
+	var ue *UnknownDependencyError
+	if !errors.As(err, &ue) {
+		t.Fatalf("err = %T, want *UnknownDependencyError", err)
+	}
+	if ue.Thread != 1 || ue.Dep != 7 {
+		t.Errorf("UnknownDependencyError = %+v, want Thread 1, Dep 7", ue)
+	}
+	if msg := ue.Error(); !strings.Contains(msg, "thread 1") || !strings.Contains(msg, "depends on 7") {
+		t.Errorf("Error() = %q does not name the offenders", msg)
+	}
+	if ran {
+		t.Error("threads ran despite an invalid dependence")
+	}
+	// The failed run destroyed the schedule; a clean cycle works.
+	d.Fork(func(int, int) { ran = true }, 0, 0, 0, 0, 0)
+	if err := d.RunContext(context.Background()); err != nil || !ran {
+		t.Fatalf("scheduler unusable after dependency error: %v", err)
+	}
+}
+
+// forgeCycle forks n no-dep threads and then rewires their bookkeeping
+// into a dependence ring 0 → n-1 → n-2 → ... → 0 (thread i waits on
+// thread (i+n-1) mod n). The public Fork API cannot express this — it
+// rejects forward references, making true cycles unconstructible — so the
+// cycle reporter is exercised white-box to keep it honest should a future
+// API (e.g. batch fork) make cycles reachable.
+func forgeCycle(d *DepScheduler, n int) {
+	for i := 0; i < n; i++ {
+		d.Fork(func(int, int) {}, i, 0, uint64(i)<<12, 0, 0)
+	}
+	for i := 0; i < n; i++ {
+		d.threads[i].waits = 1
+		d.threads[i].dependents = append(d.threads[i].dependents, ThreadID((i+1)%n))
+	}
+}
+
+func TestDependencyCycleErrorWhiteBox(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		d := NewDep(Config{CacheSize: 1 << 20, BlockSize: 1 << 12, Workers: workers})
+		forgeCycle(d, 3)
+		// A stuck straggler outside the ring: waits on a ring member, so it
+		// joins the residue but must not appear in the witness cycle.
+		d.Fork(func(int, int) {}, 3, 0, 3<<12, 0, 0)
+		d.threads[3].waits = 1
+		d.threads[0].dependents = append(d.threads[0].dependents, ThreadID(3))
+
+		err := d.RunContext(context.Background())
+		d.Close()
+		if !errors.Is(err, ErrDependencyCycle) {
+			t.Fatalf("workers=%d: errors.Is(err, ErrDependencyCycle) = false for %v", workers, err)
+		}
+		var ce *DependencyCycleError
+		if !errors.As(err, &ce) {
+			t.Fatalf("workers=%d: err = %T, want *DependencyCycleError", workers, err)
+		}
+		if ce.Stuck != 4 {
+			t.Errorf("workers=%d: Stuck = %d, want 4 (whole residue)", workers, ce.Stuck)
+		}
+		if len(ce.Cycle) != 3 {
+			t.Fatalf("workers=%d: Cycle = %v, want the 3-thread ring", workers, ce.Cycle)
+		}
+		// Cycle[i] waits on Cycle[i+1] (wrapping): in the forged ring,
+		// thread x waits on (x+2) mod 3.
+		for i, id := range ce.Cycle {
+			next := ce.Cycle[(i+1)%len(ce.Cycle)]
+			if next != (id+2)%3 {
+				t.Errorf("workers=%d: Cycle[%d]=%d should wait on %d, got %d",
+					workers, i, id, (id+2)%3, next)
+			}
+		}
+		if msg := ce.Error(); !strings.Contains(msg, "->") || !strings.Contains(msg, "4 threads stuck") {
+			t.Errorf("workers=%d: Error() = %q", workers, msg)
+		}
+	}
+}
+
+// TestDependencyCycleErrorEmptyResidue: the zero DependencyCycleError
+// still formats and matches the sentinel (defensive path for a residue
+// the walker cannot explain).
+func TestDependencyCycleErrorEmptyResidue(t *testing.T) {
+	e := &DependencyCycleError{Stuck: 2}
+	if !errors.Is(e, ErrDependencyCycle) {
+		t.Error("zero-cycle error does not match sentinel")
+	}
+	if !strings.Contains(e.Error(), "2 threads stuck") {
+		t.Errorf("Error() = %q", e.Error())
+	}
+}
+
+// TestDepForkDuringRunPanics: the fork/run overlap guard extends to the
+// DepScheduler. The misuse panic fires inside the thread body, so it is
+// recovered by containment and surfaces as the run's ThreadPanicError —
+// still a loud failure, now a diagnosable one.
+func TestDepForkDuringRunPanics(t *testing.T) {
+	d := NewDep(Config{CacheSize: 1 << 20})
+	d.Fork(func(int, int) {
+		d.Fork(func(int, int) {}, 0, 0, 0, 0, 0)
+	}, 0, 0, 0, 0, 0)
+	err := d.RunContext(context.Background())
+	var tp *ThreadPanicError
+	if !errors.As(err, &tp) {
+		t.Fatalf("err = %v, want *ThreadPanicError from the Fork guard", err)
+	}
+	msg, ok := tp.Value.(string)
+	if !ok || !strings.Contains(msg, "Fork called during Run") {
+		t.Fatalf("panic value = %#v, want the guard message", tp.Value)
+	}
+	// Fresh cycle works after the recovered misuse.
+	ran := false
+	d.Fork(func(int, int) { ran = true }, 0, 0, 0, 0, 0)
+	if err := d.RunContext(context.Background()); err != nil || !ran {
+		t.Fatalf("scheduler unusable after guard panic: %v", err)
+	}
+}

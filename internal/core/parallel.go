@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -119,16 +120,22 @@ func (g *binSegment) stealHalf() (lo, hi int, ok bool) {
 
 // runParallel executes bins across Workers goroutines; each bin runs
 // entirely on one worker so the per-bin working set still fits one cache.
-func (s *Scheduler) runParallel(order []*bin) {
+// Containment and cancellation are cooperative: every worker checks the
+// shared runControl once per bin, so a panic on one worker (recovered
+// into the control) or an expired ctx stops the whole pool at bin
+// granularity, after which fanOut's barrier guarantees quiescence.
+func (s *Scheduler) runParallel(ctx context.Context, order []*bin) error {
 	workers := s.cfg.Workers
 	if workers > len(order) {
 		workers = len(order)
 	}
+	ctrl := newRunControl(ctx)
 	if s.cfg.Dispatch == DispatchAtomic {
-		s.runAtomic(order, workers)
-		return
+		s.runAtomic(order, workers, ctrl)
+	} else {
+		s.runSegmented(order, workers, ctrl)
 	}
-	s.runSegmented(order, workers)
+	return ctrl.err()
 }
 
 // runSegmented is the default dispatch: weighted contiguous tour segments
@@ -136,7 +143,7 @@ func (s *Scheduler) runParallel(order []*bin) {
 // drain (the initial segment and every stolen refill) is timed into
 // sched.segment_drain_ns and spanned on the worker's timeline track, and
 // sched.steals counts successful refills per thief.
-func (s *Scheduler) runSegmented(order []*bin, workers int) {
+func (s *Scheduler) runSegmented(order []*bin, workers int, ctrl *runControl) {
 	weights := make([]int, len(order))
 	for i, b := range order {
 		weights[i] = b.threads
@@ -155,16 +162,24 @@ func (s *Scheduler) runSegmented(order []*bin, workers int) {
 			start := s.met.now()
 			sp := s.met.span(self, "drain")
 			bins, threads := 0, 0
-			for {
+			for !ctrl.halted() {
 				i, ok := segs[self].next()
 				if !ok {
 					break
 				}
-				threads += s.runBin(order[i])
+				n, perr := s.runBinContained(order[i], i, self, "run")
+				threads += n
 				bins++
+				if perr != nil {
+					ctrl.record(perr)
+					break
+				}
 			}
 			s.met.threadsRun.Add(self, uint64(threads))
 			s.met.drainDone(self, start, bins, sp)
+			if ctrl.halted() {
+				return
+			}
 			if !stealInto(segs, self) {
 				return
 			}
@@ -203,19 +218,24 @@ func stealInto(segs []binSegment, self int) bool {
 // runAtomic is the legacy dispatch kept as a comparison baseline: workers
 // claim bins one at a time from a shared counter, so tour neighbours land
 // on different workers.
-func (s *Scheduler) runAtomic(order []*bin, workers int) {
+func (s *Scheduler) runAtomic(order []*bin, workers int, ctrl *runControl) {
 	var next int64 = -1
 	s.fanOut(workers, "run", func(self int) {
 		start := s.met.now()
 		sp := s.met.span(self, "atomic-drain")
 		bins, threads := 0, 0
-		for {
+		for !ctrl.halted() {
 			i := atomic.AddInt64(&next, 1)
 			if i >= int64(len(order)) {
 				break
 			}
-			threads += s.runBin(order[i])
+			n, perr := s.runBinContained(order[i], int(i), self, "run")
+			threads += n
 			bins++
+			if perr != nil {
+				ctrl.record(perr)
+				break
+			}
 		}
 		s.met.threadsRun.Add(self, uint64(threads))
 		s.met.drainDone(self, start, bins, sp)

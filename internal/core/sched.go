@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/bits"
 	"sort"
 	"sync/atomic"
@@ -284,34 +285,89 @@ func (s *Scheduler) newGroup() *group {
 // Run is th_run(keep): run all threads that have been scheduled by Fork,
 // then return. The thread specifications are destroyed if keep is false,
 // or saved to allow re-execution otherwise (§3.1).
+//
+// Run is a thin wrapper over RunContext with a background context: if a
+// thread body panics, the recovered *ThreadPanicError is re-panicked on
+// the calling goroutine, so pre-containment callers observe a panic
+// exactly as before — including from parallel runs, which previously
+// crashed the process from a worker goroutine.
 func (s *Scheduler) Run(keep bool) {
+	if err := s.RunContext(context.Background(), keep); err != nil {
+		panic(err)
+	}
+}
+
+// RunContext is Run with fault containment and cooperative cancellation.
+// A panicking thread body no longer unwinds the process: the first panic
+// is recovered with its context (thread, bin, worker, phase), every
+// worker quiesces at its next bin boundary, and the run returns a
+// *ThreadPanicError. When ctx is cancelled, workers stop claiming bins at
+// the next bin/segment boundary and RunContext returns ctx.Err(); the
+// thread executing at cancellation time runs to completion (threads are
+// run-to-completion, §3 — there is no preemption point inside a body).
+// Cancellation wins even when it lands during the final bin: a run whose
+// ctx is done returns ctx.Err() regardless of how much of the tour
+// completed, so callers can rely on a nil error meaning both "all threads
+// ran" and "nobody asked us to stop".
+//
+// On any error return the schedule is destroyed regardless of keep — part
+// of it has executed, so a keep re-run could not be exact — leaving the
+// scheduler empty, quiesced (worker goroutines parked in the pool, none
+// leaked), and immediately reusable for a fresh Fork/Run cycle. The Runs
+// counter is not incremented for a failed run.
+func (s *Scheduler) RunContext(ctx context.Context, keep bool) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	order := s.tour()
 	s.snapshotRun(order)
-	s.executeAll(order)
+	if err := s.executeAll(ctx, order); err != nil {
+		s.release()
+		return err
+	}
 	s.runs.Add(1)
 	if !keep {
 		s.release()
 	}
+	return nil
 }
 
 // executeAll runs the ordered bins, serially or across workers, holding
 // the running flag for the duration (released even if a thread panics, so
 // a recovered misuse leaves the scheduler reusable after Init).
-func (s *Scheduler) executeAll(order []*bin) {
+func (s *Scheduler) executeAll(ctx context.Context, order []*bin) error {
 	s.running.Store(true)
 	defer s.running.Store(false)
 	if s.cfg.Workers > 1 && len(order) > 1 {
-		s.runParallel(order)
-		return
+		return s.runParallel(ctx, order)
 	}
 	start := s.met.now()
 	sp := s.met.span(0, "run")
-	threads := 0
-	for _, b := range order {
-		threads += s.runBin(b)
+	threads, bins := 0, 0
+	var err error
+	for i, b := range order {
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
+			break
+		}
+		n, perr := s.runBinContained(b, i, 0, "run")
+		threads += n
+		bins++
+		if perr != nil {
+			err = perr
+			break
+		}
+	}
+	if err == nil {
+		// Cancellation wins even when it lands during the final bin, so
+		// serial and parallel runs agree (the parallel path's runControl
+		// reports ctx.Err() after the worker barrier regardless of how
+		// much of the tour completed).
+		err = ctx.Err()
 	}
 	s.met.threadsRun.Add(0, uint64(threads))
-	s.met.drainDone(0, start, len(order), sp)
+	s.met.drainDone(0, start, bins, sp)
+	return err
 }
 
 // RunEach is Run with a per-bin hook: beforeBin is invoked before each
@@ -319,24 +375,53 @@ func (s *Scheduler) executeAll(order []*bin) {
 // It always runs bins sequentially on the calling goroutine (Workers is
 // ignored), which is what deterministic simulations — e.g. the SMP model
 // that re-routes each bin's reference stream to a different simulated
-// processor — need.
+// processor — need. Like Run, it re-panics a contained thread panic.
 func (s *Scheduler) RunEach(keep bool, beforeBin func(bin, threads int)) {
+	if err := s.RunEachContext(context.Background(), keep, beforeBin); err != nil {
+		panic(err)
+	}
+}
+
+// RunEachContext is RunEach with the containment and cancellation
+// semantics of RunContext: thread panics return a *ThreadPanicError, a
+// cancelled ctx stops the tour at the next bin boundary with ctx.Err(),
+// and any error destroys the schedule regardless of keep. Panics in the
+// beforeBin hook itself are the caller's own and propagate unchanged.
+func (s *Scheduler) RunEachContext(ctx context.Context, keep bool, beforeBin func(bin, threads int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	order := s.tour()
 	s.snapshotRun(order)
+	var err error
 	func() {
 		s.running.Store(true)
 		defer s.running.Store(false)
 		for i, b := range order {
+			if cerr := ctx.Err(); cerr != nil {
+				err = cerr
+				return
+			}
 			if beforeBin != nil {
 				beforeBin(i, b.threads)
 			}
-			s.runBin(b)
+			_, perr := s.runBinContained(b, i, 0, "run-each")
+			if perr != nil {
+				err = perr
+				return
+			}
 		}
+		err = ctx.Err() // cancellation wins even on a completed tour
 	}()
+	if err != nil {
+		s.release()
+		return err
+	}
 	s.runs.Add(1)
 	if !keep {
 		s.release()
 	}
+	return nil
 }
 
 func (s *Scheduler) snapshotRun(order []*bin) {
@@ -446,23 +531,6 @@ func (s *Scheduler) eachBin(f func(*bin)) {
 		}
 		sh.mu.Unlock()
 	}
-}
-
-// runBin executes every thread of one bin, group FIFO order within the
-// bin; "the scheduling order of threads in the same bin can be arbitrary"
-// (§2.3) — we use fork order. It returns the thread count so dispatch
-// paths can attribute work to their worker without re-walking the groups.
-func (s *Scheduler) runBin(b *bin) int {
-	n := uint64(0)
-	for g := b.groups; g != nil; g = g.next {
-		for i := range g.recs {
-			r := &g.recs[i]
-			r.fn(r.arg1, r.arg2)
-		}
-		n += uint64(len(g.recs))
-	}
-	atomic.AddUint64(&s.totalRun, n)
-	return int(n)
 }
 
 // release destroys thread specifications after a non-keep run, recycling

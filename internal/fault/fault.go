@@ -1,0 +1,221 @@
+// Package fault provides deterministic, seeded fault injection for the
+// scheduler and simulation stack's containment tests.
+//
+// The paper's run-to-completion model (§3) assumes threads never fail;
+// the repository's containment layer (RunContext, the pipeline's consumer
+// recovery, the trace file's integrity trailers) removes that assumption,
+// and this package is how the test suites prove each containment path
+// works — deterministically, so a failing injection reproduces byte for
+// byte under `go test -run`.
+//
+// An Injector is configured with per-site firing probabilities and/or
+// exact occurrence indexes, all derived from one seed. Every decision is
+// a pure function of (Seed, Site, occurrence index): independent of call
+// order, goroutine interleaving, and wall-clock time, so the same
+// configuration injects the same faults into the same threads on every
+// run, even under -race and arbitrary worker schedules.
+//
+// Like internal/obs, the package has a nil-is-disabled contract: every
+// method on a nil *Injector is a safe no-op (no firing, no allocation,
+// no time reads), so production code and harnesses can thread an
+// *Injector through unconditionally and pay a nil check when fault
+// injection is off.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Site names an injection point. The constants below are the sites the
+// repository's containment tests use; callers may define their own —
+// any string is a valid site, and distinct sites draw independent
+// deterministic streams from the same seed.
+type Site string
+
+const (
+	// ThreadPanic fires inside a thread body, which then panics with a
+	// *Panic value; occurrence index = the thread's fork index.
+	ThreadPanic Site = "thread-panic"
+	// WorkerDelay fires on a worker between bins, injecting Config.Delay
+	// of sleep; occurrence index = the bin's tour index.
+	WorkerDelay Site = "worker-delay"
+	// PipelineStall fires in a pipeline consumer, injecting Config.Stall
+	// of sleep per chunk; occurrence index = the chunk sequence number.
+	PipelineStall Site = "pipeline-stall"
+	// TraceCorrupt fires on an encoded trace, flipping one deterministic
+	// bit (CorruptByte) or cutting the byte stream short (TruncateAt).
+	TraceCorrupt Site = "trace-corrupt"
+)
+
+// Config parameterizes an Injector. The zero value never fires.
+type Config struct {
+	// Seed selects the deterministic decision stream. Two injectors with
+	// the same Seed and site configuration make identical decisions.
+	Seed uint64
+	// Prob maps a site to its firing probability in [0, 1]: site s fires
+	// for occurrence n with probability Prob[s], decided by a hash of
+	// (Seed, s, n).
+	Prob map[Site]float64
+	// At pins sites to exact occurrence indexes: site s additionally
+	// fires for every n listed in At[s]. This is what the containment
+	// matrix tests use to panic exactly the first, middle, or last
+	// thread of a run.
+	At map[Site][]uint64
+	// Delay is the sleep MaybeDelay injects when its site fires.
+	Delay time.Duration
+	// Stall is the sleep MaybeStall injects when its site fires.
+	Stall time.Duration
+}
+
+// Injector makes deterministic fault decisions. A nil *Injector is the
+// disabled state: every method is a no-op that never fires.
+type Injector struct {
+	seed  uint64
+	prob  map[Site]uint64 // firing threshold scaled to [0, 2^64)
+	at    map[Site]map[uint64]bool
+	delay time.Duration
+	stall time.Duration
+}
+
+// New returns an Injector for cfg. New(Config{}) is a valid injector
+// that never fires; a nil *Injector behaves identically and is the
+// cheaper way to express "injection off".
+func New(cfg Config) *Injector {
+	in := &Injector{seed: cfg.Seed, delay: cfg.Delay, stall: cfg.Stall}
+	if len(cfg.Prob) > 0 {
+		in.prob = make(map[Site]uint64, len(cfg.Prob))
+		for s, p := range cfg.Prob {
+			in.prob[s] = probThreshold(p)
+		}
+	}
+	if len(cfg.At) > 0 {
+		in.at = make(map[Site]map[uint64]bool, len(cfg.At))
+		for s, ns := range cfg.At {
+			set := make(map[uint64]bool, len(ns))
+			for _, n := range ns {
+				set[n] = true
+			}
+			in.at[s] = set
+		}
+	}
+	return in
+}
+
+// probThreshold scales a probability to a uint64 comparison threshold.
+func probThreshold(p float64) uint64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return math.MaxUint64
+	default:
+		return uint64(p * float64(math.MaxUint64))
+	}
+}
+
+// Enabled reports whether the injector can fire at all.
+func (in *Injector) Enabled() bool {
+	return in != nil && (len(in.prob) > 0 || len(in.at) > 0)
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a bijective
+// avalanche mix, so consecutive occurrence indexes decide independently.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// rnd is the site's deterministic stream: a hash of (seed, site, n).
+func (in *Injector) rnd(site Site, n uint64) uint64 {
+	h := splitmix64(in.seed)
+	for i := 0; i < len(site); i++ {
+		h = splitmix64(h ^ uint64(site[i]))
+	}
+	return splitmix64(h ^ n)
+}
+
+// Fires reports whether site fires for occurrence n. The decision is a
+// pure function of (Seed, site, n); a nil injector never fires.
+func (in *Injector) Fires(site Site, n uint64) bool {
+	if in == nil {
+		return false
+	}
+	if set, ok := in.at[site]; ok && set[n] {
+		return true
+	}
+	thr, ok := in.prob[site]
+	if !ok || thr == 0 {
+		return false
+	}
+	if thr == math.MaxUint64 {
+		return true
+	}
+	return in.rnd(site, n) < thr
+}
+
+// Panic is the value MaybePanic panics with; containment layers surface
+// it inside their typed errors (e.g. core.ThreadPanicError.Value), so a
+// test can assert the exact injected fault came back out.
+type Panic struct {
+	Site Site
+	N    uint64
+}
+
+// Error makes *Panic usable as an error value.
+func (p *Panic) Error() string {
+	return fmt.Sprintf("fault: injected panic at site %q, occurrence %d", p.Site, p.N)
+}
+
+// MaybePanic panics with a *Panic when site fires for occurrence n.
+func (in *Injector) MaybePanic(site Site, n uint64) {
+	if in.Fires(site, n) {
+		panic(&Panic{Site: site, N: n})
+	}
+}
+
+// MaybeDelay sleeps Config.Delay when site fires for occurrence n; used
+// to perturb worker timing (forcing steals, reordering wave arrival)
+// without changing any result.
+func (in *Injector) MaybeDelay(site Site, n uint64) {
+	if in.Fires(site, n) && in.delay > 0 {
+		time.Sleep(in.delay)
+	}
+}
+
+// MaybeStall sleeps Config.Stall when site fires for occurrence n; used
+// to hold a pipeline consumer back until the ring fills.
+func (in *Injector) MaybeStall(site Site, n uint64) {
+	if in.Fires(site, n) && in.stall > 0 {
+		time.Sleep(in.stall)
+	}
+}
+
+// CorruptByte flips one bit of data in place when site fires for
+// occurrence n, returning the flipped offset. Offset and bit are
+// deterministic in (Seed, site, n, len(data)). Offsets below skip are
+// never chosen (pass a header length to corrupt only the body).
+func (in *Injector) CorruptByte(site Site, n uint64, data []byte, skip int) (int, bool) {
+	if !in.Fires(site, n) || skip < 0 || skip >= len(data) {
+		return 0, false
+	}
+	h := in.rnd(site, splitmix64(n)^uint64(len(data)))
+	off := skip + int(h%uint64(len(data)-skip))
+	data[off] ^= 1 << ((h >> 32) % 8)
+	return off, true
+}
+
+// TruncateAt returns a deterministic cut offset in [skip+1, len(data))
+// when site fires for occurrence n: data[:offset] is the truncated
+// stream. ok is false when the site does not fire or data has no room
+// past skip.
+func (in *Injector) TruncateAt(site Site, n uint64, data []byte, skip int) (int, bool) {
+	if !in.Fires(site, n) || skip < 0 || len(data)-skip < 2 {
+		return 0, false
+	}
+	h := in.rnd(site, splitmix64(n^0x7472756e63)^uint64(len(data)))
+	return skip + 1 + int(h%uint64(len(data)-skip-1)), true
+}

@@ -1,0 +1,232 @@
+package fault
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestNilInjectorIsDisabled pins the nil-is-disabled contract: every
+// method on a nil *Injector is a safe no-op.
+func TestNilInjectorIsDisabled(t *testing.T) {
+	var in *Injector
+	if in.Enabled() {
+		t.Error("nil injector reports Enabled")
+	}
+	if in.Fires(ThreadPanic, 0) {
+		t.Error("nil injector fired")
+	}
+	in.MaybePanic(ThreadPanic, 0) // must not panic
+	in.MaybeDelay(WorkerDelay, 0)
+	in.MaybeStall(PipelineStall, 0)
+	data := []byte{1, 2, 3, 4}
+	if _, ok := in.CorruptByte(TraceCorrupt, 0, data, 0); ok {
+		t.Error("nil injector corrupted data")
+	}
+	if _, ok := in.TruncateAt(TraceCorrupt, 0, data, 0); ok {
+		t.Error("nil injector truncated data")
+	}
+}
+
+// TestZeroConfigNeverFires: New(Config{}) is valid and inert.
+func TestZeroConfigNeverFires(t *testing.T) {
+	in := New(Config{})
+	if in.Enabled() {
+		t.Error("zero-config injector reports Enabled")
+	}
+	for n := uint64(0); n < 1000; n++ {
+		if in.Fires(ThreadPanic, n) {
+			t.Fatalf("zero-config injector fired at n=%d", n)
+		}
+	}
+}
+
+// TestDeterminism: two injectors with the same seed make identical
+// decisions; a different seed diverges somewhere.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, Prob: map[Site]float64{ThreadPanic: 0.25, TraceCorrupt: 0.5}}
+	a, b := New(cfg), New(cfg)
+	diverged := false
+	other := New(Config{Seed: 43, Prob: cfg.Prob})
+	for n := uint64(0); n < 4096; n++ {
+		for _, site := range []Site{ThreadPanic, TraceCorrupt} {
+			if a.Fires(site, n) != b.Fires(site, n) {
+				t.Fatalf("same seed diverged at site %q n=%d", site, n)
+			}
+			if a.Fires(site, n) != other.Fires(site, n) {
+				diverged = true
+			}
+		}
+	}
+	if !diverged {
+		t.Error("seeds 42 and 43 made identical decisions over 4096 trials")
+	}
+}
+
+// TestCallOrderIndependence: Fires(n) does not depend on which decisions
+// were asked before it — the property that makes injection deterministic
+// under arbitrary worker interleavings.
+func TestCallOrderIndependence(t *testing.T) {
+	cfg := Config{Seed: 7, Prob: map[Site]float64{ThreadPanic: 0.3}}
+	forward, backward := New(cfg), New(cfg)
+	const n = 512
+	f := make([]bool, n)
+	for i := 0; i < n; i++ {
+		f[i] = forward.Fires(ThreadPanic, uint64(i))
+	}
+	for i := n - 1; i >= 0; i-- {
+		if got := backward.Fires(ThreadPanic, uint64(i)); got != f[i] {
+			t.Fatalf("decision for n=%d depends on call order", i)
+		}
+	}
+}
+
+// TestProbabilityRate: the empirical firing rate tracks the configured
+// probability.
+func TestProbabilityRate(t *testing.T) {
+	for _, p := range []float64{0.01, 0.25, 0.75} {
+		in := New(Config{Seed: 99, Prob: map[Site]float64{ThreadPanic: p}})
+		const trials = 200_000
+		hits := 0
+		for n := uint64(0); n < trials; n++ {
+			if in.Fires(ThreadPanic, n) {
+				hits++
+			}
+		}
+		rate := float64(hits) / trials
+		if math.Abs(rate-p) > 0.01 {
+			t.Errorf("p=%v: empirical rate %v off by more than 0.01", p, rate)
+		}
+	}
+}
+
+// TestProbabilityEdges: p=0 never fires, p=1 always fires.
+func TestProbabilityEdges(t *testing.T) {
+	never := New(Config{Seed: 1, Prob: map[Site]float64{ThreadPanic: 0}})
+	always := New(Config{Seed: 1, Prob: map[Site]float64{ThreadPanic: 1}})
+	for n := uint64(0); n < 10_000; n++ {
+		if never.Fires(ThreadPanic, n) {
+			t.Fatalf("p=0 fired at n=%d", n)
+		}
+		if !always.Fires(ThreadPanic, n) {
+			t.Fatalf("p=1 missed at n=%d", n)
+		}
+	}
+}
+
+// TestAtPinsExactOccurrences: At fires exactly the listed indexes and
+// nothing else when no probability is configured.
+func TestAtPinsExactOccurrences(t *testing.T) {
+	in := New(Config{Seed: 3, At: map[Site][]uint64{ThreadPanic: {0, 17, 4095}}})
+	if !in.Enabled() {
+		t.Fatal("At-configured injector not Enabled")
+	}
+	for n := uint64(0); n < 8192; n++ {
+		want := n == 0 || n == 17 || n == 4095
+		if got := in.Fires(ThreadPanic, n); got != want {
+			t.Fatalf("Fires(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+// TestMaybePanicValue: the injected panic value identifies site and
+// occurrence, so containment layers can surface it.
+func TestMaybePanicValue(t *testing.T) {
+	in := New(Config{At: map[Site][]uint64{ThreadPanic: {5}}})
+	in.MaybePanic(ThreadPanic, 4) // must not panic
+	defer func() {
+		p, ok := recover().(*Panic)
+		if !ok {
+			t.Fatalf("recovered %T, want *Panic", p)
+		}
+		if p.Site != ThreadPanic || p.N != 5 {
+			t.Errorf("Panic = %+v, want site %q n=5", p, ThreadPanic)
+		}
+		if p.Error() == "" {
+			t.Error("empty Panic.Error()")
+		}
+	}()
+	in.MaybePanic(ThreadPanic, 5)
+}
+
+// TestCorruptByteDeterministic: same injector state flips the same bit
+// at the same offset, never below skip.
+func TestCorruptByteDeterministic(t *testing.T) {
+	in := New(Config{Seed: 11, Prob: map[Site]float64{TraceCorrupt: 1}})
+	const size, skip = 256, 5
+	a := make([]byte, size)
+	b := make([]byte, size)
+	offA, okA := in.CorruptByte(TraceCorrupt, 9, a, skip)
+	offB, okB := in.CorruptByte(TraceCorrupt, 9, b, skip)
+	if !okA || !okB {
+		t.Fatal("p=1 corruption did not fire")
+	}
+	if offA != offB {
+		t.Fatalf("offsets differ: %d vs %d", offA, offB)
+	}
+	if offA < skip || offA >= size {
+		t.Fatalf("offset %d outside [%d, %d)", offA, skip, size)
+	}
+	if a[offA] == 0 {
+		t.Error("no bit flipped")
+	}
+	for i := range a {
+		if (a[i] != 0) != (i == offA) {
+			t.Fatalf("byte %d modified unexpectedly", i)
+		}
+	}
+	// Different occurrences spread across offsets.
+	seen := map[int]bool{}
+	for n := uint64(0); n < 64; n++ {
+		buf := make([]byte, size)
+		off, _ := in.CorruptByte(TraceCorrupt, n, buf, skip)
+		seen[off] = true
+	}
+	if len(seen) < 16 {
+		t.Errorf("64 corruptions hit only %d distinct offsets", len(seen))
+	}
+}
+
+// TestTruncateAtBounds: cut offsets land strictly inside (skip, len).
+func TestTruncateAtBounds(t *testing.T) {
+	in := New(Config{Seed: 13, Prob: map[Site]float64{TraceCorrupt: 1}})
+	data := make([]byte, 100)
+	for n := uint64(0); n < 256; n++ {
+		off, ok := in.TruncateAt(TraceCorrupt, n, data, 5)
+		if !ok {
+			t.Fatalf("p=1 truncation did not fire at n=%d", n)
+		}
+		if off <= 5 || off >= len(data) {
+			t.Fatalf("cut offset %d outside (5, %d)", off, len(data))
+		}
+	}
+	if _, ok := in.TruncateAt(TraceCorrupt, 0, data[:6], 5); ok {
+		t.Error("truncation fired with no room past skip")
+	}
+}
+
+// TestDelayAndStall: configured sleeps are observed when fired.
+func TestDelayAndStall(t *testing.T) {
+	in := New(Config{
+		Prob:  map[Site]float64{WorkerDelay: 1, PipelineStall: 1},
+		Delay: 10 * time.Millisecond,
+		Stall: 10 * time.Millisecond,
+	})
+	start := time.Now()
+	in.MaybeDelay(WorkerDelay, 0)
+	if time.Since(start) < 5*time.Millisecond {
+		t.Error("MaybeDelay did not sleep")
+	}
+	start = time.Now()
+	in.MaybeStall(PipelineStall, 0)
+	if time.Since(start) < 5*time.Millisecond {
+		t.Error("MaybeStall did not sleep")
+	}
+	// Unfired sites must not sleep.
+	quiet := New(Config{Prob: map[Site]float64{WorkerDelay: 0}, Delay: time.Second})
+	start = time.Now()
+	quiet.MaybeDelay(WorkerDelay, 0)
+	if time.Since(start) > 100*time.Millisecond {
+		t.Error("unfired MaybeDelay slept")
+	}
+}

@@ -10,7 +10,11 @@
 package harness
 
 import (
+	"context"
+	"fmt"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"threadsched/internal/cache"
@@ -92,6 +96,13 @@ type Config struct {
 	// and a timeline span. Enabling it changes no simulation result (the
 	// golden equivalence tests pin this).
 	Obs *obs.Obs
+
+	// Context, when non-nil, bounds every table this Config runs: once it
+	// is done, no further simulation job starts (jobs already running
+	// finish — individual simulations are not interruptible), so a table
+	// rendered after cancellation covers only the jobs that completed.
+	// Nil means run to completion.
+	Context context.Context
 }
 
 // Scaled returns the default laptop-scale configuration: caches ÷16
@@ -207,7 +218,12 @@ func (c Config) simulate(m machine.Machine, fn runner) SimResult {
 	sched := fn(cpu, as)
 	cpu.Flush()
 	if pipe != nil {
-		pipe.Close()
+		// A consumer failure means the hierarchy missed references and
+		// every number below is wrong; treat it like any other job panic
+		// so runJobs contains it instead of rendering a corrupt table.
+		if err := pipe.Close(); err != nil {
+			panic(err)
+		}
 	}
 	if c.Obs.Enabled() {
 		wall := time.Since(start)
@@ -240,24 +256,61 @@ type simJob struct {
 	run  func() SimResult
 }
 
+// JobPanicError is the panic value runJobs re-raises on its caller's
+// goroutine when a simulation job panics. Without containment a panic in
+// a parallel job would kill the process from an unrecoverable goroutine;
+// with it, in-flight jobs quiesce first (queued ones are skipped) and the
+// caller can recover a single typed value naming the job.
+type JobPanicError struct {
+	// Key and What identify the job within its table.
+	Key  string
+	What string
+	// Value is the recovered panic value; a thread panic inside a
+	// scheduler surfaces here as a *core.ThreadPanicError.
+	Value any
+	// Stack is the job goroutine's stack, captured at recovery.
+	Stack []byte
+}
+
+// Error describes the panic and the job it happened in.
+func (e *JobPanicError) Error() string {
+	return fmt.Sprintf("harness: job %q (%s) panicked: %v", e.Key, e.What, e.Value)
+}
+
 // runJobs executes a table's simulations, concurrently when
 // Config.Parallel allows, and returns results keyed for rendering. The
 // jobs share nothing (each builds its own hierarchy, CPU, and address
 // space), so the result map — and every table rendered from it — is
-// identical at any parallelism.
+// identical at any parallelism. A job panic quiesces the table (running
+// jobs finish, queued ones are skipped) and then re-panics on the calling
+// goroutine with a *JobPanicError; a done Config.Context stops new jobs
+// from starting, returning the results gathered so far.
 func (c Config) runJobs(prog Progress, jobs []simJob) map[string]SimResult {
+	ctx := c.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make(map[string]SimResult, len(jobs))
 	if c.Parallel <= 1 {
 		for _, j := range jobs {
+			if ctx.Err() != nil {
+				break
+			}
 			prog.printf("%s", j.what)
-			out[j.key] = c.runJob(j)
+			r, perr := c.runJobContained(j)
+			if perr != nil {
+				panic(perr)
+			}
+			out[j.key] = r
 		}
 		return out
 	}
 	var (
-		mu  sync.Mutex
-		wg  sync.WaitGroup
-		sem = make(chan struct{}, c.Parallel)
+		mu     sync.Mutex
+		wg     sync.WaitGroup
+		sem    = make(chan struct{}, c.Parallel)
+		failed atomic.Bool
+		first  *JobPanicError
 	)
 	for _, j := range jobs {
 		wg.Add(1)
@@ -265,15 +318,42 @@ func (c Config) runJobs(prog Progress, jobs []simJob) map[string]SimResult {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if failed.Load() || ctx.Err() != nil {
+				return
+			}
 			prog.printf("%s", j.what)
-			r := c.runJob(j)
+			r, perr := c.runJobContained(j)
+			if perr != nil {
+				failed.Store(true)
+				mu.Lock()
+				if first == nil {
+					first = perr
+				}
+				mu.Unlock()
+				return
+			}
 			mu.Lock()
 			out[j.key] = r
 			mu.Unlock()
 		}(j)
 	}
 	wg.Wait()
+	if first != nil {
+		panic(first)
+	}
 	return out
+}
+
+// runJobContained runs one job with its panic recovered into a typed
+// error, so a blown-up simulation cannot take down sibling goroutines
+// mid-table.
+func (c Config) runJobContained(j simJob) (r SimResult, perr *JobPanicError) {
+	defer func() {
+		if v := recover(); v != nil {
+			perr = &JobPanicError{Key: j.key, What: j.what, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return c.runJob(j), nil
 }
 
 // runJob runs one simulation, wrapped — when Config.Obs is attached — in

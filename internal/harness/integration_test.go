@@ -30,7 +30,7 @@ func TestTraceFileReplayMatchesDirectSimulation(t *testing.T) {
 	w := trace.NewWriter(&buf)
 	cpuF := sim.NewCPU(w)
 	sor.NewTracedArray(cpuF, vm.NewAddressSpace(), n).Untiled(iters)
-	if err := w.Flush(); err != nil {
+	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
 	replayed := cache.MustNewHierarchy(mach.Caches, nil)

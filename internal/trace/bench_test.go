@@ -41,7 +41,7 @@ func BenchmarkFileRoundTrip(b *testing.B) {
 			for j := range refs {
 				w.Record(refs[j])
 			}
-			if err := w.Flush(); err != nil {
+			if err := w.Close(); err != nil {
 				b.Fatal(err)
 			}
 			r := NewReader(&buf)
@@ -65,7 +65,7 @@ func BenchmarkFileRoundTrip(b *testing.B) {
 				}
 				w.RecordBatch(refs[off:end])
 			}
-			if err := w.Flush(); err != nil {
+			if err := w.Close(); err != nil {
 				b.Fatal(err)
 			}
 			r := NewReader(&buf)

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -13,12 +14,41 @@ import (
 // zigzag-varint encoded as deltas from the previous address of the same
 // kind, which keeps sequential sweeps (the common case in the paper's
 // workloads) to 2-3 bytes per reference.
-
+//
+// Version 2 frames the record stream into self-checking chunks so a
+// damaged or cut-off file is diagnosed instead of silently replaying
+// garbage:
+//
+//	header:  "GTRC" version
+//	chunk:   uvarint payloadLen (>0) | payload | uvarint recordCount | crc32
+//	...
+//	trailer: uvarint 0 | uvarint totalRecords | crc32
+//
+// The payload is the version-1 record encoding (kind byte, size byte,
+// zigzag-varint address delta). Each CRC32 (IEEE, little-endian) covers
+// every chunk byte before it, length varint included. The zero-length
+// trailer chunk is mandatory: a reader reaching EOF without it reports
+// ErrTruncated, so truncation at any byte past the header is detected,
+// and a flipped bit anywhere in a chunk fails its checksum (ErrCorrupt).
 const (
 	// Magic identifies a trace file.
 	Magic = "GTRC"
-	// FormatVersion is the current trace file version.
-	FormatVersion = 1
+	// FormatVersion is the trace file version Writer produces. Reader
+	// also accepts version-1 files (unframed records, no checksums, no
+	// trailer), whose truncation past a record boundary is undetectable.
+	FormatVersion = 2
+	// HeaderSize is the byte length of the file header (magic + version).
+	HeaderSize = len(Magic) + 1
+)
+
+// Chunk geometry. Writer cuts a chunk every frameRecs records, so frames
+// align with the DefaultChunk batches the simulation pipeline produces;
+// Reader rejects lengths beyond the corresponding payload bound rather
+// than trusting a corrupted length varint with a huge allocation.
+const (
+	frameRecs       = DefaultChunk
+	maxFrameRecs    = 1 << 16
+	maxFramePayload = maxFrameRecs * (binary.MaxVarintLen64 + 2)
 )
 
 var (
@@ -26,7 +56,17 @@ var (
 	ErrBadMagic = errors.New("trace: bad magic")
 	// ErrBadVersion reports an unsupported trace file version.
 	ErrBadVersion = errors.New("trace: unsupported version")
-	errBadKind    = errors.New("trace: invalid record kind")
+	// ErrCorrupt reports a trace whose bytes are present but inconsistent:
+	// a failed chunk checksum, a record count that does not match the
+	// chunk payload, an invalid record kind, or data after the trailer.
+	// Match with errors.Is.
+	ErrCorrupt = errors.New("trace: corrupt trace file")
+	// ErrTruncated reports a trace that ends before its trailer: the
+	// underlying stream hit EOF mid-header, mid-chunk, or between chunks
+	// without the mandatory zero-length trailer. Match with errors.Is.
+	ErrTruncated = errors.New("trace: truncated trace file")
+	errBadKind   = errors.New("trace: invalid record kind")
+	errClosed    = errors.New("trace: write after Close")
 )
 
 // WriterBufSize is the explicit size of the encoder's buffered writer:
@@ -35,21 +75,25 @@ var (
 const WriterBufSize = 1 << 16
 
 // Writer encodes a reference stream to an io.Writer. It implements
-// Recorder and BatchRecorder; call Flush (or Close) when done.
+// Recorder and BatchRecorder; call Close when done — the trailer it
+// writes is what lets Reader distinguish a complete trace from a
+// truncated one.
 type Writer struct {
 	w       *bufio.Writer
 	last    [numKinds]uint64
 	n       uint64
+	pending []byte // encoded records of the open chunk
+	pendCnt int
 	scratch [binary.MaxVarintLen64 + 2]byte
-	batch   []byte // reused chunk-encoding buffer for RecordBatch
 	err     error
 	wrote   bool
+	closed  bool
 }
 
 var _ BatchRecorder = (*Writer)(nil)
 
 // NewWriter returns a Writer that encodes to w with a WriterBufSize
-// buffer. The header is written lazily on the first record (or on Flush).
+// buffer. The header is written lazily on the first record (or on Close).
 func NewWriter(w io.Writer) *Writer {
 	return NewWriterSize(w, WriterBufSize)
 }
@@ -79,6 +123,10 @@ func (tw *Writer) Record(r Ref) {
 	if tw.err != nil {
 		return
 	}
+	if tw.closed {
+		tw.err = errClosed
+		return
+	}
 	tw.writeHeader()
 	if tw.err != nil {
 		return
@@ -89,32 +137,34 @@ func (tw *Writer) Record(r Ref) {
 	}
 	delta := int64(r.Addr - tw.last[r.Kind])
 	tw.last[r.Kind] = r.Addr
-	buf := tw.scratch[:0]
-	buf = append(buf, byte(r.Kind), r.Size)
-	buf = binary.AppendVarint(buf, delta)
-	if _, err := tw.w.Write(buf); err != nil {
-		tw.err = err
-		return
-	}
+	tw.pending = append(tw.pending, byte(r.Kind), r.Size)
+	tw.pending = binary.AppendVarint(tw.pending, delta)
+	tw.pendCnt++
 	tw.n++
+	if tw.pendCnt >= frameRecs {
+		tw.emitChunk()
+	}
 }
 
-// RecordBatch implements BatchRecorder: the whole chunk is encoded into
-// one reused scratch buffer and handed to the buffered writer in a single
-// Write, so the encoder does delta bookkeeping — not I/O plumbing — per
-// reference. The byte stream is identical to per-record encoding.
+// RecordBatch implements BatchRecorder: the whole batch is delta-encoded
+// into the open chunk's buffer in one pass, cutting chunks as the record
+// bound fills, so the encoder does delta bookkeeping — not I/O plumbing —
+// per reference.
 func (tw *Writer) RecordBatch(refs []Ref) {
 	if tw.err != nil {
+		return
+	}
+	if tw.closed {
+		tw.err = errClosed
 		return
 	}
 	tw.writeHeader()
 	if tw.err != nil {
 		return
 	}
-	if cap(tw.batch) == 0 {
-		tw.batch = make([]byte, 0, DefaultChunk*(binary.MaxVarintLen64+2))
+	if cap(tw.pending) == 0 {
+		tw.pending = make([]byte, 0, frameRecs*(binary.MaxVarintLen64+2))
 	}
-	buf := tw.batch[:0]
 	for i := range refs {
 		r := &refs[i]
 		if r.Kind >= numKinds {
@@ -123,38 +173,111 @@ func (tw *Writer) RecordBatch(refs []Ref) {
 		}
 		delta := int64(r.Addr - tw.last[r.Kind])
 		tw.last[r.Kind] = r.Addr
-		buf = append(buf, byte(r.Kind), r.Size)
-		buf = binary.AppendVarint(buf, delta)
+		tw.pending = append(tw.pending, byte(r.Kind), r.Size)
+		tw.pending = binary.AppendVarint(tw.pending, delta)
+		tw.pendCnt++
+		tw.n++
+		if tw.pendCnt >= frameRecs {
+			tw.emitChunk()
+			if tw.err != nil {
+				return
+			}
+		}
 	}
-	tw.batch = buf[:0]
-	if _, err := tw.w.Write(buf); err != nil {
+}
+
+// emitChunk frames and writes the open chunk: length varint, payload,
+// record-count varint, then a CRC32 over all of the preceding bytes.
+func (tw *Writer) emitChunk() {
+	if tw.err != nil || tw.pendCnt == 0 {
+		return
+	}
+	lenBuf := binary.AppendUvarint(tw.scratch[:0], uint64(len(tw.pending)))
+	crc := crc32.Update(0, crc32.IEEETable, lenBuf)
+	crc = crc32.Update(crc, crc32.IEEETable, tw.pending)
+	if _, err := tw.w.Write(lenBuf); err != nil {
 		tw.err = err
 		return
 	}
-	tw.n += uint64(len(refs))
+	if _, err := tw.w.Write(tw.pending); err != nil {
+		tw.err = err
+		return
+	}
+	cntBuf := binary.AppendUvarint(tw.scratch[:0], uint64(tw.pendCnt))
+	crc = crc32.Update(crc, crc32.IEEETable, cntBuf)
+	cntBuf = binary.LittleEndian.AppendUint32(cntBuf, crc)
+	if _, err := tw.w.Write(cntBuf); err != nil {
+		tw.err = err
+		return
+	}
+	tw.pending = tw.pending[:0]
+	tw.pendCnt = 0
 }
 
 // Count returns the number of records successfully encoded.
 func (tw *Writer) Count() uint64 { return tw.n }
 
-// Flush writes the header (if no records were recorded) and flushes
-// buffered output.
+// Flush writes the header (if not yet written), frames the open chunk,
+// and flushes buffered output, making everything recorded so far durable.
+// The trace is still incomplete until Close writes the trailer; a reader
+// of a flushed-but-unclosed trace reports ErrTruncated at its end.
 func (tw *Writer) Flush() error {
 	if tw.err != nil {
 		return tw.err
 	}
 	tw.writeHeader()
+	tw.emitChunk()
 	if tw.err != nil {
 		return tw.err
 	}
 	return tw.w.Flush()
 }
 
-// Reader decodes a trace file produced by Writer.
+// Close completes the trace: it frames the open chunk, writes the
+// zero-length trailer carrying the total record count, and flushes. It
+// does not close the underlying io.Writer. Close is idempotent; recording
+// after Close is an error.
+func (tw *Writer) Close() error {
+	if tw.closed {
+		return tw.err
+	}
+	tw.closed = true
+	if tw.err != nil {
+		return tw.err
+	}
+	tw.writeHeader()
+	tw.emitChunk()
+	if tw.err != nil {
+		return tw.err
+	}
+	buf := binary.AppendUvarint(tw.scratch[:0], 0)
+	buf = binary.AppendUvarint(buf, tw.n)
+	crc := crc32.Update(0, crc32.IEEETable, buf)
+	buf = binary.LittleEndian.AppendUint32(buf, crc)
+	if _, err := tw.w.Write(buf); err != nil {
+		tw.err = err
+		return err
+	}
+	return tw.w.Flush()
+}
+
+// Reader decodes a trace file produced by Writer, either version: current
+// chunked files are verified chunk by chunk, and legacy version-1 files
+// take the unframed path (no checksums; truncation at a record boundary
+// is indistinguishable from a clean end).
 type Reader struct {
-	r    *bufio.Reader
-	last [numKinds]uint64
-	init bool
+	r       *bufio.Reader
+	last    [numKinds]uint64
+	version byte
+	init    bool
+	done    bool
+
+	// Open-chunk state (version 2): records are decoded lazily out of the
+	// verified payload.
+	payload []byte
+	pos     int
+	left    int    // records remaining in the open chunk
+	count   uint64 // records decoded so far, checked against the trailer
 }
 
 // NewReader returns a Reader decoding from r. The header is validated on
@@ -164,44 +287,190 @@ func NewReader(r io.Reader) *Reader {
 }
 
 func (tr *Reader) readHeader() error {
-	var hdr [len(Magic) + 1]byte
+	var hdr [HeaderSize]byte
 	if _, err := io.ReadFull(tr.r, hdr[:]); err != nil {
 		if err == io.EOF {
 			return fmt.Errorf("trace: missing header: %w", ErrBadMagic)
+		}
+		if err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("%w: partial header", ErrTruncated)
 		}
 		return err
 	}
 	if string(hdr[:len(Magic)]) != Magic {
 		return ErrBadMagic
 	}
-	if hdr[len(Magic)] != FormatVersion {
+	switch hdr[len(Magic)] {
+	case 1, 2:
+		tr.version = hdr[len(Magic)]
+	default:
 		return fmt.Errorf("%w: %d", ErrBadVersion, hdr[len(Magic)])
 	}
 	tr.init = true
 	return nil
 }
 
-// Read decodes the next record. It returns io.EOF at the end of the trace.
+// readUvarint decodes an unsigned varint from the stream, folding its raw
+// bytes into the running CRC. EOF anywhere inside it — including before
+// its first byte — means the trailer was never reached.
+func (tr *Reader) readUvarint(crc *uint32, what string) (uint64, error) {
+	var v uint64
+	var shift uint
+	for i := 0; ; i++ {
+		b, err := tr.r.ReadByte()
+		if err != nil {
+			if err == io.EOF {
+				return 0, fmt.Errorf("%w: EOF in %s", ErrTruncated, what)
+			}
+			return 0, err
+		}
+		*crc = crc32.Update(*crc, crc32.IEEETable, []byte{b})
+		if i == binary.MaxVarintLen64 || (i == binary.MaxVarintLen64-1 && b > 1) {
+			return 0, fmt.Errorf("%w: varint overflow in %s", ErrCorrupt, what)
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+		shift += 7
+	}
+}
+
+// loadChunk reads and verifies the next chunk, leaving its payload ready
+// for decoding. At the trailer it validates the total record count,
+// rejects trailing bytes, and returns io.EOF.
+func (tr *Reader) loadChunk() error {
+	var crc uint32
+	plen, err := tr.readUvarint(&crc, "chunk length")
+	if err != nil {
+		return err
+	}
+	if plen == 0 {
+		total, err := tr.readUvarint(&crc, "trailer")
+		if err != nil {
+			return err
+		}
+		if err := tr.checkCRC(crc, "trailer"); err != nil {
+			return err
+		}
+		if total != tr.count {
+			return fmt.Errorf("%w: trailer records %d records, file holds %d",
+				ErrCorrupt, total, tr.count)
+		}
+		if _, err := tr.r.ReadByte(); err == nil {
+			return fmt.Errorf("%w: data after trailer", ErrCorrupt)
+		} else if err != io.EOF {
+			return err
+		}
+		tr.done = true
+		return io.EOF
+	}
+	if plen > maxFramePayload {
+		return fmt.Errorf("%w: chunk length %d exceeds bound", ErrCorrupt, plen)
+	}
+	if cap(tr.payload) < int(plen) {
+		tr.payload = make([]byte, plen)
+	}
+	p := tr.payload[:plen]
+	if _, err := io.ReadFull(tr.r, p); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("%w: EOF in chunk payload", ErrTruncated)
+		}
+		return err
+	}
+	crc = crc32.Update(crc, crc32.IEEETable, p)
+	cnt, err := tr.readUvarint(&crc, "chunk count")
+	if err != nil {
+		return err
+	}
+	if err := tr.checkCRC(crc, "chunk"); err != nil {
+		return err
+	}
+	if cnt == 0 || cnt > maxFrameRecs {
+		return fmt.Errorf("%w: chunk record count %d out of range", ErrCorrupt, cnt)
+	}
+	tr.payload, tr.pos, tr.left = p, 0, int(cnt)
+	return nil
+}
+
+// checkCRC reads the four stored checksum bytes and compares.
+func (tr *Reader) checkCRC(crc uint32, what string) error {
+	var b [4]byte
+	if _, err := io.ReadFull(tr.r, b[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("%w: EOF in %s checksum", ErrTruncated, what)
+		}
+		return err
+	}
+	if got := binary.LittleEndian.Uint32(b[:]); got != crc {
+		return fmt.Errorf("%w: %s checksum mismatch", ErrCorrupt, what)
+	}
+	return nil
+}
+
+// Read decodes the next record. It returns io.EOF at the end of the
+// trace; a trace that ends without its trailer returns an error matching
+// ErrTruncated, and one whose bytes fail verification returns an error
+// matching ErrCorrupt.
 func (tr *Reader) Read() (Ref, error) {
 	if !tr.init {
 		if err := tr.readHeader(); err != nil {
 			return Ref{}, err
 		}
 	}
+	if tr.version == 1 {
+		return tr.readV1()
+	}
+	if tr.done {
+		return Ref{}, io.EOF
+	}
+	if tr.left == 0 {
+		if err := tr.loadChunk(); err != nil {
+			return Ref{}, err
+		}
+	}
+	// Decode one record from the verified payload. The checksum already
+	// passed, so a malformed record here means the count and payload
+	// disagree — corruption the CRC happened to miss, or a writer bug.
+	if tr.pos+2 > len(tr.payload) {
+		return Ref{}, fmt.Errorf("%w: chunk payload underrun", ErrCorrupt)
+	}
+	kb, size := tr.payload[tr.pos], tr.payload[tr.pos+1]
+	tr.pos += 2
+	if Kind(kb) >= numKinds {
+		return Ref{}, fmt.Errorf("%w: %v", ErrCorrupt, errBadKind)
+	}
+	delta, n := binary.Varint(tr.payload[tr.pos:])
+	if n <= 0 {
+		return Ref{}, fmt.Errorf("%w: bad address delta", ErrCorrupt)
+	}
+	tr.pos += n
+	tr.left--
+	if tr.left == 0 && tr.pos != len(tr.payload) {
+		return Ref{}, fmt.Errorf("%w: %d unconsumed chunk bytes", ErrCorrupt, len(tr.payload)-tr.pos)
+	}
+	tr.count++
+	k := Kind(kb)
+	tr.last[k] += uint64(delta)
+	return Ref{Kind: k, Addr: tr.last[k], Size: size}, nil
+}
+
+// readV1 is the legacy unframed decode path.
+func (tr *Reader) readV1() (Ref, error) {
 	kb, err := tr.r.ReadByte()
 	if err != nil {
 		return Ref{}, err // io.EOF here is the clean end of trace
 	}
 	if Kind(kb) >= numKinds {
-		return Ref{}, errBadKind
+		return Ref{}, fmt.Errorf("%w: %v", ErrCorrupt, errBadKind)
 	}
 	size, err := tr.r.ReadByte()
 	if err != nil {
-		return Ref{}, corrupt(err)
+		return Ref{}, truncatedV1(err)
 	}
 	delta, err := binary.ReadVarint(tr.r)
 	if err != nil {
-		return Ref{}, corrupt(err)
+		return Ref{}, truncatedV1(err)
 	}
 	k := Kind(kb)
 	tr.last[k] += uint64(delta)
@@ -267,9 +536,9 @@ func (tr *Reader) ForEachBatch(chunk int, fn func([]Ref) error) error {
 	}
 }
 
-func corrupt(err error) error {
-	if err == io.EOF {
-		return io.ErrUnexpectedEOF
+func truncatedV1(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("%w: EOF mid-record", ErrTruncated)
 	}
 	return err
 }

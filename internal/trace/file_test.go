@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"math/rand"
 	"testing"
@@ -15,8 +16,8 @@ func roundTrip(t *testing.T, refs []Ref) []Ref {
 	for _, r := range refs {
 		w.Record(r)
 	}
-	if err := w.Flush(); err != nil {
-		t.Fatalf("Flush: %v", err)
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
 	}
 	if w.Count() != uint64(len(refs)) {
 		t.Fatalf("Count = %d, want %d", w.Count(), len(refs))
@@ -64,7 +65,7 @@ func TestFileCompactness(t *testing.T) {
 	for i := 0; i < n; i++ {
 		w.Record(Ref{Kind: Load, Addr: uint64(0x1000_0000 + 8*i), Size: 8})
 	}
-	if err := w.Flush(); err != nil {
+	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
 	perRef := float64(buf.Len()) / n
@@ -91,15 +92,15 @@ func TestReaderTruncated(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewWriter(&buf)
 	w.Record(Ref{Kind: Load, Addr: 0x1234, Size: 8})
-	if err := w.Flush(); err != nil {
+	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// Chop mid-record.
+	// Chop the last byte off the trailer.
 	data := buf.Bytes()[:buf.Len()-1]
 	r := NewReader(bytes.NewReader(data))
-	_, err := r.Read()
-	if err != io.ErrUnexpectedEOF {
-		t.Fatalf("err = %v, want io.ErrUnexpectedEOF", err)
+	err := r.ForEach(func(Ref) error { return nil })
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
 	}
 }
 
@@ -114,7 +115,7 @@ func TestWriterRejectsBadKind(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewWriter(&buf)
 	w.Record(Ref{Kind: Kind(200), Addr: 1, Size: 1})
-	if err := w.Flush(); err == nil {
+	if err := w.Close(); err == nil {
 		t.Fatal("expected error after recording invalid kind")
 	}
 }
@@ -136,7 +137,7 @@ func TestFileRoundTripProperty(t *testing.T) {
 		for _, r := range refs {
 			w.Record(r)
 		}
-		if w.Flush() != nil {
+		if w.Close() != nil {
 			return false
 		}
 		rd := NewReader(&buf)

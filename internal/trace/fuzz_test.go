@@ -16,7 +16,7 @@ func FuzzReader(f *testing.F) {
 	w.Record(Ref{Kind: Load, Addr: 0x1000, Size: 8})
 	w.Record(Ref{Kind: Store, Addr: 0x1008, Size: 8})
 	w.Record(Ref{Kind: IFetch, Addr: 0x40_0000, Size: 4})
-	if err := w.Flush(); err != nil {
+	if err := w.Close(); err != nil {
 		f.Fatal(err)
 	}
 	valid := buf.Bytes()
@@ -38,6 +38,75 @@ func FuzzReader(f *testing.F) {
 			if err != nil {
 				return // any error is acceptable; panics are not
 			}
+		}
+		t.Fatal("reader produced implausibly many records without EOF")
+	})
+}
+
+// FuzzChunkTrailer: mutating any single byte of a valid chunked trace —
+// chunk framing, payload, count, checksums, or the trailer — must either
+// be detected as an error or leave the decoded stream exactly intact
+// (the mutation was a no-op). Silently decoding different records is the
+// failure mode the chunk trailers exist to prevent.
+func FuzzChunkTrailer(f *testing.F) {
+	refs := make([]Ref, 2*DefaultChunk+37)
+	rng := uint64(5)
+	for i := range refs {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		refs[i] = Ref{Kind: Kind(rng >> 62 % 3), Addr: rng >> 16, Size: 8}
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.RecordBatch(refs)
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	// Seed interesting positions: first chunk header, both chunk
+	// trailers, and the file trailer.
+	f.Add(uint32(HeaderSize), byte(0x01))
+	f.Add(uint32(HeaderSize), byte(0x80))
+	f.Add(uint32(len(valid)-1), byte(0xff))
+	f.Add(uint32(len(valid)-5), byte(0x01))
+	f.Add(uint32(len(valid)/2), byte(0x10))
+
+	f.Fuzz(func(t *testing.T, off uint32, xor byte) {
+		data := append([]byte(nil), valid...)
+		pos := int(off) % len(data)
+		data[pos] ^= xor
+		// The header carries no checksum: mutating it may legitimately
+		// reinterpret the body (e.g. as version 1), so the oracle below
+		// only applies to body mutations.
+		mutatedBody := xor != 0 && pos >= HeaderSize
+		r := NewReader(bytes.NewReader(data))
+		n := 0
+		for i := 0; i < len(data); i++ {
+			ref, err := r.Read()
+			if err == io.EOF {
+				if mutatedBody {
+					t.Fatalf("mutation at %d (xor %#x) decoded cleanly", pos, xor)
+				}
+				if xor == 0 && n != len(refs) {
+					t.Fatalf("decoded %d records, want %d", n, len(refs))
+				}
+				return
+			}
+			if err != nil {
+				return // detected, as required
+			}
+			if mutatedBody || xor == 0 {
+				// Records before a detected error must match the
+				// original prefix: chunks verify before they decode.
+				if n >= len(refs) {
+					t.Fatalf("mutation at %d (xor %#x) grew the stream", pos, xor)
+				}
+				if ref != refs[n] {
+					t.Fatalf("mutation at %d (xor %#x): record %d = %+v, want %+v",
+						pos, xor, n, ref, refs[n])
+				}
+			}
+			n++
 		}
 		t.Fatal("reader produced implausibly many records without EOF")
 	})

@@ -1,6 +1,12 @@
 package trace
 
-import "sync"
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
 
 // DefaultPipelineDepth is the number of in-flight chunks a Pipeline's ring
 // holds before the producer blocks. Small on purpose: the bound keeps the
@@ -28,9 +34,31 @@ type Pipeline struct {
 	cur   []Ref
 	done  chan struct{}
 	close sync.Once
+	// Consumer fault containment: a panic in dst is recovered into perr
+	// and flips failed, after which the consumer keeps draining the ring
+	// but discards chunks — the producer therefore never blocks against a
+	// dead consumer, and Close surfaces the error once quiesced.
+	failed atomic.Bool
+	mu     sync.Mutex
+	perr   *ConsumerPanicError
 	// met is the optional observability attachment (see Observe); its
 	// zero value is the disabled state.
 	met pipeObs
+}
+
+// ConsumerPanicError is the error Pipeline.Close (and Err) report when
+// the destination Recorder panicked on the consumer goroutine. References
+// recorded after the panic are discarded, not delivered.
+type ConsumerPanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the consumer goroutine's stack, captured at recovery.
+	Stack []byte
+}
+
+// Error describes the panic.
+func (e *ConsumerPanicError) Error() string {
+	return fmt.Sprintf("trace: pipeline consumer panicked: %v", e.Value)
 }
 
 var _ BatchRecorder = (*Pipeline)(nil)
@@ -66,10 +94,41 @@ func (p *Pipeline) next() []Ref {
 func (p *Pipeline) consume() {
 	defer close(p.done)
 	for chunk := range p.ch {
-		p.drainChunk(chunk)
+		if !p.failed.Load() {
+			p.drainSafe(chunk)
+		}
 		chunk = chunk[:0]
 		p.pool.Put(&chunk)
 	}
+}
+
+// drainSafe delivers one chunk to dst, recovering a dst panic into the
+// pipeline's error state. Only the first panic is kept; the ring keeps
+// draining either way so the producer side stays unblocked.
+func (p *Pipeline) drainSafe(chunk []Ref) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.mu.Lock()
+			if p.perr == nil {
+				p.perr = &ConsumerPanicError{Value: r, Stack: debug.Stack()}
+			}
+			p.mu.Unlock()
+			p.failed.Store(true)
+		}
+	}()
+	p.drainChunk(chunk)
+}
+
+// Err returns the consumer's failure, if any, without closing the
+// pipeline. A non-nil return means dst panicked and every reference since
+// has been discarded.
+func (p *Pipeline) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.perr != nil {
+		return p.perr
+	}
+	return nil
 }
 
 // Record implements Recorder on the producer side.
@@ -100,15 +159,44 @@ func (p *Pipeline) ship() {
 }
 
 // Close flushes the partial chunk, waits for the consumer to drain the
-// ring, and returns once dst has observed the full stream. Idempotent;
-// the Pipeline must not be recorded to afterwards.
-func (p *Pipeline) Close() {
+// ring, and returns once dst has observed the full stream — or, if dst
+// panicked along the way, the first *ConsumerPanicError. Idempotent; the
+// Pipeline must not be recorded to afterwards. Close cannot block on a
+// panicked consumer (the ring keeps draining after containment); for a
+// consumer that is stuck rather than dead, use CloseContext.
+func (p *Pipeline) Close() error {
+	return p.CloseContext(context.Background())
+}
+
+// CloseContext is Close with a shutdown bound: if ctx expires while the
+// final chunk is waiting for ring space or before the consumer finishes
+// draining, it returns ctx.Err() instead of blocking forever behind a
+// consumer wedged inside dst. An abandoned pipeline's consumer goroutine
+// stays parked until dst returns; the references it never drained are
+// lost, as the non-nil error reports.
+func (p *Pipeline) CloseContext(ctx context.Context) error {
+	var ctxErr error
 	p.close.Do(func() {
 		if len(p.cur) > 0 {
-			p.send(p.cur)
+			select {
+			case p.ch <- p.cur:
+				if p.met.o != nil {
+					p.met.chunks.Inc(p.met.track)
+				}
+			case <-ctx.Done():
+				ctxErr = ctx.Err()
+			}
 			p.cur = nil
 		}
 		close(p.ch)
-		<-p.done
 	})
+	if ctxErr != nil {
+		return ctxErr
+	}
+	select {
+	case <-p.done:
+		return p.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }

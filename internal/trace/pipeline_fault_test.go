@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// panicAfter is a Recorder that panics once it has seen n records.
+type panicAfter struct {
+	n    int
+	seen int
+}
+
+func (r *panicAfter) Record(Ref) {
+	r.seen++
+	if r.seen > r.n {
+		panic("injected consumer failure")
+	}
+}
+
+// blockingRecorder wedges inside Record until released — a consumer that
+// is stuck, not dead.
+type blockingRecorder struct {
+	release chan struct{}
+}
+
+func (r *blockingRecorder) Record(Ref) { <-r.release }
+
+// countGoroutines waits out scheduler noise before sampling.
+func countGoroutines() int {
+	runtime.GC()
+	time.Sleep(time.Millisecond)
+	return runtime.NumGoroutine()
+}
+
+// TestPipelineConsumerPanicContained: a dst panic must not crash the
+// process or deadlock the producer; Close reports it and the consumer
+// goroutine exits.
+func TestPipelineConsumerPanicContained(t *testing.T) {
+	before := countGoroutines()
+	dst := &panicAfter{n: 100}
+	p := NewPipeline(dst, 64, 2)
+	// Far more records than the ring holds, so a dead consumer without
+	// drain-and-discard would deadlock this loop.
+	refs := pipeRefs(64 * 100)
+	for i := range refs {
+		p.Record(refs[i])
+	}
+	err := p.Close()
+	var cp *ConsumerPanicError
+	if !errors.As(err, &cp) {
+		t.Fatalf("Close = %v, want *ConsumerPanicError", err)
+	}
+	if cp.Value != "injected consumer failure" {
+		t.Errorf("panic value = %v", cp.Value)
+	}
+	if len(cp.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+	if p.Err() == nil {
+		t.Error("Err() nil after consumer panic")
+	}
+	// Close is idempotent and still reports the failure.
+	if err := p.Close(); !errors.As(err, &cp) {
+		t.Errorf("second Close = %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		if countGoroutines() <= before {
+			return
+		}
+	}
+	t.Errorf("goroutines: %d before, %d after — consumer leaked", before, runtime.NumGoroutine())
+}
+
+// TestPipelineCloseContextBoundsStuckConsumer: CloseContext gives up on a
+// consumer wedged inside dst instead of blocking forever.
+func TestPipelineCloseContextBoundsStuckConsumer(t *testing.T) {
+	dst := &blockingRecorder{release: make(chan struct{})}
+	p := NewPipeline(dst, 8, 1)
+	refs := pipeRefs(8)
+	for i := range refs {
+		p.Record(refs[i]) // exactly one full chunk shipped; consumer wedges on it
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := p.CloseContext(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("CloseContext = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("CloseContext did not respect its bound")
+	}
+	// Unwedge the consumer; the abandoned pipeline then drains and its
+	// goroutine exits, so an unbounded Close completes.
+	close(dst.release)
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close after release: %v", err)
+	}
+}
+
+// TestPipelineHealthyCloseNil: the fault paths cost a healthy pipeline
+// nothing — Close returns nil and delivery is complete (the byte-identity
+// test pins exactness).
+func TestPipelineHealthyCloseNil(t *testing.T) {
+	var sink countingRecorder
+	p := NewPipeline(&sink, 32, 2)
+	refs := pipeRefs(1000)
+	for i := range refs {
+		p.Record(refs[i])
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+	if p.Err() != nil {
+		t.Fatalf("Err = %v", p.Err())
+	}
+	if int(sink) != len(refs) {
+		t.Fatalf("delivered %d records, want %d", sink, len(refs))
+	}
+}
+
+type countingRecorder int
+
+func (c *countingRecorder) Record(Ref) { *c++ }

@@ -94,7 +94,7 @@ func TestPipelineFileBytesIdentical(t *testing.T) {
 	for i := range refs {
 		w.Record(refs[i])
 	}
-	if err := w.Flush(); err != nil {
+	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
 	var piped bytes.Buffer
@@ -102,7 +102,7 @@ func TestPipelineFileBytesIdentical(t *testing.T) {
 	p := NewPipeline(pw, 256, 3)
 	RecordBatch(p, refs)
 	p.Close()
-	if err := pw.Flush(); err != nil {
+	if err := pw.Close(); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(serial.Bytes(), piped.Bytes()) {

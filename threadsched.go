@@ -34,7 +34,9 @@ import (
 	"unsafe"
 
 	"threadsched/internal/core"
+	"threadsched/internal/fault"
 	"threadsched/internal/obs"
+	"threadsched/internal/trace"
 )
 
 // Re-exported scheduler types; see the internal/core documentation on each
@@ -93,6 +95,76 @@ type (
 	DepScheduler = core.DepScheduler
 	ThreadID     = core.ThreadID
 )
+
+// Failure model (see README "Failure model"): the context-taking run
+// entry points — Scheduler.RunContext, Scheduler.RunEachContext,
+// DepScheduler.RunContext — contain thread panics and report dependence
+// problems as typed errors; the legacy Run entry points re-panic a
+// contained *ThreadPanicError. The trace reader returns ErrCorrupt and
+// ErrTruncated for damaged files.
+type (
+	// ThreadPanicError reports a contained thread-body panic with the
+	// thread, bin, worker, and phase it happened in.
+	ThreadPanicError = core.ThreadPanicError
+	// DependencyCycleError reports a stuck DepScheduler run with one
+	// witness cycle; matches ErrDependencyCycle.
+	DependencyCycleError = core.DependencyCycleError
+	// UnknownDependencyError reports a Fork whose deps named an unforked
+	// thread ID; matches ErrUnknownDependency.
+	UnknownDependencyError = core.UnknownDependencyError
+	// TraceConsumerPanicError reports a contained trace-pipeline consumer
+	// panic, surfaced by the pipeline's Close/Err.
+	TraceConsumerPanicError = trace.ConsumerPanicError
+)
+
+// Sentinel errors for errors.Is; run entry points return them wrapped in
+// the typed errors above.
+var (
+	// ErrDependencyCycle matches *DependencyCycleError.
+	ErrDependencyCycle = core.ErrDependencyCycle
+	// ErrUnknownDependency matches *UnknownDependencyError.
+	ErrUnknownDependency = core.ErrUnknownDependency
+	// ErrTraceCorrupt matches trace reads that hit a checksum, length, or
+	// encoding violation.
+	ErrTraceCorrupt = trace.ErrCorrupt
+	// ErrTraceTruncated matches trace reads that hit a clean-looking but
+	// premature end of stream (e.g. a crashed writer that never wrote the
+	// trailer).
+	ErrTraceTruncated = trace.ErrTruncated
+)
+
+// Deterministic fault injection (internal/fault re-exported): a seeded
+// injector that fires panics, delays, stalls, and corruption at exact or
+// probabilistic occurrence counts, for exercising the failure model in
+// tests and soak runs. A nil *FaultInjector is fully disabled — every
+// method is a no-op — so injection sites cost nothing in production code
+// paths.
+type (
+	// FaultInjector decides, deterministically from (site, n, seed),
+	// whether a fault fires.
+	FaultInjector = fault.Injector
+	// FaultConfig declares which sites fire, at which occurrences or with
+	// what probability.
+	FaultConfig = fault.Config
+	// FaultSite names an injection point.
+	FaultSite = fault.Site
+)
+
+// Injection sites for FaultConfig.
+const (
+	// FaultThreadPanic panics inside a thread body.
+	FaultThreadPanic = fault.ThreadPanic
+	// FaultWorkerDelay sleeps inside a worker.
+	FaultWorkerDelay = fault.WorkerDelay
+	// FaultPipelineStall delays a trace-pipeline consumer.
+	FaultPipelineStall = fault.PipelineStall
+	// FaultTraceCorrupt flips bytes in encoded trace data.
+	FaultTraceCorrupt = fault.TraceCorrupt
+)
+
+// NewFaultInjector returns an injector for cfg; a zero cfg (or nil
+// injector) never fires.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector { return fault.New(cfg) }
 
 // Observability layer (Config.Obs): an opt-in, zero-overhead-when-absent
 // bundle of per-worker metrics, a Chrome trace_event worker timeline, and
