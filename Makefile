@@ -4,14 +4,22 @@
 #                  suites (core concurrency + trace pipeline + golden
 #                  equivalence of the batched/parallel simulation paths)
 #   make fuzz-smoke — short bursts of the trace-format fuzzers (reader
-#                  robustness + chunk/trailer integrity oracle)
+#                  robustness + chunk/trailer integrity oracle + sharded
+#                  decode differential)
+#   make guard-pipeline — the opt-in throughput tripwire: fails if the
+#                  batched or pipelined reference-stream path falls below
+#                  the serial path
 #   make bench   — one pass over every benchmark (smoke, not measurement)
 #   make bench-core — the fork/run pipeline benchmarks with real counts
 #   make bench-sim  — the simulation-pipeline benchmarks; writes a
-#                  versioned BENCH_SIM.json (refs/sec per stage)
+#                  versioned BENCH_SIM.json (refs/sec per stage, with
+#                  worker counts)
 #   make bench-apps — the native application-kernel benchmarks; writes a
 #                  versioned BENCH_APPS.json (serial vs threaded vs
 #                  parallel per app)
+#   make bench-replay — the trace-replay benchmarks (serial vs sharded
+#                  decode, decode-only + end-to-end per worker count);
+#                  writes a versioned BENCH_REPLAY.json
 #   make json    — regenerate BENCH_CORE.json at the quick geometry
 #   make timeline — demo the observability layer: run one table with
 #                  metrics + worker timeline attached, writing
@@ -20,7 +28,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race fuzz-smoke bench bench-core bench-sim bench-apps json timeline
+.PHONY: check build vet test race fuzz-smoke guard-pipeline bench bench-core bench-sim bench-apps bench-replay json timeline
 
 check: build vet test race
 
@@ -36,13 +44,20 @@ test:
 race:
 	$(GO) test -race -timeout 10m ./internal/core/... ./internal/trace/... ./internal/obs/... ./internal/fault/...
 	$(GO) test -race -timeout 10m -run 'Parallel|Exact|Threaded' ./internal/apps/...
-	$(GO) test -race -timeout 10m -run 'TestGoldenEquivalence|TestRunJobs' ./internal/harness/
+	$(GO) test -race -timeout 10m -run 'TestGoldenEquivalence|TestRunJobs|TestReplayBench' ./internal/harness/
 
 # Short deterministic-corpus + 10s random bursts of the trace fuzzers;
 # enough to catch format regressions without a dedicated fuzz farm.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime 10s ./internal/trace/
 	$(GO) test -run '^$$' -fuzz FuzzChunkTrailer -fuzztime 10s ./internal/trace/
+	$(GO) test -run '^$$' -fuzz FuzzShardedDecode -fuzztime 10s ./internal/trace/
+
+# Opt-in perf regression guard (real throughput measurement, so not part
+# of the default test run): the batched and pipelined paths must not fall
+# below serial.
+guard-pipeline:
+	GUARD_PIPELINE=1 $(GO) test -run TestGuardPipelineThroughput -count=1 -v ./internal/harness/
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .
@@ -55,6 +70,9 @@ bench-sim:
 
 bench-apps:
 	$(GO) run ./cmd/locality-bench -appbench BENCH_APPS.json
+
+bench-replay:
+	$(GO) run ./cmd/locality-bench -size scaled -replaybench BENCH_REPLAY.json
 
 json:
 	$(GO) run ./cmd/locality-bench -size quick -json BENCH_CORE.json

@@ -7,6 +7,7 @@
 //	               [-mode batch|serial|pipeline] [-parallel N]
 //	               [-progress] [-list] [-json BENCH_CORE.json]
 //	               [-simbench BENCH_SIM.json] [-appbench BENCH_APPS.json]
+//	               [-replaybench BENCH_REPLAY.json]
 //	               [-metrics metrics.json] [-timeline timeline.json]
 //
 // -json additionally writes a machine-readable record of the run — wall
@@ -21,7 +22,16 @@
 //
 // -simbench skips the experiment tables and instead measures end-to-end
 // simulation throughput (refs/sec) through each reference-stream path,
-// writing the pipeline benchmark record (see results/README.md).
+// writing the pipeline benchmark record (see results/README.md). Each
+// stage reports its worker count; -simbench-reps selects the best-of
+// repetition count.
+//
+// -replaybench measures trace-replay throughput: decode-only (the
+// wire-speed ceiling) and decode-feeding-the-cache-hierarchy, through the
+// streaming serial reader and the sharded zero-copy decoder at several
+// worker counts, writing the replay benchmark record (see
+// results/README.md). Every sharded replay is verified bit-identical to
+// the serial replay before its throughput is reported.
 //
 // -metrics writes a merged JSON snapshot of the observability registry —
 // per-worker steals, bins and threads run, segment drain times, pipeline
@@ -72,8 +82,11 @@ func main() {
 	mode := flag.String("mode", "batch", "reference-stream path: batch, serial, or pipeline (all bit-identical)")
 	parallel := flag.Int("parallel", 1, "run up to N independent simulations per table concurrently")
 	simbench := flag.String("simbench", "", "measure pipeline throughput instead of running experiments; write the record to this file (e.g. BENCH_SIM.json)")
+	simbenchReps := flag.Int("simbench-reps", 3, "with -simbench: best-of repetition count per stage")
 	baselineRPS := flag.Float64("baseline-rps", 0, "with -simbench: refs/sec of a pre-optimization build for the same workloads, recorded as the speedup baseline")
 	baselineNote := flag.String("baseline-note", "", "with -simbench: provenance note for -baseline-rps")
+	replaybench := flag.String("replaybench", "", "measure trace-replay throughput (serial vs sharded decode) instead of running experiments; write the record to this file (e.g. BENCH_REPLAY.json)")
+	replaybenchReps := flag.Int("replaybench-reps", 3, "with -replaybench: best-of repetition count per stage")
 	appbench := flag.String("appbench", "", "benchmark the native application kernels instead of running experiments; write the record to this file (e.g. BENCH_APPS.json)")
 	appbenchReps := flag.Int("appbench-reps", 5, "with -appbench: best-of repetition count per measurement")
 	metricsOut := flag.String("metrics", "", "write a merged scheduler/pipeline/sim metrics snapshot (JSON) to this file")
@@ -153,8 +166,17 @@ func main() {
 	}
 
 	if *simbench != "" {
-		if err := runSimBench(cfg, prog, *size, *simbench, *baselineRPS, *baselineNote); err != nil {
+		if err := runSimBench(cfg, prog, *size, *simbench, *simbenchReps, *baselineRPS, *baselineNote); err != nil {
 			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+		writeObs()
+		return
+	}
+
+	if *replaybench != "" {
+		if err := runReplayBench(cfg, prog, *size, *replaybench, *replaybenchReps); err != nil {
+			fmt.Fprintf(os.Stderr, "replaybench: %v\n", err)
 			os.Exit(1)
 		}
 		writeObs()

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"threadsched/internal/harness"
+)
+
+// replayRecord is the machine-readable trace-replay throughput record
+// written by -replaybench (see BENCH_REPLAY.json). Its schema string
+// versions the format.
+type replayRecord struct {
+	Schema     string                 `json:"schema"`
+	Date       string                 `json:"date"`
+	Size       string                 `json:"size"`
+	Go         string                 `json:"go"`
+	CPUs       int                    `json:"cpus"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	Reps       int                    `json:"reps"`
+	Workload   string                 `json:"workload"`
+	Refs       uint64                 `json:"refs"`
+	TraceBytes int                    `json:"trace_bytes"`
+	Chunks     int                    `json:"chunks"`
+	Decode     []harness.ReplayStage  `json:"decode"`
+	EndToEnd   []harness.ReplayStage  `json:"end_to_end"`
+}
+
+// runReplayBench measures decode-only and end-to-end replay throughput
+// through the serial reader and the sharded decoder, writing the record
+// to path.
+func runReplayBench(cfg harness.Config, prog harness.Progress, size, path string, reps int) error {
+	res, err := cfg.ReplayBench(reps, prog)
+	if err != nil {
+		return err
+	}
+	rec := replayRecord{
+		Schema:     "threadsched/bench-replay/v1",
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Size:       size,
+		Go:         runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Reps:       reps,
+		Workload:   res.Workload,
+		Refs:       res.Refs,
+		TraceBytes: res.TraceBytes,
+		Chunks:     res.Chunks,
+		Decode:     res.Decode,
+		EndToEnd:   res.EndToEnd,
+	}
+	fmt.Printf("trace: %s — %d refs, %d chunks, %d bytes\n",
+		res.Workload, res.Refs, res.Chunks, res.TraceBytes)
+	print := func(label string, stages []harness.ReplayStage) {
+		for _, s := range stages {
+			fmt.Printf("%-10s %-8s w=%-3d %8.3fs  %12.0f refs/sec  %.2fx vs serial\n",
+				label, s.Path, s.Workers, float64(s.WallNS)/1e9, s.RefsPerSec, s.SpeedupVsSerial)
+		}
+	}
+	print("decode", rec.Decode)
+	print("end-to-end", rec.EndToEnd)
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d decode + %d end-to-end stages)\n",
+		path, len(rec.Decode), len(rec.EndToEnd))
+	return nil
+}

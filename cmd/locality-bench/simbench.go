@@ -11,14 +11,18 @@ import (
 )
 
 // simRecord is the machine-readable pipeline-throughput record written by
-// -simbench (see BENCH_SIM.json). Its schema string versions the format.
+// -simbench (see BENCH_SIM.json). Its schema string versions the format;
+// v2 added the cores dimension (per-stage worker counts, gomaxprocs) and
+// the best-of repetition count.
 type simRecord struct {
-	Schema string                `json:"schema"`
-	Date   string                `json:"date"`
-	Size   string                `json:"size"`
-	Go     string                `json:"go"`
-	CPUs   int                   `json:"cpus"`
-	Stages []harness.StageResult `json:"stages"`
+	Schema     string                `json:"schema"`
+	Date       string                `json:"date"`
+	Size       string                `json:"size"`
+	Go         string                `json:"go"`
+	CPUs       int                   `json:"cpus"`
+	GOMAXPROCS int                   `json:"gomaxprocs"`
+	Reps       int                   `json:"reps"`
+	Stages     []harness.StageResult `json:"stages"`
 	// Baseline, when present, is a reference throughput measured from a
 	// pre-optimization build of this repository over the same workload
 	// set (see -baseline-rps); SpeedupVsBaseline compares the best stage
@@ -34,23 +38,25 @@ type simBaseline struct {
 
 // runSimBench measures refs/sec through every reference-stream path and
 // writes the record to path.
-func runSimBench(cfg harness.Config, prog harness.Progress, size, path string, baselineRPS float64, baselineNote string) error {
-	stages := cfg.SimBench(prog)
+func runSimBench(cfg harness.Config, prog harness.Progress, size, path string, reps int, baselineRPS float64, baselineNote string) error {
+	stages := cfg.SimBench(reps, prog)
 	rec := simRecord{
-		Schema: "threadsched/bench-sim/v1",
-		Date:   time.Now().UTC().Format(time.RFC3339),
-		Size:   size,
-		Go:     runtime.Version(),
-		CPUs:   runtime.NumCPU(),
-		Stages: stages,
+		Schema:     "threadsched/bench-sim/v2",
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Size:       size,
+		Go:         runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Reps:       reps,
+		Stages:     stages,
 	}
 	best := 0.0
 	for _, s := range stages {
 		if s.RefsPerSec > best {
 			best = s.RefsPerSec
 		}
-		fmt.Printf("%-10s %12d refs  %8.3fs  %12.0f refs/sec  %.2fx vs serial\n",
-			s.Stage, s.Refs, float64(s.WallNS)/1e9, s.RefsPerSec, s.SpeedupVsSerial)
+		fmt.Printf("%-10s w=%-3d %12d refs  %8.3fs  %12.0f refs/sec  %.2fx vs serial\n",
+			s.Stage, s.Workers, s.Refs, float64(s.WallNS)/1e9, s.RefsPerSec, s.SpeedupVsSerial)
 	}
 	if baselineRPS > 0 {
 		rec.Baseline = &simBaseline{
@@ -58,7 +64,7 @@ func runSimBench(cfg harness.Config, prog harness.Progress, size, path string, b
 			Note:              baselineNote,
 			SpeedupVsBaseline: best / baselineRPS,
 		}
-		fmt.Printf("%-10s %34s  %12.0f refs/sec  %.2fx best-stage speedup\n",
+		fmt.Printf("%-10s %40s  %12.0f refs/sec  %.2fx best-stage speedup\n",
 			"baseline", "", baselineRPS, rec.Baseline.SpeedupVsBaseline)
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")

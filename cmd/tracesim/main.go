@@ -9,7 +9,7 @@
 //	tracesim [-machine r8000|r10000] [-scale N] [-tlb entries]
 //	         [-l1i size,line,assoc] [-l1d size,line,assoc] [-l2 size,line,assoc]
 //	         [-pagesize N -placement identity|sequential|random|coloring]
-//	         [-mode batch|serial] [-parallel N]
+//	         [-mode batch|serial] [-shard N] [-parallel N]
 //	         [-metrics metrics.json] [-timeline timeline.json]
 //	         trace-file... (or - for stdin)
 //
@@ -19,6 +19,13 @@
 // parallelism, and both -mode paths produce identical counters (the
 // batch path decodes and presents references in chunks, saving one
 // interface dispatch per reference).
+//
+// In batch mode, file inputs are preloaded and decoded through the
+// sharded zero-copy reader across -shard workers (default GOMAXPROCS;
+// -shard 1 restores the streaming serial decoder). The hierarchy still
+// observes references in exact file order — sharding overlaps the
+// decode, not the simulation — so counters stay bit-identical at any
+// worker count. Stdin input always streams.
 //
 // -metrics writes a JSON snapshot counting each replay's references
 // (tracesim.refs, one track per input file) and replay wall times;
@@ -70,6 +77,7 @@ func main() {
 	tlbEntries := flag.Int("tlb", 0, "simulate a fully-associative data TLB with this many entries")
 	placement := flag.String("placement", "identity", "page placement: identity, sequential, random, coloring")
 	mode := flag.String("mode", "batch", "replay path: batch (chunked decode) or serial (both bit-identical)")
+	shard := flag.Int("shard", 0, "with -mode batch: preload file inputs and decode across N workers (0 = GOMAXPROCS, 1 = streaming serial decode)")
 	parallel := flag.Int("parallel", 1, "replay up to N trace files concurrently")
 	metricsOut := flag.String("metrics", "", "write per-input reference counts and replay times (JSON) to this file")
 	timelineOut := flag.String("timeline", "", "write a Chrome trace_event replay timeline (JSON) to this file")
@@ -192,7 +200,7 @@ func main() {
 			if errs[i] = ctx.Err(); errs[i] != nil {
 				return
 			}
-			errs[i] = replay(ctx, &outs[i], name, len(names) > 1, batch, *tlbEntries, newSetup, o, i)
+			errs[i] = replay(ctx, &outs[i], name, len(names) > 1, batch, *shard, *tlbEntries, newSetup, o, i)
 		}(i, name)
 	}
 	wg.Wait()
@@ -235,7 +243,7 @@ func writeFileWith(path string, write func(io.Writer) error) error {
 // argument order. With o attached, the replay records its reference count
 // and wall time on its own track and a timeline span named after the
 // input.
-func replay(ctx context.Context, w io.Writer, name string, labeled, batch bool, tlbEntries int, newSetup func() (*simSetup, error), o *obs.Obs, track int) error {
+func replay(ctx context.Context, w io.Writer, name string, labeled, batch bool, shard, tlbEntries int, newSetup func() (*simSetup, error), o *obs.Obs, track int) error {
 	s, err := newSetup()
 	if err != nil {
 		return err
@@ -246,6 +254,30 @@ func replay(ctx context.Context, w io.Writer, name string, labeled, batch bool, 
 		start = time.Now()
 	}
 	sp := o.Timeline().Begin(track, name)
+	// The batch path on a file input preloads the trace and fans the
+	// decode across shard workers (the hierarchy still observes file
+	// order; v1 traces fall back to serial decode inside MemFile). Stdin
+	// and serial mode keep the streaming reader.
+	if batch && name != "-" && shard != 1 {
+		mf, err := trace.LoadFile(name)
+		if err != nil {
+			return fmt.Errorf("reading trace: %w", err)
+		}
+		err = mf.ForEachBatch(shard, func(refs []trace.Ref) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			s.h.RecordBatch(refs)
+			return nil
+		})
+		if err != nil {
+			if err == ctx.Err() {
+				return err
+			}
+			return fmt.Errorf("reading trace: %w", err)
+		}
+		return finishReplay(w, s, name, labeled, tlbEntries, o, track, start, sp)
+	}
 	var in io.Reader
 	if name == "-" {
 		in = os.Stdin
@@ -284,6 +316,13 @@ func replay(ctx context.Context, w io.Writer, name string, labeled, batch bool, 
 		}
 		return fmt.Errorf("reading trace: %w", err)
 	}
+	return finishReplay(w, s, name, labeled, tlbEntries, o, track, start, sp)
+}
+
+// finishReplay closes a successful replay's timeline span, records its
+// metrics, and writes its report — shared by the streaming and sharded
+// decode paths.
+func finishReplay(w io.Writer, s *simSetup, name string, labeled bool, tlbEntries int, o *obs.Obs, track int, start time.Time, sp obs.Span) error {
 	sp.End()
 	if o.Enabled() {
 		refs := s.h.Refs()

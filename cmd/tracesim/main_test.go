@@ -65,18 +65,24 @@ func TestReplayBatchSerialIdentical(t *testing.T) {
 	setup := func() (*simSetup, error) {
 		return &simSetup{h: cache.MustNewHierarchy(m.Caches, nil), cfg: m.Caches}, nil
 	}
-	var serial, batch bytes.Buffer
-	if err := replay(context.Background(), &serial, path, false, false, 0, setup, nil, 0); err != nil {
+	var serial, batch, sharded bytes.Buffer
+	if err := replay(context.Background(), &serial, path, false, false, 1, 0, setup, nil, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := replay(context.Background(), &batch, path, false, true, 0, setup, nil, 0); err != nil {
+	if err := replay(context.Background(), &batch, path, false, true, 1, 0, setup, nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	if serial.String() != batch.String() {
 		t.Errorf("batch replay diverges from serial:\nserial:\n%s\nbatch:\n%s", serial.String(), batch.String())
 	}
+	if err := replay(context.Background(), &sharded, path, false, true, 4, 0, setup, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != sharded.String() {
+		t.Errorf("sharded replay diverges from serial:\nserial:\n%s\nsharded:\n%s", serial.String(), sharded.String())
+	}
 	var labeled bytes.Buffer
-	if err := replay(context.Background(), &labeled, path, true, true, 0, setup, nil, 0); err != nil {
+	if err := replay(context.Background(), &labeled, path, true, true, 0, 0, setup, nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(labeled.String(), "== "+path+" ==\n") {

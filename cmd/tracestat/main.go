@@ -5,9 +5,16 @@
 // paper's §4.5 question — how big can a scheduling block get before a
 // given cache stops absorbing its working set — directly from a trace.
 //
+// The trace is preloaded and decoded through the sharded zero-copy
+// reader: a timed decode-only pass across -workers workers reports the
+// wire-speed throughput (how fast the trace can be turned back into
+// references, independent of any analysis), then the analysis pass
+// replays the same in-memory image in file order. Version-1 traces fall
+// back to the serial decoder automatically.
+//
 // Usage:
 //
-//	tracestat [-line 128] [-kind all|data|ifetch] trace-file (or - for stdin)
+//	tracestat [-line 128] [-kind all|data|ifetch] [-workers N] trace-file (or - for stdin)
 //
 // Produce traces with examples/tracegen or any trace.Writer.
 package main
@@ -17,6 +24,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"time"
 
 	"threadsched/internal/stackdist"
 	"threadsched/internal/trace"
@@ -25,6 +34,7 @@ import (
 func main() {
 	lineSize := flag.Uint64("line", 128, "cache line size in bytes (power of two)")
 	kind := flag.String("kind", "data", "references to analyze: all, data, ifetch")
+	workers := flag.Int("workers", 0, "sharded decode worker count (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -40,25 +50,42 @@ func main() {
 		fatal("%v", err)
 	}
 
-	var in io.Reader
+	var f *trace.MemFile
 	if name := flag.Arg(0); name == "-" {
-		in = os.Stdin
-	} else {
-		f, err := os.Open(name)
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal("reading stdin: %v", err)
+		}
+		f, err = trace.NewMemFile(data)
 		if err != nil {
 			fatal("%v", err)
 		}
-		defer f.Close()
-		in = f
+	} else {
+		f, err = trace.LoadFile(name)
+		if err != nil {
+			fatal("%v", err)
+		}
 	}
 
+	// Decode-only pass: every byte checksummed, every record
+	// materialized, nothing analyzed — the trace's wire-speed ceiling.
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	counts, err := f.CountRefs(w)
+	if err != nil {
+		fatal("reading trace: %v", err)
+	}
+	decodeWall := time.Since(start)
+
 	ana := stackdist.New(*lineSize)
-	var counts trace.Counts
-	r := trace.NewReader(in)
-	if err := r.ForEach(func(ref trace.Ref) error {
-		counts.Record(ref)
-		if keep(ref) {
-			ana.Record(ref)
+	if err := f.ForEachBatch(w, func(refs []trace.Ref) error {
+		for i := range refs {
+			if keep(refs[i]) {
+				ana.Record(refs[i])
+			}
 		}
 		return nil
 	}); err != nil {
@@ -67,6 +94,9 @@ func main() {
 
 	fmt.Printf("trace: %d references (ifetch %d, load %d, store %d)\n",
 		counts.Total(), counts.IFetches(), counts.Loads(), counts.Stores())
+	fmt.Printf("decode: v%d, %d chunks, %d bytes; %.0f refs/sec decode-only (%d workers, %s)\n",
+		f.Version(), f.Chunks(), f.Size(),
+		float64(counts.Total())/decodeWall.Seconds(), w, decodeWall.Round(time.Microsecond))
 	fmt.Printf("analyzed (%s): %d refs, footprint %d lines = %s\n",
 		*kind, ana.Refs(), ana.Distinct(), bytesStr(ana.Distinct()**lineSize))
 	fmt.Printf("\nfully-associative LRU miss-ratio curve (line %dB):\n", *lineSize)

@@ -49,6 +49,20 @@ type DepScheduler struct {
 	bins    []*depBin
 	binIdx  map[binKey]int
 	pending int
+
+	// Wavefront scratch, reused across waves (and runs) so frontier
+	// collection allocates nothing in steady state: frontier is the flat
+	// runnable-thread buffer each wave's spans slice into, and active is
+	// the compacted list of bin indexes still holding unexecuted threads.
+	frontier []ThreadID
+	active   []int
+}
+
+// waveSpan is one bin's slice of a wave frontier: frontier[start:end]
+// holds the bin's runnable threads, bin names the depBin for post-wave
+// accounting.
+type waveSpan struct {
+	start, end, bin int
 }
 
 // ThreadID names a forked thread within one DepScheduler run.
@@ -71,10 +85,10 @@ type depThread struct {
 }
 
 type depBin struct {
-	key     binKey
-	queue   []ThreadID // forked order
-	next    int        // first unexecuted index
-	blocked int        // queued threads currently waiting on predecessors
+	key   binKey
+	queue []ThreadID // forked order
+	next  int        // first unexecuted index
+	pend  int        // queued threads not yet executed
 }
 
 // ErrDependencyCycle reports that Run found threads that can never become
@@ -216,9 +230,7 @@ func (d *DepScheduler) Fork(f Func, arg1, arg2 int, h1, h2, h3 uint64, deps ...T
 	}
 	d.threads = append(d.threads, t)
 	d.bins[bi].queue = append(d.bins[bi].queue, id)
-	if t.waits != 0 {
-		d.bins[bi].blocked++
-	}
+	d.bins[bi].pend++
 	d.pending++
 	return id
 }
@@ -297,20 +309,32 @@ func (d *DepScheduler) RunContext(ctx context.Context) error {
 // dependence path between them run, and they are at least two bins apart
 // in the wavefront codes, so per-worker bin runs keep the paper's
 // clustering.
+//
+// Collection is amortized: runnable threads go into one flat reused
+// buffer (d.frontier) described by per-bin spans rather than a fresh
+// slice per bin per wave, and bins whose threads have all executed leave
+// the scan via the compacted active list — a deep DAG over many bins
+// pays per wave only for the bins still alive.
 func (d *DepScheduler) runWaves(ctx context.Context) error {
 	ctrl := newRunControl(ctx)
+	d.active = d.active[:0]
+	for i := range d.bins {
+		d.active = append(d.active, i)
+	}
 	var (
-		ids     [][]ThreadID
+		spans   []waveSpan
 		weights []int
 	)
 	for d.pending > 0 {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		ids, weights = ids[:0], weights[:0]
+		d.frontier = d.frontier[:0]
+		spans, weights = spans[:0], weights[:0]
 		total := 0
-		for _, b := range d.bins {
-			var runnable []ThreadID
+		for _, bi := range d.active {
+			b := d.bins[bi]
+			start := len(d.frontier)
 			for i := b.next; i < len(b.queue); i++ {
 				id := b.queue[i]
 				t := &d.threads[id]
@@ -323,12 +347,12 @@ func (d *DepScheduler) runWaves(ctx context.Context) error {
 				if t.waits > 0 {
 					continue
 				}
-				runnable = append(runnable, id)
+				d.frontier = append(d.frontier, id)
 			}
-			if len(runnable) > 0 {
-				ids = append(ids, runnable)
-				weights = append(weights, len(runnable))
-				total += len(runnable)
+			if n := len(d.frontier) - start; n > 0 {
+				spans = append(spans, waveSpan{start: start, end: len(d.frontier), bin: bi})
+				weights = append(weights, n)
+				total += n
 			}
 		}
 		if total == 0 {
@@ -340,7 +364,7 @@ func (d *DepScheduler) runWaves(ctx context.Context) error {
 		if d.met.o != nil {
 			start = time.Now()
 		}
-		d.executeWave(ids, weights, ctrl)
+		d.executeWave(spans, weights, ctrl)
 		if d.met.o != nil {
 			d.met.waveNS.Observe(0, uint64(time.Since(start)))
 		}
@@ -349,30 +373,44 @@ func (d *DepScheduler) runWaves(ctx context.Context) error {
 		if err := ctrl.err(); err != nil {
 			return err
 		}
+		// The wave completed: settle per-bin remaining counts serially and
+		// drop exhausted bins from the next collection scan.
+		for _, sp := range spans {
+			d.bins[sp.bin].pend -= sp.end - sp.start
+		}
+		live := d.active[:0]
+		for _, bi := range d.active {
+			if d.bins[bi].pend > 0 {
+				live = append(live, bi)
+			}
+		}
+		d.active = live
 		d.pending -= total
 	}
 	return ctx.Err() // cancellation wins even on a completed drain
 }
 
 // executeWave runs the collected frontier on the worker pool, one
-// contiguous run of bins per worker. Workers check the shared runControl
+// contiguous run of bins per worker. Workers slice the shared frontier
+// buffer read-only through their spans and check the shared runControl
 // between bins, so a panic on one worker (recovered into the control) or
 // an expired ctx halts the wave at bin granularity; fanOut's barrier then
 // guarantees quiescence before runWaves inspects the control.
-func (d *DepScheduler) executeWave(ids [][]ThreadID, weights []int, ctrl *runControl) {
+func (d *DepScheduler) executeWave(spans []waveSpan, weights []int, ctrl *runControl) {
 	starts := PartitionWeights(weights, d.workers)
 	d.sched.fanOut(len(starts), "wave", func(self int) {
 		sp := d.sched.met.span(self, "wave")
 		defer sp.End()
-		hi := len(ids)
+		hi := len(spans)
 		if self+1 < len(starts) {
 			hi = starts[self+1]
 		}
-		for bi := starts[self]; bi < hi; bi++ {
+		for si := starts[self]; si < hi; si++ {
 			if ctrl.halted() {
 				return
 			}
-			if perr := d.runWaveBin(ids[bi], bi, self); perr != nil {
+			ws := spans[si]
+			if perr := d.runWaveBin(d.frontier[ws.start:ws.end], ws.bin, self); perr != nil {
 				ctrl.record(perr)
 				return
 			}
@@ -522,10 +560,13 @@ func (d *DepScheduler) cycleError() *DependencyCycleError {
 	}
 }
 
-// reset discards all thread state; IDs from before are invalid.
+// reset discards all thread state; IDs from before are invalid. The
+// wavefront scratch buffers keep their capacity for the next run.
 func (d *DepScheduler) reset() {
 	d.threads = d.threads[:0]
 	d.bins = d.bins[:0]
 	d.binIdx = make(map[binKey]int)
 	d.pending = 0
+	d.frontier = d.frontier[:0]
+	d.active = d.active[:0]
 }

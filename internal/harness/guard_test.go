@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"os"
+	"testing"
+)
+
+// TestGuardPipelineThroughput is the regression tripwire for the
+// reference-stream paths: the batched and pipelined stages must not fall
+// below the serial per-reference path. The pipeline once shipped at 0.82x
+// of serial (double-copying chunks through a churning sync.Pool); this
+// guard exists so that class of regression fails a build loudly instead
+// of surfacing months later in a benchmark record.
+//
+// It measures real throughput, so it is opt-in: set GUARD_PIPELINE=1
+// (make guard-pipeline) to run it on a quiet host. The 5% allowance
+// absorbs scheduler noise that best-of-3 at the quick geometry does not.
+func TestGuardPipelineThroughput(t *testing.T) {
+	if os.Getenv("GUARD_PIPELINE") == "" {
+		t.Skip("set GUARD_PIPELINE=1 to run the pipeline-vs-serial throughput guard")
+	}
+	stages := Quick().SimBench(3, nil)
+	byName := make(map[string]StageResult, len(stages))
+	for _, s := range stages {
+		byName[s.Stage] = s
+	}
+	serial, ok := byName["serial"]
+	if !ok || serial.RefsPerSec <= 0 {
+		t.Fatalf("no serial baseline in %+v", stages)
+	}
+	for _, name := range []string{"batch", "pipeline"} {
+		s, ok := byName[name]
+		if !ok {
+			t.Fatalf("stage %q missing from SimBench", name)
+		}
+		ratio := s.RefsPerSec / serial.RefsPerSec
+		t.Logf("%-8s %12.0f refs/sec (%.2fx vs serial %.0f)", name, s.RefsPerSec, ratio, serial.RefsPerSec)
+		if ratio < 0.95 {
+			t.Errorf("%s path runs at %.2fx of serial (%.0f vs %.0f refs/sec): the %s hand-off has regressed",
+				name, ratio, s.RefsPerSec, serial.RefsPerSec, name)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+
+	"threadsched/internal/apps/matmul"
+	"threadsched/internal/cache"
+	"threadsched/internal/sim"
+	"threadsched/internal/trace"
+	"threadsched/internal/vm"
+)
+
+// ReplayStage is one trace-replay throughput measurement from ReplayBench.
+type ReplayStage struct {
+	// Path names the decode path: "serial" (the streaming Reader) or
+	// "sharded" (the chunk-indexed MemFile decode).
+	Path string `json:"path"`
+	// Workers is the sharded decode's worker count (1 for serial).
+	Workers int `json:"workers"`
+	// WallNS is the best-of-reps wall time in nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+	// RefsPerSec is decoded (or decoded-and-simulated) references per
+	// second of wall time.
+	RefsPerSec float64 `json:"refs_per_sec"`
+	// SpeedupVsSerial is RefsPerSec divided by the serial stage's.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+// ReplayResult is the full trace-replay benchmark: decode-only throughput
+// (every byte checksummed, every record materialized, nothing consumed)
+// and end-to-end replay throughput (decode feeding the R8000 cache
+// hierarchy), each through the serial reader and the sharded decoder at
+// several worker counts.
+type ReplayResult struct {
+	// Workload describes the traced workload the benchmark replays.
+	Workload string `json:"workload"`
+	// Refs is the trace's total reference count.
+	Refs uint64 `json:"refs"`
+	// TraceBytes is the encoded trace size.
+	TraceBytes int `json:"trace_bytes"`
+	// Chunks is the trace's chunk count (the sharding granularity).
+	Chunks int `json:"chunks"`
+	// Decode is the decode-only sweep; EndToEnd the replay-into-caches
+	// sweep. The first stage of each is the serial baseline.
+	Decode   []ReplayStage `json:"decode"`
+	EndToEnd []ReplayStage `json:"end_to_end"`
+}
+
+// replayWorkers is the worker-count sweep the sharded stages run.
+var replayWorkers = []int{1, 2, 4}
+
+// replayTrace generates the benchmark's trace in memory: the interchanged
+// matmul at the Config's geometry, encoded through the standard buffered
+// CPU → Writer path, then indexed as a MemFile.
+func (c Config) replayTrace() (*trace.MemFile, error) {
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	cpu := sim.NewCPU(w).Buffer(0)
+	matmul.NewTraced(cpu, vm.NewAddressSpace(), c.MatmulN).Interchanged()
+	cpu.Flush()
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("encoding replay trace: %w", err)
+	}
+	return trace.NewMemFile(buf.Bytes())
+}
+
+// bestOfErr is bestOf for fallible measurements: the first error wins and
+// voids the timing.
+func bestOfErr(reps int, fn func() error) (int64, error) {
+	var err error
+	best := bestOf(reps, func() {
+		if e := fn(); e != nil && err == nil {
+			err = e
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return best, nil
+}
+
+// ReplayBench measures trace-replay throughput through the serial reader
+// and the sharded decoder. Decode-only stages touch every record without
+// consuming it (the wire-speed ceiling); end-to-end stages replay the
+// trace into a fresh scaled-R8000 hierarchy per run, and every sharded
+// replay's cache summary is checked bit-identical to the serial replay's —
+// a throughput number from a diverging decode would be worthless. reps is
+// the best-of repetition count per stage.
+func (c Config) ReplayBench(reps int, prog Progress) (ReplayResult, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	workload := fmt.Sprintf("matmul-interchanged n=%d", c.MatmulN)
+	prog.printf("replaybench: generating trace (%s)", workload)
+	f, err := c.replayTrace()
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	res := ReplayResult{
+		Workload:   workload,
+		Refs:       f.Records(),
+		TraceBytes: f.Size(),
+		Chunks:     f.Chunks(),
+	}
+
+	stage := func(path string, workers, reps int, fn func() error) (ReplayStage, error) {
+		wall, err := bestOfErr(reps, fn)
+		if err != nil {
+			return ReplayStage{}, fmt.Errorf("replaybench %s w=%d: %w", path, workers, err)
+		}
+		return ReplayStage{
+			Path:       path,
+			Workers:    workers,
+			WallNS:     wall,
+			RefsPerSec: float64(res.Refs) / (float64(wall) / 1e9),
+		}, nil
+	}
+	finish := func(stages []ReplayStage) {
+		for i := range stages {
+			stages[i].SpeedupVsSerial = stages[i].RefsPerSec / stages[0].RefsPerSec
+		}
+	}
+
+	// Decode-only sweep.
+	prog.printf("replaybench: decode serial")
+	s, err := stage("serial", 1, reps, func() error {
+		return f.Reader().ForEachBatch(0, func([]trace.Ref) error { return nil })
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Decode = append(res.Decode, s)
+	for _, w := range replayWorkers {
+		prog.printf("replaybench: decode sharded w=%d", w)
+		s, err := stage("sharded", w, reps, func() error {
+			counts, err := f.CountRefs(w)
+			if err == nil && counts.Total() != res.Refs {
+				err = fmt.Errorf("decoded %d refs, trace has %d", counts.Total(), res.Refs)
+			}
+			return err
+		})
+		if err != nil {
+			return res, err
+		}
+		res.Decode = append(res.Decode, s)
+	}
+	finish(res.Decode)
+
+	// End-to-end sweep: decode feeding the cache hierarchy. The serial
+	// run's summary is the oracle for every sharded run.
+	m := c.R8000()
+	var oracle cache.Summary
+	prog.printf("replaybench: end-to-end serial")
+	s, err = stage("serial", 1, reps, func() error {
+		h := cache.MustNewHierarchy(m.Caches, nil)
+		if err := f.Reader().ForEachBatch(0, func(refs []trace.Ref) error {
+			h.RecordBatch(refs)
+			return nil
+		}); err != nil {
+			return err
+		}
+		oracle = h.Summarize()
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.EndToEnd = append(res.EndToEnd, s)
+	for _, w := range replayWorkers {
+		prog.printf("replaybench: end-to-end sharded w=%d", w)
+		s, err := stage("sharded", w, reps, func() error {
+			h := cache.MustNewHierarchy(m.Caches, nil)
+			if err := f.ForEachBatch(w, func(refs []trace.Ref) error {
+				h.RecordBatch(refs)
+				return nil
+			}); err != nil {
+				return err
+			}
+			if got := h.Summarize(); got != oracle {
+				return fmt.Errorf("sharded replay diverged from serial: %+v vs %+v", got, oracle)
+			}
+			return nil
+		})
+		if err != nil {
+			return res, err
+		}
+		res.EndToEnd = append(res.EndToEnd, s)
+	}
+	finish(res.EndToEnd)
+	return res, nil
+}

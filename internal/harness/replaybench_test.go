@@ -1,0 +1,37 @@
+package harness
+
+import "testing"
+
+// ReplayBench carries its own differential check (every sharded replay's
+// cache summary must match the serial replay's); running it at a tiny
+// geometry exercises that check plus the full stage sweep in a few
+// hundred milliseconds.
+func TestReplayBenchDifferential(t *testing.T) {
+	c := Quick()
+	c.MatmulN = 64
+	res, err := c.ReplayBench(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Refs == 0 {
+		t.Fatal("empty replay trace")
+	}
+	if res.Chunks < 2 {
+		t.Fatalf("replay trace has %d chunks; sharding needs at least 2", res.Chunks)
+	}
+	want := 1 + len(replayWorkers)
+	if len(res.Decode) != want || len(res.EndToEnd) != want {
+		t.Fatalf("got %d decode + %d end-to-end stages, want %d each",
+			len(res.Decode), len(res.EndToEnd), want)
+	}
+	for _, sweep := range [][]ReplayStage{res.Decode, res.EndToEnd} {
+		if sweep[0].Path != "serial" || sweep[0].Workers != 1 {
+			t.Errorf("first stage %+v is not the serial baseline", sweep[0])
+		}
+		for _, s := range sweep {
+			if s.WallNS <= 0 || s.RefsPerSec <= 0 || s.SpeedupVsSerial <= 0 {
+				t.Errorf("stage %s w=%d has empty measurement: %+v", s.Path, s.Workers, s)
+			}
+		}
+	}
+}

@@ -37,6 +37,11 @@ const InstrBytes = 4
 // a fixed-size reference buffer drained in chunks (see Buffer).
 type CPU struct {
 	rec trace.Recorder
+	// ex is rec's BufferExchanger side, cached at construction; when
+	// non-nil, buffer drains swap the buffer with the recorder instead of
+	// copying out of it, so a buffered CPU feeding an exchanging consumer
+	// (trace.Pipeline) moves references with zero copies.
+	ex trace.BufferExchanger
 	// buf, when non-nil, batches references: emits append here and the
 	// full buffer is handed to the recorder as one RecordBatch call. The
 	// recorder observes exactly the emission order, just later, so
@@ -60,7 +65,9 @@ func NewCPU(rec trace.Recorder) *CPU {
 	if rec == nil {
 		rec = trace.Discard
 	}
-	return &CPU{rec: rec, TextBase: 0x0040_0000}
+	c := &CPU{rec: rec, TextBase: 0x0040_0000}
+	c.ex, _ = rec.(trace.BufferExchanger)
+	return c
 }
 
 // Recorder returns the recorder this CPU emits to.
@@ -94,10 +101,21 @@ func (c *CPU) Buffer(n int) *CPU {
 // unbuffered CPU.
 func (c *CPU) Flush() {
 	if len(c.buf) > 0 {
-		trace.RecordBatch(c.rec, c.buf)
-		c.mRefs.Add(c.obsTrack, uint64(len(c.buf)))
-		c.buf = c.buf[:0]
+		c.drain()
 	}
+}
+
+// drain hands the full buffer to the recorder: a buffer swap when the
+// recorder exchanges (no copy; the CPU refills whichever empty buffer
+// comes back), a RecordBatch otherwise.
+func (c *CPU) drain() {
+	c.mRefs.Add(c.obsTrack, uint64(len(c.buf)))
+	if c.ex != nil {
+		c.buf = c.ex.Exchange(c.buf)
+		return
+	}
+	trace.RecordBatch(c.rec, c.buf)
+	c.buf = c.buf[:0]
 }
 
 // emit delivers one reference, through the buffer when batching.
@@ -109,9 +127,7 @@ func (c *CPU) emit(r trace.Ref) {
 	}
 	c.buf = append(c.buf, r)
 	if len(c.buf) == cap(c.buf) {
-		trace.RecordBatch(c.rec, c.buf)
-		c.mRefs.Add(c.obsTrack, uint64(len(c.buf)))
-		c.buf = c.buf[:0]
+		c.drain()
 	}
 }
 

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"testing"
 )
@@ -74,6 +75,55 @@ func BenchmarkFileRoundTrip(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkShardedDecode measures pure decode wire speed from a preloaded
+// image: serial Reader versus the sharded MemFile paths at several worker
+// counts. CountRefs is the ceiling (no ordered merge); ForEachBatch adds
+// the in-order delivery and base fixup the simulation paths need.
+func BenchmarkShardedDecode(b *testing.B) {
+	refs := benchRefs(1 << 20)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.RecordBatch(refs)
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.Run("serial", func(b *testing.B) {
+		b.SetBytes(int64(len(refs)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := NewReader(bytes.NewReader(data))
+			if err := r.ForEachBatch(0, func([]Ref) error { return nil }); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	f, err := NewMemFile(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("count-w%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(refs)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.CountRefs(workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("ordered-w%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(refs)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := f.ForEachBatch(workers, func([]Ref) error { return nil }); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkPipeline measures the SPSC chunk ring's producer-side cost:

@@ -43,6 +43,73 @@ func FuzzReader(f *testing.F) {
 	})
 }
 
+// FuzzShardedDecode: the sharded decoder must agree with the serial
+// Reader on arbitrary input — same records delivered in the same order
+// when both succeed, a typed error when either fails, never a panic or a
+// wedge. The serial reader is the oracle; divergence is the bug class
+// the prefix-sum base fixup could introduce.
+func FuzzShardedDecode(f *testing.F) {
+	refs := make([]Ref, 2*DefaultChunk+37)
+	rng := uint64(11)
+	for i := range refs {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		refs[i] = Ref{Kind: Kind(rng >> 62 % 3), Addr: rng >> 16, Size: 8}
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.RecordBatch(refs)
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid, uint32(0), byte(0))
+	f.Add(valid, uint32(HeaderSize), byte(0x01))
+	f.Add(valid, uint32(len(valid)-1), byte(0xff))
+	f.Add(valid[:len(valid)/2], uint32(0), byte(0))
+	f.Add([]byte(Magic), uint32(0), byte(0))
+	f.Add([]byte{}, uint32(0), byte(0))
+
+	f.Fuzz(func(t *testing.T, data []byte, off uint32, xor byte) {
+		data = append([]byte(nil), data...)
+		if len(data) > 0 {
+			data[int(off)%len(data)] ^= xor
+		}
+		var serial []Ref
+		serialErr := NewReader(bytes.NewReader(data)).ForEach(func(r Ref) error {
+			serial = append(serial, r)
+			return nil
+		})
+		mf, err := NewMemFile(data)
+		if err != nil {
+			// The index scan may reject what the serial reader also
+			// rejects; it must never reject what decodes cleanly.
+			if serialErr == nil {
+				t.Fatalf("NewMemFile rejected a serially-decodable trace: %v", err)
+			}
+			return
+		}
+		var sharded []Ref
+		shardErr := mf.ForEachBatch(4, func(refs []Ref) error {
+			sharded = append(sharded, refs...)
+			return nil
+		})
+		if (serialErr == nil) != (shardErr == nil) {
+			t.Fatalf("oracle disagreement: serial err = %v, sharded err = %v", serialErr, shardErr)
+		}
+		if serialErr != nil {
+			return // both detected damage; exact sentinel may differ
+		}
+		if len(sharded) != len(serial) {
+			t.Fatalf("sharded decoded %d records, serial %d", len(sharded), len(serial))
+		}
+		for i := range serial {
+			if sharded[i] != serial[i] {
+				t.Fatalf("record %d: sharded %+v, serial %+v", i, sharded[i], serial[i])
+			}
+		}
+	})
+}
+
 // FuzzChunkTrailer: mutating any single byte of a valid chunked trace —
 // chunk framing, payload, count, checksums, or the trailer — must either
 // be detected as an error or leave the decoded stream exactly intact

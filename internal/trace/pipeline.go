@@ -3,6 +3,7 @@ package trace
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -18,22 +19,33 @@ const DefaultPipelineDepth = 8
 // inside one experiment: the producer (the traced workload) records into
 // fixed-size chunks that travel over a bounded single-producer
 // single-consumer ring to a goroutine draining into dst. Chunks are
-// recycled through a sync.Pool, so a steady-state pipeline allocates
-// nothing per reference.
+// recycled through a free list, so a steady-state pipeline allocates
+// nothing per reference, and a producer that speaks Exchange hands its
+// buffers over without copying a single record.
 //
 // Ordering is the exactness contract: one producer, one consumer, and a
 // FIFO ring mean dst observes exactly the recorded sequence, so results
 // are bit-identical to recording into dst directly. Pipeline itself is a
-// Recorder (and BatchRecorder); it is NOT safe for concurrent producers.
-// Call Close to flush the final partial chunk and wait for the consumer
-// to drain before reading results out of dst.
+// Recorder (and BatchRecorder, and BufferExchanger); it is NOT safe for
+// concurrent producers. Call Close to flush the final partial chunk and
+// wait for the consumer to drain before reading results out of dst.
+//
+// On a single-processor runtime (GOMAXPROCS=1) a consumer goroutine buys
+// no overlap — producer and consumer time-slice one P and every hand-off
+// is a context switch. A pipeline constructed with default depth
+// (depth <= 0) detects that case and runs inline: no goroutine, no ring,
+// chunks drain synchronously on the producer's call, and the consumer
+// panic containment contract holds unchanged. An explicit depth > 0
+// always selects the concurrent ring, whatever the processor count.
 type Pipeline struct {
-	dst   Recorder
-	ch    chan []Ref
-	pool  sync.Pool
-	cur   []Ref
-	done  chan struct{}
-	close sync.Once
+	dst    Recorder
+	ch     chan []Ref
+	free   chan []Ref
+	chunk  int
+	cur    []Ref
+	inline bool
+	done   chan struct{}
+	close  sync.Once
 	// Consumer fault containment: a panic in dst is recovered into perr
 	// and flips failed, after which the consumer keeps draining the ring
 	// but discards chunks — the producer therefore never blocks against a
@@ -61,34 +73,50 @@ func (e *ConsumerPanicError) Error() string {
 	return fmt.Sprintf("trace: pipeline consumer panicked: %v", e.Value)
 }
 
-var _ BatchRecorder = (*Pipeline)(nil)
+var _ BufferExchanger = (*Pipeline)(nil)
 
 // NewPipeline starts a pipeline draining into dst. chunk is the references
 // per ring slot (<=0 selects DefaultChunk) and depth the ring capacity in
-// chunks (<=0 selects DefaultPipelineDepth).
+// chunks (<=0 selects DefaultPipelineDepth — or inline draining when the
+// runtime has a single processor; see the type comment).
 func NewPipeline(dst Recorder, chunk, depth int) *Pipeline {
+	inline := depth <= 0 && runtime.GOMAXPROCS(0) == 1
 	if chunk <= 0 {
 		chunk = DefaultChunk
 	}
 	if depth <= 0 {
 		depth = DefaultPipelineDepth
 	}
+	// cur is allocated lazily on the first Record: producers that only
+	// RecordBatch or Exchange never pay for (or zero) a chunk they will
+	// not use.
 	p := &Pipeline{
-		dst:  dst,
-		ch:   make(chan []Ref, depth),
-		done: make(chan struct{}),
+		dst:   dst,
+		chunk: chunk,
+		done:  make(chan struct{}),
 	}
-	p.pool.New = func() any {
-		s := make([]Ref, 0, chunk)
-		return &s
+	if inline {
+		p.inline = true
+		return p
 	}
-	p.cur = p.next()
+	p.ch = make(chan []Ref, depth)
+	// The free list holds every buffer not in the ring or the producer's
+	// hand: depth in flight + the producer's current + one being drained.
+	p.free = make(chan []Ref, depth+2)
 	go p.consume()
 	return p
 }
 
+// next returns an empty buffer for the producer: a recycled one when the
+// free list has any, a fresh allocation only during warmup (or when a
+// chunk was retired while the list was momentarily full).
 func (p *Pipeline) next() []Ref {
-	return (*(p.pool.Get().(*[]Ref)))[:0]
+	select {
+	case b := <-p.free:
+		return b[:0]
+	default:
+		return make([]Ref, 0, p.chunk)
+	}
 }
 
 func (p *Pipeline) consume() {
@@ -97,8 +125,10 @@ func (p *Pipeline) consume() {
 		if !p.failed.Load() {
 			p.drainSafe(chunk)
 		}
-		chunk = chunk[:0]
-		p.pool.Put(&chunk)
+		select {
+		case p.free <- chunk:
+		default:
+		}
 	}
 }
 
@@ -119,6 +149,19 @@ func (p *Pipeline) drainSafe(chunk []Ref) {
 	p.drainChunk(chunk)
 }
 
+// flushInline is the inline mode's counterpart of send-then-consume: one
+// chunk delivered synchronously on the producer's call, with the same
+// containment (a dst panic flips failed; later chunks are discarded) and
+// the same pipe.chunks accounting.
+func (p *Pipeline) flushInline(chunk []Ref) {
+	if p.met.o != nil {
+		p.met.chunks.Inc(p.met.track)
+	}
+	if !p.failed.Load() {
+		p.drainSafe(chunk)
+	}
+}
+
 // Err returns the consumer's failure, if any, without closing the
 // pipeline. A non-nil return means dst panicked and every reference since
 // has been discarded.
@@ -133,6 +176,9 @@ func (p *Pipeline) Err() error {
 
 // Record implements Recorder on the producer side.
 func (p *Pipeline) Record(r Ref) {
+	if cap(p.cur) == 0 {
+		p.cur = p.next()
+	}
 	p.cur = append(p.cur, r)
 	if len(p.cur) == cap(p.cur) {
 		p.ship()
@@ -140,10 +186,23 @@ func (p *Pipeline) Record(r Ref) {
 }
 
 // RecordBatch implements BatchRecorder on the producer side. The caller
-// keeps ownership of refs (producers reuse their buffers), so the chunk is
-// copied into ring slots rather than aliased.
+// keeps ownership of refs (producers reuse their buffers), so on the
+// concurrent path the chunk is copied into ring slots rather than
+// aliased; producers that can give their buffer up should use Exchange
+// instead and skip the copy. The inline path delivers refs to dst
+// directly — no ring, no copy.
 func (p *Pipeline) RecordBatch(refs []Ref) {
+	if p.inline {
+		p.shipCur()
+		if len(refs) > 0 {
+			p.flushInline(refs)
+		}
+		return
+	}
 	for len(refs) > 0 {
+		if cap(p.cur) == 0 {
+			p.cur = p.next()
+		}
 		n := copy(p.cur[len(p.cur):cap(p.cur)], refs)
 		p.cur = p.cur[:len(p.cur)+n]
 		refs = refs[n:]
@@ -153,7 +212,40 @@ func (p *Pipeline) RecordBatch(refs []Ref) {
 	}
 }
 
+// Exchange implements BufferExchanger on the producer side: buf travels
+// to the consumer as-is (after any partial chunk, preserving order) and
+// the producer gets a recycled buffer back. The records cross the
+// pipeline without being copied.
+func (p *Pipeline) Exchange(buf []Ref) []Ref {
+	if p.inline {
+		p.shipCur()
+		if len(buf) > 0 {
+			p.flushInline(buf)
+		}
+		return buf[:0]
+	}
+	p.shipCur()
+	if len(buf) == 0 {
+		return buf
+	}
+	p.send(buf)
+	return p.next()
+}
+
+// shipCur flushes the partial chunk accumulated by Record calls, keeping
+// stream order when per-record and batched production interleave.
+func (p *Pipeline) shipCur() {
+	if len(p.cur) > 0 {
+		p.ship()
+	}
+}
+
 func (p *Pipeline) ship() {
+	if p.inline {
+		p.flushInline(p.cur)
+		p.cur = p.cur[:0]
+		return
+	}
 	p.send(p.cur)
 	p.cur = p.next()
 }
@@ -173,8 +265,19 @@ func (p *Pipeline) Close() error {
 // draining, it returns ctx.Err() instead of blocking forever behind a
 // consumer wedged inside dst. An abandoned pipeline's consumer goroutine
 // stays parked until dst returns; the references it never drained are
-// lost, as the non-nil error reports.
+// lost, as the non-nil error reports. An inline pipeline has nothing to
+// wait on; its CloseContext never blocks.
 func (p *Pipeline) CloseContext(ctx context.Context) error {
+	if p.inline {
+		p.close.Do(func() {
+			if len(p.cur) > 0 {
+				p.flushInline(p.cur)
+				p.cur = nil
+			}
+			close(p.done)
+		})
+		return p.Err()
+	}
 	var ctxErr error
 	p.close.Do(func() {
 		if len(p.cur) > 0 {

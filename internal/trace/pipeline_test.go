@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"errors"
+	"runtime"
 	"testing"
 )
 
@@ -82,6 +84,159 @@ func TestPipelineMatchesDirectAndCloseIdempotent(t *testing.T) {
 	if piped != direct {
 		t.Errorf("pipelined counts %+v, want %+v", piped, direct)
 	}
+}
+
+// Exchange moves the producer's buffer through the ring without copying;
+// the delivered sequence must still be exact, including when Exchange
+// interleaves with per-record production, and the buffers handed back
+// must be safe to refill immediately.
+func TestPipelineExchangeDeliversExactSequence(t *testing.T) {
+	refs := pipeRefs(20000)
+	var got []Ref
+	sink := FuncRecorder(func(r Ref) { got = append(got, r) })
+	p := NewPipeline(sink, 128, 2)
+	// Alternate blocks between per-record production and buffer exchange,
+	// in stream order: a partial Record chunk must be flushed ahead of an
+	// exchanged buffer (shipCur), so boundaries land anywhere.
+	buf := make([]Ref, 0, 97)
+	for off := 0; off < len(refs); {
+		n := min(100+off%57, len(refs)-off)
+		block := refs[off : off+n]
+		if (off/100)%2 == 0 {
+			for i := range block {
+				p.Record(block[i])
+			}
+		} else {
+			for i := range block {
+				buf = append(buf, block[i])
+				if len(buf) == cap(buf) {
+					buf = p.Exchange(buf)
+					if len(buf) != 0 {
+						t.Fatal("Exchange returned a non-empty buffer")
+					}
+				}
+			}
+			buf = p.Exchange(buf)
+		}
+		off += n
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(refs) {
+		t.Fatalf("delivered %d refs, want %d", len(got), len(refs))
+	}
+	for i := range refs {
+		if got[i] != refs[i] {
+			t.Fatalf("ref %d = %+v, want %+v", i, got[i], refs[i])
+		}
+	}
+}
+
+// withGOMAXPROCS runs fn with the processor count pinned, restoring it
+// after — how the inline/concurrent mode split is exercised regardless of
+// the host's core count.
+func withGOMAXPROCS(t *testing.T, n int, fn func()) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(old)
+	fn()
+}
+
+// Mode selection: default depth on a single-processor runtime drains
+// inline; an explicit depth always takes the concurrent ring (the
+// concurrency tests rely on that), and multi-processor defaults do too.
+func TestPipelineModeSelection(t *testing.T) {
+	withGOMAXPROCS(t, 1, func() {
+		if p := NewPipeline(Discard, 0, 0); !p.inline {
+			t.Error("default depth at GOMAXPROCS=1: want inline")
+		}
+		if p := NewPipeline(Discard, 0, 2); p.inline {
+			t.Error("explicit depth at GOMAXPROCS=1: want concurrent")
+		}
+	})
+	withGOMAXPROCS(t, 2, func() {
+		if p := NewPipeline(Discard, 0, 0); p.inline {
+			t.Error("default depth at GOMAXPROCS=2: want concurrent")
+		}
+	})
+}
+
+// The inline pipeline honors the full Pipeline contract: exact sequence
+// across Record/RecordBatch/Exchange, idempotent Close, and consumer
+// panic containment identical to the concurrent ring's.
+func TestPipelineInlineContract(t *testing.T) {
+	withGOMAXPROCS(t, 1, func() {
+		refs := pipeRefs(10000)
+		var got []Ref
+		sink := FuncRecorder(func(r Ref) { got = append(got, r) })
+		p := NewPipeline(sink, 64, 0)
+		if !p.inline {
+			t.Fatal("pipeline not inline at GOMAXPROCS=1")
+		}
+		buf := make([]Ref, 0, 81)
+		for off := 0; off < len(refs); {
+			n := min(90, len(refs)-off)
+			block := refs[off : off+n]
+			switch (off / 90) % 3 {
+			case 0:
+				for i := range block {
+					p.Record(block[i])
+				}
+			case 1:
+				p.RecordBatch(block)
+			default:
+				buf = append(buf[:0], block...)
+				buf = p.Exchange(buf)
+			}
+			off += n
+		}
+		if err := p.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Close(); err != nil {
+			t.Fatalf("second Close: %v", err)
+		}
+		if len(got) != len(refs) {
+			t.Fatalf("delivered %d refs, want %d", len(got), len(refs))
+		}
+		for i := range refs {
+			if got[i] != refs[i] {
+				t.Fatalf("ref %d = %+v, want %+v", i, got[i], refs[i])
+			}
+		}
+	})
+}
+
+// Inline consumer panic containment: the panic is recovered into a
+// *ConsumerPanicError, later references are discarded, and Close
+// surfaces the error — same contract as the concurrent ring.
+func TestPipelineInlinePanicContainment(t *testing.T) {
+	withGOMAXPROCS(t, 1, func() {
+		delivered := 0
+		sink := FuncRecorder(func(r Ref) {
+			if delivered == 100 {
+				panic("inline consumer failure")
+			}
+			delivered++
+		})
+		p := NewPipeline(sink, 16, 0)
+		refs := pipeRefs(1000)
+		for i := range refs {
+			p.Record(refs[i]) // must not panic through to the producer
+		}
+		err := p.Close()
+		var perr *ConsumerPanicError
+		if !errors.As(err, &perr) {
+			t.Fatalf("Close = %v, want *ConsumerPanicError", err)
+		}
+		if perr.Value != "inline consumer failure" {
+			t.Errorf("panic value = %v", perr.Value)
+		}
+		if delivered != 100 {
+			t.Errorf("delivered %d refs past the panic", delivered-100)
+		}
+	})
 }
 
 // The pipeline in front of a file Writer must produce the identical byte

@@ -66,6 +66,33 @@ type BatchRecorder interface {
 	RecordBatch(refs []Ref)
 }
 
+// BufferExchanger is an optional extension of BatchRecorder for
+// consumers that can take ownership of the producer's buffer: Exchange
+// consumes buf exactly like RecordBatch would, but instead of the caller
+// keeping the slice, ownership transfers to the consumer, which hands
+// back a zero-length buffer (usually a previously consumed one) for the
+// producer to refill. A producer/consumer pair that both speak Exchange
+// moves references through a cycle of recycled buffers with no per-batch
+// copy — the difference between memcpy-bound and wire-speed hand-off.
+type BufferExchanger interface {
+	BatchRecorder
+	// Exchange consumes buf (the consumer may retain it) and returns a
+	// zero-length buffer the caller now owns. The returned buffer's
+	// capacity may differ from buf's.
+	Exchange(buf []Ref) []Ref
+}
+
+// Exchange delivers buf to rec and returns the buffer the caller should
+// record into next: a swapped buffer when rec implements BufferExchanger,
+// otherwise buf itself (re-sliced empty) after a RecordBatch copy.
+func Exchange(rec Recorder, buf []Ref) []Ref {
+	if ex, ok := rec.(BufferExchanger); ok {
+		return ex.Exchange(buf)
+	}
+	RecordBatch(rec, buf)
+	return buf[:0]
+}
+
 // DefaultChunk is the reference-buffer size used by batching producers
 // (sim.CPU, Pipeline). 4096 24-byte records is ~96 KiB — large enough to
 // amortize dispatch, small enough to stay cache-resident.
