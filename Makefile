@@ -5,10 +5,13 @@
 #                  equivalence of the batched/parallel simulation paths)
 #   make fuzz-smoke — short bursts of the trace-format fuzzers (reader
 #                  robustness + chunk/trailer integrity oracle + sharded
-#                  decode differential)
+#                  decode differential + sliced-simulation differential)
 #   make guard-pipeline — the opt-in throughput tripwire: fails if the
 #                  batched or pipelined reference-stream path falls below
 #                  the serial path
+#   make guard-replay — the opt-in sliced-replay tripwire: fails if the
+#                  address-sliced parallel simulation falls below its
+#                  serial baseline at >=2 workers (skips on 1-CPU hosts)
 #   make bench   — one pass over every benchmark (smoke, not measurement)
 #   make bench-core — the fork/run pipeline benchmarks with real counts
 #   make bench-sim  — the simulation-pipeline benchmarks; writes a
@@ -28,7 +31,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race fuzz-smoke guard-pipeline bench bench-core bench-sim bench-apps bench-replay json timeline
+.PHONY: check build vet test race fuzz-smoke guard-pipeline guard-replay bench bench-core bench-sim bench-apps bench-replay json timeline
 
 check: build vet test race
 
@@ -42,7 +45,7 @@ test:
 	$(GO) test -timeout 10m ./...
 
 race:
-	$(GO) test -race -timeout 10m ./internal/core/... ./internal/trace/... ./internal/obs/... ./internal/fault/...
+	$(GO) test -race -timeout 10m ./internal/core/... ./internal/trace/... ./internal/obs/... ./internal/fault/... ./internal/sim/...
 	$(GO) test -race -timeout 10m -run 'Parallel|Exact|Threaded' ./internal/apps/...
 	$(GO) test -race -timeout 10m -run 'TestGoldenEquivalence|TestRunJobs|TestReplayBench' ./internal/harness/
 
@@ -52,12 +55,19 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime 10s ./internal/trace/
 	$(GO) test -run '^$$' -fuzz FuzzChunkTrailer -fuzztime 10s ./internal/trace/
 	$(GO) test -run '^$$' -fuzz FuzzShardedDecode -fuzztime 10s ./internal/trace/
+	$(GO) test -run '^$$' -fuzz FuzzSliceRouter -fuzztime 10s ./internal/sim/
 
 # Opt-in perf regression guard (real throughput measurement, so not part
 # of the default test run): the batched and pipelined paths must not fall
 # below serial.
 guard-pipeline:
 	GUARD_PIPELINE=1 $(GO) test -run TestGuardPipelineThroughput -count=1 -v ./internal/harness/
+
+# Opt-in sliced-replay guard: address-sliced parallel simulation must not
+# fall below its serial baseline at >=2 workers. Needs a multicore host
+# (skips otherwise — scatter is added work a single core cannot hide).
+guard-replay:
+	GUARD_REPLAY=1 $(GO) test -run TestGuardReplayThroughput -count=1 -timeout 20m -v ./internal/harness/
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .

@@ -12,33 +12,35 @@ import (
 
 // replayRecord is the machine-readable trace-replay throughput record
 // written by -replaybench (see BENCH_REPLAY.json). Its schema string
-// versions the format.
+// versions the format; v2 added the address-sliced parallel-simulation
+// sweep ("sliced").
 type replayRecord struct {
-	Schema     string                 `json:"schema"`
-	Date       string                 `json:"date"`
-	Size       string                 `json:"size"`
-	Go         string                 `json:"go"`
-	CPUs       int                    `json:"cpus"`
-	GOMAXPROCS int                    `json:"gomaxprocs"`
-	Reps       int                    `json:"reps"`
-	Workload   string                 `json:"workload"`
-	Refs       uint64                 `json:"refs"`
-	TraceBytes int                    `json:"trace_bytes"`
-	Chunks     int                    `json:"chunks"`
-	Decode     []harness.ReplayStage  `json:"decode"`
-	EndToEnd   []harness.ReplayStage  `json:"end_to_end"`
+	Schema     string                `json:"schema"`
+	Date       string                `json:"date"`
+	Size       string                `json:"size"`
+	Go         string                `json:"go"`
+	CPUs       int                   `json:"cpus"`
+	GOMAXPROCS int                   `json:"gomaxprocs"`
+	Reps       int                   `json:"reps"`
+	Workload   string                `json:"workload"`
+	Refs       uint64                `json:"refs"`
+	TraceBytes int                   `json:"trace_bytes"`
+	Chunks     int                   `json:"chunks"`
+	Decode     []harness.ReplayStage `json:"decode"`
+	EndToEnd   []harness.ReplayStage `json:"end_to_end"`
+	Sliced     []harness.ReplayStage `json:"sliced"`
 }
 
-// runReplayBench measures decode-only and end-to-end replay throughput
-// through the serial reader and the sharded decoder, writing the record
-// to path.
+// runReplayBench measures decode-only, end-to-end, and address-sliced
+// replay throughput through the serial reader and the sharded decoder,
+// writing the record to path.
 func runReplayBench(cfg harness.Config, prog harness.Progress, size, path string, reps int) error {
 	res, err := cfg.ReplayBench(reps, prog)
 	if err != nil {
 		return err
 	}
 	rec := replayRecord{
-		Schema:     "threadsched/bench-replay/v1",
+		Schema:     "threadsched/bench-replay/v2",
 		Date:       time.Now().UTC().Format(time.RFC3339),
 		Size:       size,
 		Go:         runtime.Version(),
@@ -51,6 +53,7 @@ func runReplayBench(cfg harness.Config, prog harness.Progress, size, path string
 		Chunks:     res.Chunks,
 		Decode:     res.Decode,
 		EndToEnd:   res.EndToEnd,
+		Sliced:     res.Sliced,
 	}
 	fmt.Printf("trace: %s — %d refs, %d chunks, %d bytes\n",
 		res.Workload, res.Refs, res.Chunks, res.TraceBytes)
@@ -62,6 +65,7 @@ func runReplayBench(cfg harness.Config, prog harness.Progress, size, path string
 	}
 	print("decode", rec.Decode)
 	print("end-to-end", rec.EndToEnd)
+	print("sliced", rec.Sliced)
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		return err
@@ -69,7 +73,7 @@ func runReplayBench(cfg harness.Config, prog harness.Progress, size, path string
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (%d decode + %d end-to-end stages)\n",
-		path, len(rec.Decode), len(rec.EndToEnd))
+	fmt.Fprintf(os.Stderr, "wrote %s (%d decode + %d end-to-end + %d sliced stages)\n",
+		path, len(rec.Decode), len(rec.EndToEnd), len(rec.Sliced))
 	return nil
 }

@@ -9,7 +9,7 @@
 //	tracesim [-machine r8000|r10000] [-scale N] [-tlb entries]
 //	         [-l1i size,line,assoc] [-l1d size,line,assoc] [-l2 size,line,assoc]
 //	         [-pagesize N -placement identity|sequential|random|coloring]
-//	         [-mode batch|serial] [-shard N] [-parallel N]
+//	         [-mode batch|serial] [-shard N] [-slices N] [-parallel N]
 //	         [-metrics metrics.json] [-timeline timeline.json]
 //	         trace-file... (or - for stdin)
 //
@@ -26,6 +26,16 @@
 // observes references in exact file order — sharding overlaps the
 // decode, not the simulation — so counters stay bit-identical at any
 // worker count. Stdin input always streams.
+//
+// -slices N additionally parallelizes the simulation itself: references
+// are routed by address class (set-index bits common to every cache
+// level) to N independent cache-hierarchy shards that simulate
+// concurrently, and the merged counters are provably bit-identical to
+// the serial replay (each set's state depends only on its own reference
+// subsequence, which slicing preserves in order). Slicing requires batch
+// mode on file inputs and is incompatible with -pagesize and -tlb
+// (translation and a global TLB couple state across slices); it disables
+// L2 miss classification (a global shadow stack) with a warning.
 //
 // -metrics writes a JSON snapshot counting each replay's references
 // (tracesim.refs, one track per input file) and replay wall times;
@@ -53,6 +63,7 @@ import (
 	"threadsched/internal/cache"
 	"threadsched/internal/machine"
 	"threadsched/internal/obs"
+	"threadsched/internal/sim"
 	"threadsched/internal/trace"
 	"threadsched/internal/vm"
 )
@@ -78,6 +89,7 @@ func main() {
 	placement := flag.String("placement", "identity", "page placement: identity, sequential, random, coloring")
 	mode := flag.String("mode", "batch", "replay path: batch (chunked decode) or serial (both bit-identical)")
 	shard := flag.Int("shard", 0, "with -mode batch: preload file inputs and decode across N workers (0 = GOMAXPROCS, 1 = streaming serial decode)")
+	slices := flag.Int("slices", 1, "with -mode batch: simulate across N address-sliced cache shards (merged counters bit-identical to serial; disables classification, excludes -pagesize/-tlb)")
 	parallel := flag.Int("parallel", 1, "replay up to N trace files concurrently")
 	metricsOut := flag.String("metrics", "", "write per-input reference counts and replay times (JSON) to this file")
 	timelineOut := flag.String("timeline", "", "write a Chrome trace_event replay timeline (JSON) to this file")
@@ -122,6 +134,23 @@ func main() {
 			fatal("%v", err)
 		}
 		*o.dst = c
+	}
+	if *slices > 1 {
+		if !batch {
+			fatal("-slices requires -mode batch")
+		}
+		if *pageSize > 0 || *tlbEntries > 0 {
+			fatal("-slices is incompatible with -pagesize and -tlb: translation and a global TLB couple state across address slices")
+		}
+		for _, name := range flag.Args() {
+			if name == "-" {
+				fatal("-slices requires file inputs (stdin streams)")
+			}
+		}
+		if cfg.L1I.Classify || cfg.L1D.Classify || cfg.L2.Classify {
+			fmt.Fprintln(os.Stderr, "tracesim: -slices disables miss classification (the shadow stack is global state address slicing cannot reproduce)")
+			cfg.L1I.Classify, cfg.L1D.Classify, cfg.L2.Classify = false, false, false
+		}
 	}
 
 	// newSetup builds a fresh hierarchy (plus page table and TLB when
@@ -200,7 +229,7 @@ func main() {
 			if errs[i] = ctx.Err(); errs[i] != nil {
 				return
 			}
-			errs[i] = replay(ctx, &outs[i], name, len(names) > 1, batch, *shard, *tlbEntries, newSetup, o, i)
+			errs[i] = replay(ctx, &outs[i], name, len(names) > 1, batch, *shard, *slices, *tlbEntries, newSetup, o, i)
 		}(i, name)
 	}
 	wg.Wait()
@@ -243,7 +272,7 @@ func writeFileWith(path string, write func(io.Writer) error) error {
 // argument order. With o attached, the replay records its reference count
 // and wall time on its own track and a timeline span named after the
 // input.
-func replay(ctx context.Context, w io.Writer, name string, labeled, batch bool, shard, tlbEntries int, newSetup func() (*simSetup, error), o *obs.Obs, track int) error {
+func replay(ctx context.Context, w io.Writer, name string, labeled, batch bool, shard, slices, tlbEntries int, newSetup func() (*simSetup, error), o *obs.Obs, track int) error {
 	s, err := newSetup()
 	if err != nil {
 		return err
@@ -254,6 +283,27 @@ func replay(ctx context.Context, w io.Writer, name string, labeled, batch bool, 
 		start = time.Now()
 	}
 	sp := o.Timeline().Begin(track, name)
+	// Address-sliced parallel simulation: decode fans references to
+	// per-slice cache shards, merged for the report. Cancellation is
+	// coarser here (the whole replay, not per chunk).
+	if slices > 1 && batch && name != "-" {
+		mf, err := trace.LoadFile(name)
+		if err != nil {
+			return fmt.Errorf("reading trace: %w", err)
+		}
+		sh, err := sim.NewShardedHierarchy(s.cfg, slices)
+		if err != nil {
+			return err
+		}
+		if err := sh.Replay(mf, shard); err != nil {
+			return fmt.Errorf("reading trace: %w", err)
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.h = sh.Merged()
+		return finishReplay(w, s, name, labeled, tlbEntries, o, track, start, sp)
+	}
 	// The batch path on a file input preloads the trace and fans the
 	// decode across shard workers (the hierarchy still observes file
 	// order; v1 traces fall back to serial decode inside MemFile). Stdin

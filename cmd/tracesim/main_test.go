@@ -66,27 +66,45 @@ func TestReplayBatchSerialIdentical(t *testing.T) {
 		return &simSetup{h: cache.MustNewHierarchy(m.Caches, nil), cfg: m.Caches}, nil
 	}
 	var serial, batch, sharded bytes.Buffer
-	if err := replay(context.Background(), &serial, path, false, false, 1, 0, setup, nil, 0); err != nil {
+	if err := replay(context.Background(), &serial, path, false, false, 1, 1, 0, setup, nil, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := replay(context.Background(), &batch, path, false, true, 1, 0, setup, nil, 0); err != nil {
+	if err := replay(context.Background(), &batch, path, false, true, 1, 1, 0, setup, nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	if serial.String() != batch.String() {
 		t.Errorf("batch replay diverges from serial:\nserial:\n%s\nbatch:\n%s", serial.String(), batch.String())
 	}
-	if err := replay(context.Background(), &sharded, path, false, true, 4, 0, setup, nil, 0); err != nil {
+	if err := replay(context.Background(), &sharded, path, false, true, 4, 1, 0, setup, nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	if serial.String() != sharded.String() {
 		t.Errorf("sharded replay diverges from serial:\nserial:\n%s\nsharded:\n%s", serial.String(), sharded.String())
 	}
 	var labeled bytes.Buffer
-	if err := replay(context.Background(), &labeled, path, true, true, 0, 0, setup, nil, 0); err != nil {
+	if err := replay(context.Background(), &labeled, path, true, true, 0, 1, 0, setup, nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(labeled.String(), "== "+path+" ==\n") {
 		t.Errorf("multi-file replay not labeled:\n%s", labeled.String())
+	}
+
+	// Address-sliced simulation renders a report byte-identical to the
+	// serial replay on the same (declassified) configuration.
+	dcfg := m.Caches
+	dcfg.L2.Classify = false
+	dsetup := func() (*simSetup, error) {
+		return &simSetup{h: cache.MustNewHierarchy(dcfg, nil), cfg: dcfg}, nil
+	}
+	var dserial, sliced bytes.Buffer
+	if err := replay(context.Background(), &dserial, path, false, true, 1, 1, 0, dsetup, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := replay(context.Background(), &sliced, path, false, true, 2, 2, 0, dsetup, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if dserial.String() != sliced.String() {
+		t.Errorf("sliced replay diverges from serial:\nserial:\n%s\nsliced:\n%s", dserial.String(), sliced.String())
 	}
 }
 

@@ -14,7 +14,16 @@
 //
 // Usage:
 //
-//	tracestat [-line 128] [-kind all|data|ifetch] [-workers N] trace-file (or - for stdin)
+//	tracestat [-line 128] [-kind all|data|ifetch] [-workers N] [-mmap]
+//	          [-slices N] trace-file (or - for stdin)
+//
+// -mmap maps the trace file read-only instead of reading it into memory
+// (falling back transparently where mmap is unavailable): opening a
+// multi-gigabyte trace costs an index scan, not a copy. -slices N adds a
+// timed fan-out pass that routes decoded references by line address to N
+// concurrent per-slice counting consumers — the hand-off machinery
+// sim.ShardedHierarchy uses for parallel cache simulation — and verifies
+// the merged tally against the decode-only pass.
 //
 // Produce traces with examples/tracegen or any trace.Writer.
 package main
@@ -35,6 +44,8 @@ func main() {
 	lineSize := flag.Uint64("line", 128, "cache line size in bytes (power of two)")
 	kind := flag.String("kind", "data", "references to analyze: all, data, ifetch")
 	workers := flag.Int("workers", 0, "sharded decode worker count (0 = GOMAXPROCS, 1 = serial)")
+	useMmap := flag.Bool("mmap", false, "memory-map the trace file instead of reading it into memory")
+	slices := flag.Int("slices", 0, "time an address-fanned decode across N slice consumers (0 = skip)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -60,6 +71,12 @@ func main() {
 		if err != nil {
 			fatal("%v", err)
 		}
+	} else if *useMmap {
+		f, err = trace.OpenMemFileMmap(name)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
 	} else {
 		f, err = trace.LoadFile(name)
 		if err != nil {
@@ -80,6 +97,26 @@ func main() {
 	}
 	decodeWall := time.Since(start)
 
+	// Optional sliced fan-out pass: decoded references route by line
+	// address to per-slice counting consumers over the SPSC slice queues.
+	// The merged tally must match the decode-only pass exactly.
+	var slicedWall time.Duration
+	if *slices > 1 {
+		shift := uint(0)
+		for l := *lineSize; l > 1; l >>= 1 {
+			shift++
+		}
+		start = time.Now()
+		merged, err := slicedTally(f, w, *slices, shift)
+		if err != nil {
+			fatal("reading trace: %v", err)
+		}
+		slicedWall = time.Since(start)
+		if merged != counts {
+			fatal("sliced fan-out diverged: %+v vs %+v", merged, counts)
+		}
+	}
+
 	ana := stackdist.New(*lineSize)
 	if err := f.ForEachBatch(w, func(refs []trace.Ref) error {
 		for i := range refs {
@@ -97,6 +134,10 @@ func main() {
 	fmt.Printf("decode: v%d, %d chunks, %d bytes; %.0f refs/sec decode-only (%d workers, %s)\n",
 		f.Version(), f.Chunks(), f.Size(),
 		float64(counts.Total())/decodeWall.Seconds(), w, decodeWall.Round(time.Microsecond))
+	if slicedWall > 0 {
+		fmt.Printf("sliced: %.0f refs/sec through %d slice consumers (%d workers, %s; tally verified)\n",
+			float64(counts.Total())/slicedWall.Seconds(), *slices, w, slicedWall.Round(time.Microsecond))
+	}
 	fmt.Printf("analyzed (%s): %d refs, footprint %d lines = %s\n",
 		*kind, ana.Refs(), ana.Distinct(), bytesStr(ana.Distinct()**lineSize))
 	fmt.Printf("\nfully-associative LRU miss-ratio curve (line %dB):\n", *lineSize)
@@ -104,6 +145,30 @@ func main() {
 	for _, p := range ana.Curve() {
 		fmt.Printf("  %12s  %12d  %7.2f%%\n", bytesStr(p.CacheBytes), p.Misses, 100*p.Ratio)
 	}
+}
+
+// slicedTally fans the trace out by line address (addr >> shift) to
+// slices concurrent counting consumers and returns the merged tally —
+// which must equal a serial count, whatever the routing.
+func slicedTally(f *trace.MemFile, workers, slices int, shift uint) (trace.Counts, error) {
+	tallies := make([]trace.Counts, slices)
+	err := f.ForEachSliced(workers, slices,
+		func(fan *trace.SliceFan, refs []trace.Ref) error {
+			n := fan.Slices()
+			for i := range refs {
+				fan.Emit(int(refs[i].Addr>>shift)%n, refs[i])
+			}
+			return nil
+		},
+		func(slice int, refs []trace.Ref) error {
+			tallies[slice].RecordBatch(refs)
+			return nil
+		})
+	var merged trace.Counts
+	for i := range tallies {
+		merged.Add(tallies[i])
+	}
+	return merged, err
 }
 
 func kindFilter(kind string) (func(trace.Ref) bool, error) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"testing"
 
 	"threadsched/internal/trace"
@@ -23,6 +24,39 @@ func TestKindFilter(t *testing.T) {
 	}
 	if _, err := kindFilter("bogus"); err == nil {
 		t.Error("bogus kind accepted")
+	}
+}
+
+// TestSlicedTally: the fanned-out count equals the serial count at any
+// slice and worker mix.
+func TestSlicedTally(t *testing.T) {
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	rng := uint64(11)
+	var want trace.Counts
+	for i := 0; i < 30000; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		r := trace.Ref{Kind: trace.Kind(rng >> 62 % 3), Addr: rng >> 24, Size: 8}
+		w.Record(r)
+		want.Record(r)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := trace.NewMemFile(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, slices := range []int{2, 5} {
+		for _, workers := range []int{1, 4} {
+			got, err := slicedTally(f, workers, slices, 7)
+			if err != nil {
+				t.Fatalf("slices=%d workers=%d: %v", slices, workers, err)
+			}
+			if got != want {
+				t.Fatalf("slices=%d workers=%d: tally %+v, want %+v", slices, workers, got, want)
+			}
+		}
 	}
 }
 

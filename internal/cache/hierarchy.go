@@ -207,6 +207,38 @@ func (h *Hierarchy) Summarize() Summary {
 	return s
 }
 
+// Merge accumulates other's counters into h: per-level Stats and the
+// reference tally. It is stats-only — cache contents (residency, recency,
+// dirty bits) are not merged, so a merged hierarchy reports combined
+// counters but must not be used to continue simulation. Merging a
+// freshly-reset hierarchy is a no-op. The two hierarchies must have
+// identical level configurations.
+func (h *Hierarchy) Merge(other *Hierarchy) error {
+	pairs := [][2]*Cache{{h.l1i, other.l1i}, {h.l1d, other.l1d}, {h.l2, other.l2}}
+	if (h.l3 == nil) != (other.l3 == nil) {
+		return fmt.Errorf("cache: Merge: L3 present on one hierarchy only")
+	}
+	if h.l3 != nil {
+		pairs = append(pairs, [2]*Cache{h.l3, other.l3})
+	}
+	for _, p := range pairs {
+		if p[0].cfg != p[1].cfg {
+			return fmt.Errorf("cache: Merge: %s configurations differ (%v vs %v)", p[0].cfg.Name, p[0].cfg, p[1].cfg)
+		}
+	}
+	for _, p := range pairs {
+		p[0].stats.Add(p[1].stats)
+	}
+	h.refs.Add(other.refs)
+	return nil
+}
+
+// SetRefs overwrites the hierarchy's reference tally. Sharded simulation
+// uses it after Merge: shards observe split reference pieces, so the
+// summed shard tallies overcount spanning references, and the router's
+// tally of original references is authoritative.
+func (h *Hierarchy) SetRefs(c trace.Counts) { h.refs = c }
+
 // Reset clears all levels and counters.
 func (h *Hierarchy) Reset() {
 	h.l1i.Reset()

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"os"
+	"runtime"
 	"testing"
 )
 
@@ -38,6 +39,45 @@ func TestGuardPipelineThroughput(t *testing.T) {
 		if ratio < 0.95 {
 			t.Errorf("%s path runs at %.2fx of serial (%.0f vs %.0f refs/sec): the %s hand-off has regressed",
 				name, ratio, s.RefsPerSec, serial.RefsPerSec, name)
+		}
+	}
+}
+
+// TestGuardReplayThroughput is the tripwire for the address-sliced
+// parallel simulation: at two or more workers, sliced end-to-end replay
+// must not fall below its serial baseline — the point of slicing is that
+// the simulation itself scales, and a regression in the scatter or queue
+// hand-off would silently erase that.
+//
+// Parallel consumption cannot beat serial wall-clock on a single core
+// (the scatter is added work), so the guard skips there; the results
+// README records the same caveat for the committed BENCH_REPLAY numbers.
+// Like the pipeline guard it measures real throughput and is opt-in: set
+// GUARD_REPLAY=1 (make guard-replay) on a quiet multicore host. The 5%
+// allowance absorbs scheduler noise.
+func TestGuardReplayThroughput(t *testing.T) {
+	if os.Getenv("GUARD_REPLAY") == "" {
+		t.Skip("set GUARD_REPLAY=1 to run the sliced-vs-serial replay throughput guard")
+	}
+	if runtime.NumCPU() < 2 {
+		t.Skipf("host has %d CPU; sliced replay cannot beat serial without parallelism", runtime.NumCPU())
+	}
+	c := Scaled()
+	c.MatmulN = 128 // full geometry, reduced trace: measurement, not a soak
+	res, err := c.ReplayBench(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sliced) < 2 {
+		t.Fatalf("sliced sweep has %d stages, want serial + at least one sliced", len(res.Sliced))
+	}
+	serial := res.Sliced[0]
+	for _, s := range res.Sliced[1:] {
+		t.Logf("sliced w=%d s=%d %12.0f refs/sec (%.2fx vs serial %.0f)",
+			s.Workers, s.Slices, s.RefsPerSec, s.SpeedupVsSerial, serial.RefsPerSec)
+		if s.Workers >= 2 && s.SpeedupVsSerial < 0.95 {
+			t.Errorf("sliced replay at %d workers runs at %.2fx of serial (%.0f vs %.0f refs/sec): the fan-out has regressed",
+				s.Workers, s.SpeedupVsSerial, s.RefsPerSec, serial.RefsPerSec)
 		}
 	}
 }

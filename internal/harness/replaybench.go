@@ -13,11 +13,14 @@ import (
 
 // ReplayStage is one trace-replay throughput measurement from ReplayBench.
 type ReplayStage struct {
-	// Path names the decode path: "serial" (the streaming Reader) or
-	// "sharded" (the chunk-indexed MemFile decode).
+	// Path names the decode path: "serial" (the streaming Reader),
+	// "sharded" (the chunk-indexed MemFile decode), or "sliced" (sharded
+	// decode fanning out to per-slice cache shards).
 	Path string `json:"path"`
 	// Workers is the sharded decode's worker count (1 for serial).
 	Workers int `json:"workers"`
+	// Slices is the address-slice count for "sliced" stages (0 otherwise).
+	Slices int `json:"slices,omitempty"`
 	// WallNS is the best-of-reps wall time in nanoseconds.
 	WallNS int64 `json:"wall_ns"`
 	// RefsPerSec is decoded (or decoded-and-simulated) references per
@@ -45,6 +48,13 @@ type ReplayResult struct {
 	// sweep. The first stage of each is the serial baseline.
 	Decode   []ReplayStage `json:"decode"`
 	EndToEnd []ReplayStage `json:"end_to_end"`
+	// Sliced is the address-sliced parallel-simulation sweep: sharded
+	// decode fanning references into per-slice cache hierarchies that
+	// simulate concurrently. It runs on the declassified hierarchy (miss
+	// classification off — the shadow stack is global state slicing
+	// cannot reproduce), so its serial baseline is its own first stage,
+	// not EndToEnd's.
+	Sliced []ReplayStage `json:"sliced,omitempty"`
 }
 
 // replayWorkers is the worker-count sweep the sharded stages run.
@@ -188,5 +198,54 @@ func (c Config) ReplayBench(reps int, prog Progress) (ReplayResult, error) {
 		res.EndToEnd = append(res.EndToEnd, s)
 	}
 	finish(res.EndToEnd)
+
+	// Sliced sweep: parallel simulation, not just parallel decode. The
+	// hierarchy must be declassified (and carries no page table or TLB),
+	// so this sweep has its own serial oracle on the same configuration;
+	// every sliced run is verified bit-identical against it.
+	sliceCfg := m.Caches
+	sliceCfg.L2.Classify = false
+	var sliceOracle cache.Summary
+	prog.printf("replaybench: sliced serial baseline")
+	s, err = stage("serial", 1, reps, func() error {
+		h := cache.MustNewHierarchy(sliceCfg, nil)
+		if err := f.Reader().ForEachBatch(0, func(refs []trace.Ref) error {
+			h.RecordBatch(refs)
+			return nil
+		}); err != nil {
+			return err
+		}
+		sliceOracle = h.Summarize()
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Sliced = append(res.Sliced, s)
+	for _, w := range replayWorkers {
+		if w < 2 {
+			continue // one slice is the serial baseline with extra steps
+		}
+		prog.printf("replaybench: sliced w=%d", w)
+		sh, err := sim.NewShardedHierarchy(sliceCfg, w)
+		if err != nil {
+			return res, fmt.Errorf("replaybench sliced w=%d: %w", w, err)
+		}
+		s, err := stage("sliced", w, reps, func() error {
+			if err := sh.Replay(f, w); err != nil {
+				return err
+			}
+			if got := sh.Summarize(); got != sliceOracle {
+				return fmt.Errorf("sliced replay diverged from serial: %+v vs %+v", got, sliceOracle)
+			}
+			return nil
+		})
+		if err != nil {
+			return res, err
+		}
+		s.Slices = sh.Slices()
+		res.Sliced = append(res.Sliced, s)
+	}
+	finish(res.Sliced)
 	return res, nil
 }

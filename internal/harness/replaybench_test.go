@@ -24,7 +24,24 @@ func TestReplayBenchDifferential(t *testing.T) {
 		t.Fatalf("got %d decode + %d end-to-end stages, want %d each",
 			len(res.Decode), len(res.EndToEnd), want)
 	}
-	for _, sweep := range [][]ReplayStage{res.Decode, res.EndToEnd} {
+	wantSliced := 1
+	for _, w := range replayWorkers {
+		if w >= 2 {
+			wantSliced++
+		}
+	}
+	if len(res.Sliced) != wantSliced {
+		t.Fatalf("got %d sliced stages, want %d", len(res.Sliced), wantSliced)
+	}
+	for i, s := range res.Sliced {
+		if i == 0 {
+			continue // serial baseline
+		}
+		if s.Path != "sliced" || s.Slices < 2 {
+			t.Errorf("sliced stage %d = %+v, want path=sliced with >=2 slices", i, s)
+		}
+	}
+	for _, sweep := range [][]ReplayStage{res.Decode, res.EndToEnd, res.Sliced} {
 		if sweep[0].Path != "serial" || sweep[0].Workers != 1 {
 			t.Errorf("first stage %+v is not the serial baseline", sweep[0])
 		}

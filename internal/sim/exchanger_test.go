@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"testing"
+
+	"threadsched/internal/trace"
+)
+
+// staleExchanger violates the BufferExchanger contract: it swaps two
+// buffers but hands each back at its full stale length instead of
+// re-slicing to zero. Before the drain-path clamp, a CPU feeding such a
+// consumer appended new references after the stale ones, shipping
+// oversized batches that replayed already-consumed records.
+type staleExchanger struct {
+	got   []trace.Ref
+	spare []trace.Ref
+}
+
+func (e *staleExchanger) Record(r trace.Ref)           { e.got = append(e.got, r) }
+func (e *staleExchanger) RecordBatch(refs []trace.Ref) { e.got = append(e.got, refs...) }
+
+func (e *staleExchanger) Exchange(buf []trace.Ref) []trace.Ref {
+	e.got = append(e.got, buf...)
+	out := e.spare
+	e.spare = buf
+	if out == nil {
+		out = make([]trace.Ref, 0, cap(buf))
+	}
+	return out // deliberately NOT out[:0]: stale length preserved
+}
+
+// TestDrainClampsExchangedBuffer: the CPU must not trust the exchanged
+// buffer's length. With a contract-violating exchanger, every reference
+// must still be delivered exactly once, in order.
+func TestDrainClampsExchangedBuffer(t *testing.T) {
+	ex := &staleExchanger{}
+	cpu := NewCPU(ex).Buffer(4)
+	const n = 23 // several drains plus a partial flush
+	for i := 0; i < n; i++ {
+		cpu.Load(uint64(0x1000+8*i), 8)
+	}
+	cpu.Flush()
+	if len(ex.got) != n {
+		t.Fatalf("consumer saw %d refs, want %d (stale buffer lengths resurrected records)", len(ex.got), n)
+	}
+	for i, r := range ex.got {
+		want := trace.Ref{Kind: trace.Load, Addr: uint64(0x1000 + 8*i), Size: 8}
+		if r != want {
+			t.Fatalf("ref %d = %+v, want %+v", i, r, want)
+		}
+	}
+}
+
+// TestExchangeHelperClampsExchangedBuffer: the package-level trace
+// helper applies the same defense.
+func TestExchangeHelperClampsExchangedBuffer(t *testing.T) {
+	ex := &staleExchanger{}
+	buf := []trace.Ref{{Kind: trace.Store, Addr: 0x10, Size: 8}}
+	next := trace.Exchange(ex, buf)
+	if len(next) != 0 {
+		t.Fatalf("Exchange returned a %d-length buffer, want 0", len(next))
+	}
+	next = append(next, trace.Ref{Kind: trace.Load, Addr: 0x20, Size: 8})
+	next = trace.Exchange(ex, next)
+	if len(next) != 0 {
+		t.Fatalf("second Exchange returned a %d-length buffer, want 0", len(next))
+	}
+	if len(ex.got) != 2 {
+		t.Fatalf("consumer saw %d refs, want 2", len(ex.got))
+	}
+}

@@ -107,11 +107,15 @@ func (c *CPU) Flush() {
 
 // drain hands the full buffer to the recorder: a buffer swap when the
 // recorder exchanges (no copy; the CPU refills whichever empty buffer
-// comes back), a RecordBatch otherwise.
+// comes back), a RecordBatch otherwise. The swapped-in buffer's length is
+// clamped to zero here rather than trusted: an exchanger that returns a
+// recycled buffer without re-slicing it would otherwise leave consumed
+// records in place, and the CPU would append after them — emitting
+// oversized batches that replay stale references.
 func (c *CPU) drain() {
 	c.mRefs.Add(c.obsTrack, uint64(len(c.buf)))
 	if c.ex != nil {
-		c.buf = c.ex.Exchange(c.buf)
+		c.buf = c.ex.Exchange(c.buf)[:0]
 		return
 	}
 	trace.RecordBatch(c.rec, c.buf)

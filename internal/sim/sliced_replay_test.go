@@ -1,0 +1,315 @@
+package sim_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"threadsched/internal/apps/matmul"
+	"threadsched/internal/apps/nbody"
+	"threadsched/internal/apps/pde"
+	"threadsched/internal/apps/sor"
+	"threadsched/internal/cache"
+	"threadsched/internal/fault"
+	"threadsched/internal/machine"
+	"threadsched/internal/sim"
+	"threadsched/internal/trace"
+	"threadsched/internal/vm"
+)
+
+// declassifiedScaled is the Scaled(16) R8000 geometry with L2 miss
+// classification cleared: the classification shadow stack is global LRU,
+// which address slicing cannot reproduce, so the sliced path simulates
+// the same hierarchy without the miss breakdown. Its common set-index
+// bits are [7,11) — 16 address classes.
+func declassifiedScaled() cache.HierarchyConfig {
+	cfg := machine.R8000().Scaled(16).Caches
+	cfg.L2.Classify = false
+	return cfg
+}
+
+// encodeKernel runs one traced kernel through the buffered CPU → Writer
+// path and returns the encoded trace image.
+func encodeKernel(t testing.TB, run func(cpu *sim.CPU, as *vm.AddressSpace)) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	cpu := sim.NewCPU(w).Buffer(0)
+	run(cpu, vm.NewAddressSpace())
+	cpu.Flush()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// kernelTraces returns small instances of all four paper kernels, the
+// same workloads the miss tables simulate.
+func kernelTraces(t testing.TB) map[string][]byte {
+	t.Helper()
+	return map[string][]byte{
+		"matmul": encodeKernel(t, func(cpu *sim.CPU, as *vm.AddressSpace) {
+			matmul.NewTraced(cpu, as, 48).Interchanged()
+		}),
+		"pde": encodeKernel(t, func(cpu *sim.CPU, as *vm.AddressSpace) {
+			pde.NewTracedGrid(cpu, as, 65).Regular(2)
+		}),
+		"sor": encodeKernel(t, func(cpu *sim.CPU, as *vm.AddressSpace) {
+			sor.NewTracedArray(cpu, as, 63).Untiled(3)
+		}),
+		"nbody": encodeKernel(t, func(cpu *sim.CPU, as *vm.AddressSpace) {
+			s := nbody.NewSystem(300, 42)
+			nbody.StepUnthreaded(s, nbody.NewTracer(cpu, as, 300))
+		}),
+	}
+}
+
+// serialReplay replays the trace through one hierarchy in file order —
+// the oracle every sliced configuration must match bit-for-bit.
+func serialReplay(t testing.TB, cfg cache.HierarchyConfig, f *trace.MemFile) *cache.Hierarchy {
+	t.Helper()
+	h := cache.MustNewHierarchy(cfg, nil)
+	if err := f.ForEachBatch(1, func(refs []trace.Ref) error {
+		h.RecordBatch(refs)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// requireIdentical fails unless the merged sharded counters equal the
+// serial hierarchy's exactly — per level, per counter, plus the summary
+// rows and the reference tally.
+func requireIdentical(t *testing.T, label string, serial, merged *cache.Hierarchy) {
+	t.Helper()
+	if merged.Refs() != serial.Refs() {
+		t.Errorf("%s: refs = %+v, want %+v", label, merged.Refs(), serial.Refs())
+	}
+	levels := [][2]*cache.Cache{
+		{merged.L1I(), serial.L1I()},
+		{merged.L1D(), serial.L1D()},
+		{merged.L2(), serial.L2()},
+	}
+	for _, pair := range levels {
+		if pair[0].Stats() != pair[1].Stats() {
+			t.Errorf("%s: %s stats = %+v, want %+v",
+				label, pair[0].Config().Name, pair[0].Stats(), pair[1].Stats())
+		}
+	}
+	if merged.Summarize() != serial.Summarize() {
+		t.Errorf("%s: summaries differ", label)
+	}
+}
+
+// TestShardedHierarchyMatchesSerial: the end-to-end differential — all
+// four kernels, every slice and worker count, merged counters
+// bit-identical to the serial replay.
+func TestShardedHierarchyMatchesSerial(t *testing.T) {
+	cfg := declassifiedScaled()
+	for name, data := range kernelTraces(t) {
+		f, err := trace.NewMemFile(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial := serialReplay(t, cfg, f)
+		for _, slices := range []int{2, 3, 4} {
+			for _, workers := range []int{2, 4} {
+				sh, err := sim.NewShardedHierarchy(cfg, slices)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sh.Replay(f, workers); err != nil {
+					t.Fatalf("%s slices=%d workers=%d: %v", name, slices, workers, err)
+				}
+				label := name
+				requireIdentical(t, label, serial, sh.Merged())
+				if sh.Refs() != serial.Refs() {
+					t.Errorf("%s slices=%d: router tally %+v, want %+v", name, slices, sh.Refs(), serial.Refs())
+				}
+			}
+		}
+	}
+}
+
+// TestShardedHierarchyReplayReuse: a second Replay on the same value must
+// clear the first run's state, and Reset empties everything.
+func TestShardedHierarchyReplayReuse(t *testing.T) {
+	cfg := declassifiedScaled()
+	data := kernelTraces(t)["pde"]
+	f, err := trace.NewMemFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := serialReplay(t, cfg, f)
+	sh, err := sim.NewShardedHierarchy(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Replay(f, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Replay(f, 2); err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "second replay", serial, sh.Merged())
+	sh.Reset()
+	if sh.Refs() != (trace.Counts{}) {
+		t.Errorf("after Reset: refs = %+v, want zero", sh.Refs())
+	}
+}
+
+// TestShardedHierarchyCorruptTrace: a damaged chunk surfaces the same
+// typed error the serial reader reports, and no partial statistics
+// survive — all-or-nothing, as the fault-containment contract requires.
+func TestShardedHierarchyCorruptTrace(t *testing.T) {
+	cfg := declassifiedScaled()
+	data := kernelTraces(t)["matmul"]
+	// Flip a bit well past the midpoint so early chunks decode and some
+	// shards consume references before the damage is discovered.
+	data[len(data)-64] ^= 0x10
+	f, err := trace.NewMemFile(data)
+	if err != nil {
+		// Damage caught at index build; rebuild with a payload-only flip.
+		t.Fatalf("index build rejected the image (%v); pick an offset inside a payload", err)
+	}
+	sh, err := sim.NewShardedHierarchy(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sh.Replay(f, 4)
+	if !errors.Is(err, trace.ErrCorrupt) && !errors.Is(err, trace.ErrTruncated) {
+		t.Fatalf("Replay err = %v, want ErrCorrupt or ErrTruncated", err)
+	}
+	if sh.Refs() != (trace.Counts{}) {
+		t.Errorf("partial tally survived the error: %+v", sh.Refs())
+	}
+	for i := 0; i < sh.Slices(); i++ {
+		if s := sh.Shard(i).L1D().Stats(); s != (cache.Stats{}) {
+			t.Errorf("shard %d retained partial stats: %+v", i, s)
+		}
+	}
+}
+
+// TestShardedHierarchyUnsliceable: configurations whose simulation is not
+// address-separable are rejected with the typed error.
+func TestShardedHierarchyUnsliceable(t *testing.T) {
+	cfg := machine.R8000().Scaled(16).Caches // L2.Classify still set
+	if _, err := sim.NewShardedHierarchy(cfg, 2); !errors.Is(err, cache.ErrUnsliceable) {
+		t.Fatalf("err = %v, want cache.ErrUnsliceable", err)
+	}
+}
+
+// TestShardedHierarchySliceClamp: requesting more slices than address
+// classes clamps rather than leaving idle shards.
+func TestShardedHierarchySliceClamp(t *testing.T) {
+	sh, err := sim.NewShardedHierarchy(declassifiedScaled(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Slices() != 16 {
+		t.Fatalf("Slices() = %d, want 16 (the class count)", sh.Slices())
+	}
+}
+
+// TestShardedHierarchyFaultInjection: deterministic decode delays
+// perturb chunk completion and queue timing; merged counters must not
+// move. This test runs in the -race suite.
+func TestShardedHierarchyFaultInjection(t *testing.T) {
+	cfg := declassifiedScaled()
+	data := kernelTraces(t)["sor"]
+	fSerial, err := trace.NewMemFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := serialReplay(t, cfg, fSerial)
+	for _, seed := range []uint64{3, 99} {
+		f, err := trace.NewMemFile(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Inject(fault.New(fault.Config{
+			Seed:  seed,
+			Prob:  map[fault.Site]float64{trace.FaultSiteShardChunk: 0.5},
+			Delay: 100 * time.Microsecond,
+		}))
+		sh, err := sim.NewShardedHierarchy(cfg, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sh.Replay(f, 4); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		requireIdentical(t, "fault injection", serial, sh.Merged())
+	}
+}
+
+// FuzzSliceRouter: differential fuzzing of the whole sliced path —
+// arbitrary reference streams (including spanning and wrapping
+// references) encoded, decoded, routed, and simulated must always merge
+// to the serial counters.
+func FuzzSliceRouter(f *testing.F) {
+	f.Add(uint64(1), uint16(100), uint8(2))
+	f.Add(uint64(42), uint16(1000), uint8(3))
+	f.Add(uint64(7), uint16(5000), uint8(16))
+	cfg := declassifiedScaled()
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16, slices uint8) {
+		if n == 0 {
+			return
+		}
+		s := int(slices)
+		if s < 1 {
+			s = 1
+		}
+		rng := seed | 1
+		refs := make([]trace.Ref, 0, n)
+		for i := 0; i < int(n); i++ {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			r := trace.Ref{
+				Kind: trace.Kind(rng >> 62 % 3),
+				Addr: rng >> 38 % (1 << 16), // tight span: sets collide
+				Size: uint8(rng >> 8),       // 0..255, many spanning refs
+			}
+			if rng%31 == 0 {
+				r.Addr = ^uint64(0) - rng%256 // near-wrap addresses
+			}
+			refs = append(refs, r)
+		}
+		var buf bytes.Buffer
+		w := trace.NewWriter(&buf)
+		for _, r := range refs {
+			w.Record(r)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		mf, err := trace.NewMemFile(buf.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial := cache.MustNewHierarchy(cfg, nil)
+		serial.RecordBatch(refs)
+		sh, err := sim.NewShardedHierarchy(cfg, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sh.Replay(mf, 4); err != nil {
+			t.Fatal(err)
+		}
+		merged := sh.Merged()
+		if merged.Refs() != serial.Refs() {
+			t.Fatalf("refs = %+v, want %+v", merged.Refs(), serial.Refs())
+		}
+		for _, pair := range [][2]*cache.Cache{
+			{merged.L1I(), serial.L1I()},
+			{merged.L1D(), serial.L1D()},
+			{merged.L2(), serial.L2()},
+		} {
+			if pair[0].Stats() != pair[1].Stats() {
+				t.Fatalf("%s stats = %+v, want %+v",
+					pair[0].Config().Name, pair[0].Stats(), pair[1].Stats())
+			}
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package trace
+
+// OpenMemFileMmap is LoadFile with the preload replaced by a read-only
+// memory mapping where the platform supports one: the chunk index is
+// built over the mapped bytes and decode runs straight out of the page
+// cache, so opening a multi-gigabyte trace costs an index scan rather
+// than a copy of the whole file into the heap. On platforms without mmap
+// support it falls back to LoadFile (read-into-memory) transparently —
+// same API, same results, different residency.
+//
+// Call Close on the returned MemFile when done with a mapped trace; a
+// fallback (or LoadFile/NewMemFile) MemFile has a no-op Close. As with
+// NewMemFile, the mapping must not be mutated; it is mapped read-only,
+// so a stray write faults instead of corrupting the decode.
+func OpenMemFileMmap(path string) (*MemFile, error) {
+	data, unmap, err := mmapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if unmap == nil {
+		// No mapping on this platform (or an empty file, which cannot be
+		// mapped): the read-into-memory path is the behaviorally
+		// identical fallback.
+		return LoadFile(path)
+	}
+	f, err := NewMemFile(data)
+	if err != nil {
+		unmap()
+		return nil, err
+	}
+	f.unmap = unmap
+	return f, nil
+}
+
+// Close releases the MemFile's memory mapping, if it has one. It is
+// idempotent and a no-op for MemFiles backed by ordinary memory. The
+// MemFile must not be used after Close.
+func (f *MemFile) Close() error {
+	if f.unmap == nil {
+		return nil
+	}
+	unmap := f.unmap
+	f.unmap = nil
+	f.data = nil
+	f.chunks = nil
+	return unmap()
+}

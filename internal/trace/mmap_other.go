@@ -1,0 +1,9 @@
+//go:build !unix
+
+package trace
+
+// mmapFile on platforms without a usable mmap: always report "no
+// mapping", sending OpenMemFileMmap down the read-into-memory fallback.
+func mmapFile(string) ([]byte, func() error, error) {
+	return nil, nil, nil
+}

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestOpenMemFileMmapDifferential: the mapped MemFile must be
+// indistinguishable from the read-into-memory one — same geometry, same
+// decoded sequence at every worker count.
+func TestOpenMemFileMmapDifferential(t *testing.T) {
+	refs := integrityRefs(3*frameRecs + 57)
+	data := encodeTrace(t, refs)
+	path := filepath.Join(t.TempDir(), "trace.gtrc")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := OpenMemFileMmap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+
+	if mapped.Version() != loaded.Version() || mapped.Chunks() != loaded.Chunks() ||
+		mapped.Records() != loaded.Records() || mapped.Size() != loaded.Size() {
+		t.Fatalf("geometry differs: mapped v%d/%d chunks/%d recs/%d B, loaded v%d/%d/%d/%d",
+			mapped.Version(), mapped.Chunks(), mapped.Records(), mapped.Size(),
+			loaded.Version(), loaded.Chunks(), loaded.Records(), loaded.Size())
+	}
+	for _, workers := range []int{1, 4} {
+		var want, got []Ref
+		if err := loaded.ForEachBatch(workers, func(refs []Ref) error {
+			want = append(want, refs...)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := mapped.ForEachBatch(workers, func(refs []Ref) error {
+			got = append(got, refs...)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: mapped decoded %d records, loaded %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: record %d = %+v, want %+v (mmap decode diverged)",
+					workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMemFileCloseIdempotent: Close releases the mapping once and is a
+// no-op afterwards, and on never-mapped MemFiles.
+func TestMemFileCloseIdempotent(t *testing.T) {
+	data := encodeTrace(t, integrityRefs(frameRecs+5))
+	path := filepath.Join(t.TempDir(), "trace.gtrc")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := OpenMemFileMmap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mapped.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := mapped.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Close(); err != nil {
+		t.Fatalf("Close on heap-backed MemFile: %v", err)
+	}
+}
+
+// TestOpenMemFileMmapErrors: a missing file errors; a damaged header is
+// typed exactly as LoadFile types it.
+func TestOpenMemFileMmapErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenMemFileMmap(filepath.Join(dir, "nope.gtrc")); err == nil {
+		t.Error("missing file: err = nil")
+	}
+	bad := filepath.Join(dir, "bad.gtrc")
+	if err := os.WriteFile(bad, []byte("NOPE\x02garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenMemFileMmap(bad); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: err = %v, want ErrBadMagic", err)
+	}
+	// Empty files cannot be mapped; the fallback must type the failure the
+	// same way LoadFile does.
+	empty := filepath.Join(dir, "empty.gtrc")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, errM := OpenMemFileMmap(empty)
+	_, errL := LoadFile(empty)
+	if !errors.Is(errM, ErrBadMagic) || !errors.Is(errL, ErrBadMagic) {
+		t.Errorf("empty file: mmap err = %v, load err = %v, want ErrBadMagic from both", errM, errL)
+	}
+}

@@ -1,0 +1,37 @@
+//go:build unix
+
+package trace
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only. A nil unmap with a nil error means the
+// file cannot be mapped on this platform or is empty; the caller falls
+// back to reading it into memory.
+func mmapFile(path string) (data []byte, unmap func() error, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, nil, nil // mmap(2) rejects zero-length mappings
+	}
+	if size > math.MaxInt {
+		return nil, nil, fmt.Errorf("trace: %s: %d bytes exceeds the addressable mapping size", path, size)
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: mmap %s: %w", path, err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

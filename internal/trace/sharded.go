@@ -65,6 +65,9 @@ type MemFile struct {
 	total   uint64 // trailer record count (v2)
 	maxCnt  int    // largest chunk record count, sizes decode buffers
 	inj     *fault.Injector
+	// unmap releases a memory mapping backing data (OpenMemFileMmap);
+	// nil for heap-backed images. See Close.
+	unmap func() error
 }
 
 // LoadFile preloads the named trace file and builds its chunk index.

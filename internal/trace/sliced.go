@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Slice-routed consumption. ForEachBatch parallelizes the *decode* but
+// still funnels every reference through one consumer in file order — fine
+// when the consumer is cheap, Amdahl's cap when the consumer is the cache
+// simulation itself. ForEachSliced removes that cap for consumers that
+// partition by address: the caller's scatter function routes each decoded
+// reference to one of S slices, and each slice's references are delivered
+// — in global file order within the slice — to a consumer goroutine of
+// their own over a bounded single-producer single-consumer queue.
+//
+// The serial section shrinks from "simulate every reference" to "route
+// every reference": chunk decode (checksums, varint decoding) fans out
+// across workers exactly as in ForEachBatch, the coordinator applies the
+// prefix-sum base fixup and appends each reference to its slice's current
+// buffer, and the expensive consumption runs on the slice goroutines. One
+// producer (the coordinator) and one consumer per queue keep every
+// hand-off SPSC; full buffers block the coordinator, so a slow slice
+// throttles the whole decode instead of ballooning memory.
+
+// DefaultSliceDepth is the number of in-flight buffers each slice queue
+// holds before the coordinator blocks. Like the pipeline ring, it is
+// small on purpose: backpressure, not buffering, is the contract.
+const DefaultSliceDepth = 4
+
+// SliceConsumerPanicError is the error ForEachSliced reports when a slice
+// consumer panicked. References routed to that slice after the panic are
+// discarded, not delivered.
+type SliceConsumerPanicError struct {
+	// Slice is the slice whose consumer panicked.
+	Slice int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the consumer goroutine's stack, captured at recovery.
+	Stack []byte
+}
+
+// Error describes the panic.
+func (e *SliceConsumerPanicError) Error() string {
+	return fmt.Sprintf("trace: slice %d consumer panicked: %v", e.Slice, e.Value)
+}
+
+// errSliceStop is the internal sentinel the coordinator uses to stop the
+// decode once a consumer has failed; it is never returned to the caller.
+var errSliceStop = fmt.Errorf("trace: slice consumer failed")
+
+// SliceFan is the scatter side of ForEachSliced: the coordinator hands it
+// to the caller's scatter function, which routes references into slices
+// with Emit. A SliceFan is only valid inside the scatter callback and
+// must not be used concurrently or retained.
+type SliceFan struct {
+	slices int
+	batch  int
+	cur    [][]Ref
+	queues []chan []Ref
+	frees  []chan []Ref
+	failed atomic.Bool
+}
+
+func newSliceFan(slices, batch int) *SliceFan {
+	f := &SliceFan{
+		slices: slices,
+		batch:  batch,
+		cur:    make([][]Ref, slices),
+		queues: make([]chan []Ref, slices),
+		frees:  make([]chan []Ref, slices),
+	}
+	for s := 0; s < slices; s++ {
+		f.queues[s] = make(chan []Ref, DefaultSliceDepth)
+		// Capacity bounds the buffers ever minted for the slice (queue
+		// depth + the coordinator's fill buffer + one being consumed), so
+		// a free-list send can never block.
+		f.frees[s] = make(chan []Ref, DefaultSliceDepth+2)
+	}
+	return f
+}
+
+// Slices reports the fan's slice count. Emit accepts 0 <= slice < Slices().
+func (f *SliceFan) Slices() int { return f.slices }
+
+// Emit appends one reference to a slice's current buffer, shipping the
+// buffer to the slice's consumer when full. A full queue blocks — the
+// slice consumers always drain, even after a failure, so the coordinator
+// cannot deadlock against a dead consumer.
+func (f *SliceFan) Emit(slice int, r Ref) {
+	buf := f.cur[slice]
+	if buf == nil {
+		buf = f.next(slice)
+	}
+	buf = append(buf, r)
+	if len(buf) == cap(buf) {
+		f.queues[slice] <- buf
+		buf = nil
+	}
+	f.cur[slice] = buf
+}
+
+// next returns an empty buffer for a slice: recycled when one is free,
+// freshly allocated during warmup. Recycled buffers are re-clamped to
+// zero length here regardless of how they were returned — the same
+// defense the BufferExchanger consumers apply — so a stale length can
+// never resurrect previously consumed records.
+func (f *SliceFan) next(slice int) []Ref {
+	select {
+	case b := <-f.frees[slice]:
+		return b[:0]
+	default:
+		return make([]Ref, 0, f.batch)
+	}
+}
+
+// flush ships every partial buffer and closes the queues; consumers see
+// end-of-stream once they drain what is in flight.
+func (f *SliceFan) flush() {
+	for s := 0; s < f.slices; s++ {
+		if len(f.cur[s]) > 0 {
+			f.queues[s] <- f.cur[s]
+			f.cur[s] = nil
+		}
+		close(f.queues[s])
+	}
+}
+
+// ForEachSliced decodes the whole trace across workers (<=0 selects
+// GOMAXPROCS, as in ForEachBatch) and fans the decoded references out to
+// slices concurrent consumers. For each decoded chunk, in file order,
+// scatter is called on ForEachSliced's calling goroutine with the chunk's
+// references (fully base-fixed, bit-identical to the serial sequence) and
+// routes each one with fan.Emit; consume(slice, refs) then observes every
+// slice's references in exactly the order they were emitted, on one
+// goroutine per slice. Neither callback may retain its refs slice.
+//
+// The caller's routing function decides what a slice means. The intended
+// use is address-sliced cache simulation (see sim.ShardedHierarchy):
+// when every pair of references that can interact maps to the same slice,
+// per-slice consumption in emission order is indistinguishable from
+// serial consumption.
+//
+// Errors: a decode error (typed exactly as the serial Reader types it)
+// stops the fan-out after every chunk before the damaged one has been
+// scattered and wins over any later consumer error; a scatter or consume
+// error stops the decode and is returned as-is; a consume panic is
+// contained and returned as *SliceConsumerPanicError. On any error, some
+// slices may have consumed more recent references than others — callers
+// needing all-or-nothing semantics must discard consumer state on error.
+//
+// Version-1 files and single-worker calls decode serially (the scatter
+// and consume contracts are unchanged); slices must be >= 1, and
+// slices == 1 still runs the single consumer on its own goroutine.
+func (f *MemFile) ForEachSliced(workers, slices int, scatter func(fan *SliceFan, refs []Ref) error, consume func(slice int, refs []Ref) error) error {
+	if slices < 1 {
+		return fmt.Errorf("trace: ForEachSliced: %d slices", slices)
+	}
+	fan := newSliceFan(slices, DefaultChunk)
+	var (
+		wg    sync.WaitGroup
+		cerrs = make([]error, slices)
+	)
+	for s := 0; s < slices; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for buf := range fan.queues[s] {
+				if cerrs[s] == nil {
+					f.consumeSafe(fan, s, buf, consume, cerrs)
+				}
+				// Keep draining after a failure so the coordinator never
+				// blocks; recycle with the length clamped.
+				select {
+				case fan.frees[s] <- buf[:0]:
+				default:
+				}
+			}
+		}(s)
+	}
+
+	err := f.ForEachBatch(workers, func(refs []Ref) error {
+		if fan.failed.Load() {
+			return errSliceStop
+		}
+		return scatter(fan, refs)
+	})
+	fan.flush()
+	wg.Wait()
+
+	if err != nil && err != errSliceStop {
+		return err
+	}
+	for s := 0; s < slices; s++ {
+		if cerrs[s] != nil {
+			return cerrs[s]
+		}
+	}
+	if err == errSliceStop {
+		// A consumer flagged failure but cleared its error slot — cannot
+		// happen (the flag is set only alongside the slot), but never
+		// swallow the sentinel.
+		return errSliceStop
+	}
+	return nil
+}
+
+// consumeSafe delivers one buffer to a slice consumer, containing a panic
+// into the slice's error slot.
+func (f *MemFile) consumeSafe(fan *SliceFan, s int, buf []Ref, consume func(int, []Ref) error, cerrs []error) {
+	defer func() {
+		if r := recover(); r != nil {
+			cerrs[s] = &SliceConsumerPanicError{Slice: s, Value: r, Stack: debug.Stack()}
+			fan.failed.Store(true)
+		}
+	}()
+	if err := consume(s, buf); err != nil {
+		cerrs[s] = err
+		fan.failed.Store(true)
+	}
+}

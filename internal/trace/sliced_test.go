@@ -1,0 +1,279 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// slicedCollect fans data out by a simple address hash and returns the
+// per-slice sequences in delivery order.
+func slicedCollect(t *testing.T, data []byte, workers, slices int) [][]Ref {
+	t.Helper()
+	f, err := NewMemFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	got := make([][]Ref, slices)
+	err = f.ForEachSliced(workers, slices,
+		func(fan *SliceFan, refs []Ref) error {
+			for i := range refs {
+				fan.Emit(int(refs[i].Addr)%fan.Slices(), refs[i])
+			}
+			return nil
+		},
+		func(slice int, refs []Ref) error {
+			mu.Lock()
+			got[slice] = append(got[slice], refs...)
+			mu.Unlock()
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestSlicedDifferential: every slice must observe exactly the references
+// the serial decode routes to it, in global order — across worker and
+// slice counts, with chunk-boundary-straddling delta chains.
+func TestSlicedDifferential(t *testing.T) {
+	refs := integrityRefs(3*frameRecs + 129)
+	data := encodeTrace(t, refs)
+	want, err := decodeAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		for _, slices := range []int{1, 2, 3, 4, 7} {
+			wantSliced := make([][]Ref, slices)
+			for _, r := range want {
+				s := int(r.Addr) % slices
+				wantSliced[s] = append(wantSliced[s], r)
+			}
+			got := slicedCollect(t, data, workers, slices)
+			for s := 0; s < slices; s++ {
+				if len(got[s]) != len(wantSliced[s]) {
+					t.Fatalf("workers=%d slices=%d: slice %d got %d refs, want %d",
+						workers, slices, s, len(got[s]), len(wantSliced[s]))
+				}
+				for i := range wantSliced[s] {
+					if got[s][i] != wantSliced[s][i] {
+						t.Fatalf("workers=%d slices=%d: slice %d ref %d = %+v, want %+v (order or content diverged)",
+							workers, slices, s, i, got[s][i], wantSliced[s][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSlicedBadSliceCount: slices < 1 is rejected up front.
+func TestSlicedBadSliceCount(t *testing.T) {
+	f, err := NewMemFile(encodeTrace(t, integrityRefs(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = f.ForEachSliced(2, 0,
+		func(*SliceFan, []Ref) error { return nil },
+		func(int, []Ref) error { return nil })
+	if err == nil {
+		t.Fatal("ForEachSliced accepted 0 slices")
+	}
+}
+
+// TestSlicedScatterError: an error from the scatter callback stops the
+// decode and is returned as-is.
+func TestSlicedScatterError(t *testing.T) {
+	f, err := NewMemFile(encodeTrace(t, integrityRefs(4*frameRecs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("scatter stop")
+	calls := 0
+	err = f.ForEachSliced(4, 3,
+		func(fan *SliceFan, refs []Ref) error {
+			calls++
+			if calls == 2 {
+				return sentinel
+			}
+			for i := range refs {
+				fan.Emit(0, refs[i])
+			}
+			return nil
+		},
+		func(int, []Ref) error { return nil })
+	if err != sentinel {
+		t.Fatalf("err = %v, want the scatter sentinel", err)
+	}
+}
+
+// TestSlicedConsumeError: a consumer error stops the fan-out and is
+// returned; the coordinator must not deadlock against the failed slice's
+// full queue.
+func TestSlicedConsumeError(t *testing.T) {
+	f, err := NewMemFile(encodeTrace(t, integrityRefs(8*frameRecs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("consume stop")
+	err = f.ForEachSliced(4, 2,
+		func(fan *SliceFan, refs []Ref) error {
+			for i := range refs {
+				// Everything to slice 0: its consumer fails on the first
+				// buffer, and the coordinator keeps shipping until the
+				// failure flag is observed — the drain must absorb it.
+				fan.Emit(0, refs[i])
+			}
+			return nil
+		},
+		func(slice int, refs []Ref) error { return sentinel })
+	if err != sentinel {
+		t.Fatalf("err = %v, want the consumer sentinel", err)
+	}
+}
+
+// TestSlicedConsumerPanic: a panicking consumer is contained and reported
+// as *SliceConsumerPanicError naming the slice.
+func TestSlicedConsumerPanic(t *testing.T) {
+	f, err := NewMemFile(encodeTrace(t, integrityRefs(4*frameRecs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = f.ForEachSliced(2, 3,
+		func(fan *SliceFan, refs []Ref) error {
+			for i := range refs {
+				fan.Emit(1, refs[i])
+			}
+			return nil
+		},
+		func(slice int, refs []Ref) error {
+			panic("consumer exploded")
+		})
+	var pe *SliceConsumerPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *SliceConsumerPanicError", err, err)
+	}
+	if pe.Slice != 1 {
+		t.Errorf("panic attributed to slice %d, want 1", pe.Slice)
+	}
+	if pe.Value != "consumer exploded" {
+		t.Errorf("panic value = %v, want the consumer's", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic stack not captured")
+	}
+}
+
+// TestSlicedDecodeErrorWins: damage in the trace surfaces as the same
+// typed error the serial reader reports, taking precedence over any
+// consumer error triggered by the shutdown.
+func TestSlicedDecodeErrorWins(t *testing.T) {
+	data := encodeTrace(t, integrityRefs(3*frameRecs+7))
+	f, err := NewMemFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of the last chunk: geometry survives, CRC fails.
+	data[f.chunks[len(f.chunks)-1].payload] ^= 0x40
+	f2, err := NewMemFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = f2.ForEachSliced(4, 2,
+		func(fan *SliceFan, refs []Ref) error {
+			for i := range refs {
+				fan.Emit(int(refs[i].Addr)%2, refs[i])
+			}
+			return nil
+		},
+		func(int, []Ref) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestSlicedSingleSlice: slices == 1 degenerates to an ordered hand-off
+// to one consumer goroutine; the full sequence must survive intact.
+func TestSlicedSingleSlice(t *testing.T) {
+	refs := integrityRefs(2*frameRecs + 31)
+	data := encodeTrace(t, refs)
+	got := slicedCollect(t, data, 4, 1)
+	if len(got[0]) != len(refs) {
+		t.Fatalf("delivered %d refs, want %d", len(got[0]), len(refs))
+	}
+	for i := range refs {
+		if got[0][i] != refs[i] {
+			t.Fatalf("ref %d = %+v, want %+v", i, got[0][i], refs[i])
+		}
+	}
+}
+
+// TestSlicedBufferRecycleClamped: a consumer that maliciously re-grows a
+// delivered buffer before it is recycled must not resurrect records —
+// the fan re-clamps recycled buffers. The differential check is the
+// oracle: totals must match exactly.
+func TestSlicedBufferRecycleClamped(t *testing.T) {
+	refs := integrityRefs(6 * frameRecs)
+	data := encodeTrace(t, refs)
+	f, err := NewMemFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total atomic.Int64
+	err = f.ForEachSliced(2, 2,
+		func(fan *SliceFan, refs []Ref) error {
+			for i := range refs {
+				fan.Emit(int(refs[i].Addr)%2, refs[i])
+			}
+			return nil
+		},
+		func(slice int, buf []Ref) error {
+			total.Add(int64(len(buf)))
+			// Re-grow the buffer to full capacity before returning it;
+			// stale records must not reappear in later deliveries.
+			_ = buf[:cap(buf)]
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != int64(len(refs)) {
+		t.Fatalf("consumers saw %d refs, want %d", total.Load(), len(refs))
+	}
+}
+
+// TestSlicedV1Fallback: version-1 files (serial decode, no chunk index)
+// still fan out correctly through the slice queues.
+func TestSlicedV1Fallback(t *testing.T) {
+	refs := integrityRefs(300)
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	buf.WriteByte(1)
+	var last [numKinds]uint64
+	for _, r := range refs {
+		buf.WriteByte(byte(r.Kind))
+		buf.WriteByte(r.Size)
+		var tmp [binary.MaxVarintLen64]byte
+		n := binary.PutVarint(tmp[:], int64(r.Addr-last[r.Kind]))
+		buf.Write(tmp[:n])
+		last[r.Kind] = r.Addr
+	}
+	got := slicedCollect(t, buf.Bytes(), 4, 2)
+	var n int
+	for s := range got {
+		n += len(got[s])
+		for i, r := range got[s] {
+			if int(r.Addr)%2 != s {
+				t.Fatalf("slice %d ref %d misrouted: %+v", s, i, r)
+			}
+		}
+	}
+	if n != len(refs) {
+		t.Fatalf("fan-out delivered %d refs, want %d", n, len(refs))
+	}
+}

@@ -84,10 +84,14 @@ type BufferExchanger interface {
 
 // Exchange delivers buf to rec and returns the buffer the caller should
 // record into next: a swapped buffer when rec implements BufferExchanger,
-// otherwise buf itself (re-sliced empty) after a RecordBatch copy.
+// otherwise buf itself (re-sliced empty) after a RecordBatch copy. The
+// swapped buffer is re-clamped to zero length here rather than trusted:
+// an exchanger that hands back a recycled buffer without re-slicing it
+// would otherwise leave already-consumed records in place for the caller
+// to append after — an oversized batch replaying stale references.
 func Exchange(rec Recorder, buf []Ref) []Ref {
 	if ex, ok := rec.(BufferExchanger); ok {
-		return ex.Exchange(buf)
+		return ex.Exchange(buf)[:0]
 	}
 	RecordBatch(rec, buf)
 	return buf[:0]
