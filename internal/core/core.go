@@ -45,6 +45,12 @@
 //     remaining segment — stolen work is itself a contiguous tour run.
 //     DispatchAtomic restores the legacy one-bin-at-a-time atomic-counter
 //     dispatch as a comparison baseline.
+//   - Topology layers a cache hierarchy over the segmented dispatch: the
+//     tour groups into nested bubbles sized to each cache level (L1 → L2
+//     → LLC), worker clusters sharing a cache walk whole subtrees, and
+//     steals pick victims by cache distance — narrow chunks from cluster
+//     siblings, whole subtrees across the outermost level. See
+//     topology.go, tree.go, and tree_dispatch.go.
 //
 // Run's worker goroutines persist in a pool across Run calls (amortizing
 // spawn cost for keep=true re-runs); Close releases them. The bin tour is
@@ -187,6 +193,24 @@ type Config struct {
 	// value is DispatchSegmented (contiguous weighted tour segments with
 	// chunked stealing).
 	Dispatch Dispatch
+	// StealChunk bounds how many bins one segment claim (or one narrow
+	// hierarchical steal) takes at a time; 0 selects DefaultStealChunk.
+	// Smaller chunks expose more work to thieves, larger ones amortize the
+	// per-claim atomic over longer contiguous runs.
+	StealChunk int
+	// Topology describes the cache hierarchy for hierarchical scheduling
+	// (innermost level first; see Topology and ParseTopology). Nil — the
+	// default — keeps the flat single-level dispatch. A non-nil topology
+	// routes parallel runs through the bin tree: tour bins group into
+	// nested bubbles sized to each cache level, initial worker segments
+	// cut along subtree boundaries, and steals pick victims by cache
+	// distance with a per-level width policy. A 1-level topology is the
+	// flat dispatch expressed through the tree and behaves identically.
+	Topology *Topology
+	// CriticalPathFirst orders DepScheduler frontiers by longest remaining
+	// dependence path (precomputed once per DAG) so chains drain before
+	// leaves. False — the default — keeps the original fork/ID order.
+	CriticalPathFirst bool
 	// ParallelFork shards the fork-side state into lock stripes so Fork
 	// may be called from many goroutines concurrently (see the package
 	// doc's thread-safety contract). The serial fork path is unchanged
@@ -220,6 +244,11 @@ func defaultForkShards() int {
 // DefaultCacheSize is used when a Config specifies no cache size; it is
 // the R8000's 2 MB second-level cache, the paper's primary machine.
 const DefaultCacheSize = 2 << 20
+
+// DefaultStealChunk is the default bound on bins claimed per segment
+// take; small enough that a nearly-drained segment still exposes work to
+// thieves, large enough to amortize the claim's CAS.
+const DefaultStealChunk = 16
 
 // DefaultBlockSize returns the default per-dimension block size for a
 // cache of the given size scheduled over dims dimensions: the largest

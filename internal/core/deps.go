@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -34,12 +35,32 @@ import (
 // dependence edges cover every conflicting access, which is exactly what
 // the wavefront variants (sor.ThreadedExact, pde.ThreadedExact) encode.
 // Fork remains single-goroutine either way.
+//
+// Config.CriticalPathFirst additionally orders execution by downstream
+// slack: each thread's longest remaining dependence path is computed once
+// per DAG, the serial executor visits bins holding the tallest chains
+// first each round, and the wave executor drains each frontier
+// tallest-first — so chains retire ahead of leaves and late waves are
+// less likely to serialize on one straggler chain. Config.Topology
+// routes the wave partition through the same hierarchical bin tree the
+// parallel Scheduler uses (see tree.go).
 type DepScheduler struct {
 	sched *Scheduler // reuses binning via an internal fork of metadata
 
 	blockShift uint
 	fold       bool
 	workers    int
+
+	// topo and binBytes route parallel waves through the hierarchical bin
+	// tree when Config.Topology is set; nil keeps the flat wave partition.
+	topo     *Topology
+	binBytes uint64
+
+	// critical enables Config.CriticalPathFirst: heights[id] is the
+	// longest dependence path below thread id (its downstream slack),
+	// computed once per DAG, and frontiers drain tallest-first.
+	critical bool
+	heights  []int32
 
 	// met records the wavefront metrics (dep.waves, dep.frontier,
 	// dep.wave_ns); disabled when the Config carried no Obs.
@@ -163,6 +184,9 @@ func NewDep(cfg Config) *DepScheduler {
 		blockShift: s.blockShift,
 		fold:       cfg.FoldSymmetric,
 		workers:    cfg.Workers,
+		topo:       s.cfg.Topology,
+		binBytes:   s.binFootprint(),
+		critical:   cfg.CriticalPathFirst,
 		met:        newDepObs(cfg.Obs),
 		binIdx:     make(map[binKey]int),
 	}
@@ -275,17 +299,25 @@ func (d *DepScheduler) RunContext(ctx context.Context) error {
 	}
 	d.sched.running.Store(true)
 	defer d.sched.running.Store(false)
+	if d.critical {
+		d.computeHeights()
+	}
 	if d.workers > 1 {
 		return d.runWaves(ctx)
 	}
+	binOrder := d.serialBinOrder()
 	remaining := d.pending
 	for remaining > 0 {
 		ranThisRound := 0
-		for bi, b := range d.bins {
+		for i := range d.bins {
+			bi := i
+			if binOrder != nil {
+				bi = binOrder[i]
+			}
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			ran, perr := d.drainBin(b, bi)
+			ran, perr := d.drainBin(d.bins[bi], bi)
 			ranThisRound += ran
 			if perr != nil {
 				return perr
@@ -350,6 +382,14 @@ func (d *DepScheduler) runWaves(ctx context.Context) error {
 				d.frontier = append(d.frontier, id)
 			}
 			if n := len(d.frontier) - start; n > 0 {
+				if d.critical && n > 1 {
+					// Tallest chains first within the bin; stable so ties
+					// keep forked order.
+					slot := d.frontier[start:]
+					sort.SliceStable(slot, func(a, b int) bool {
+						return d.heights[slot[a]] > d.heights[slot[b]]
+					})
+				}
 				spans = append(spans, waveSpan{start: start, end: len(d.frontier), bin: bi})
 				weights = append(weights, n)
 				total += n
@@ -357,6 +397,12 @@ func (d *DepScheduler) runWaves(ctx context.Context) error {
 		}
 		if total == 0 {
 			return d.cycleError()
+		}
+		if d.critical && len(spans) > 1 {
+			// Bins carrying the tallest remaining chains drain first. This
+			// trades some tour adjacency for chain progress, which is the
+			// point of CriticalPathFirst; stable keeps tour order on ties.
+			sort.Stable(&spanHeightSort{spans: spans, weights: weights, d: d})
 		}
 		d.met.waves.Inc(0)
 		d.met.frontier.Observe(0, uint64(total))
@@ -391,21 +437,26 @@ func (d *DepScheduler) runWaves(ctx context.Context) error {
 }
 
 // executeWave runs the collected frontier on the worker pool, one
-// contiguous run of bins per worker. Workers slice the shared frontier
-// buffer read-only through their spans and check the shared runControl
-// between bins, so a panic on one worker (recovered into the control) or
-// an expired ctx halts the wave at bin granularity; fanOut's barrier then
-// guarantees quiescence before runWaves inspects the control.
+// contiguous run of bins per worker. With a Topology the cut follows the
+// hierarchical bin tree over the wave's spans (topoAssign), so worker
+// clusters sharing a cache take adjacent runs of frontier bins, exactly
+// as the parallel Scheduler tour does; otherwise it is the flat weighted
+// partition. Workers slice the shared frontier buffer read-only through
+// their spans and check the shared runControl between bins, so a panic on
+// one worker (recovered into the control) or an expired ctx halts the
+// wave at bin granularity; fanOut's barrier then guarantees quiescence
+// before runWaves inspects the control.
 func (d *DepScheduler) executeWave(spans []waveSpan, weights []int, ctrl *runControl) {
-	starts := PartitionWeights(weights, d.workers)
-	d.sched.fanOut(len(starts), "wave", func(self int) {
+	var asn []segRange
+	if d.topo != nil {
+		asn = topoAssign(weights, d.workers, buildBinTree(len(spans), d.binBytes, d.topo))
+	} else {
+		asn = startsToRanges(PartitionWeights(weights, d.workers), len(spans))
+	}
+	d.sched.fanOut(len(asn), "wave", func(self int) {
 		sp := d.sched.met.span(self, "wave")
 		defer sp.End()
-		hi := len(spans)
-		if self+1 < len(starts) {
-			hi = starts[self+1]
-		}
-		for si := starts[self]; si < hi; si++ {
+		for si := asn[self].lo; si < asn[self].hi; si++ {
 			if ctrl.halted() {
 				return
 			}
@@ -416,6 +467,76 @@ func (d *DepScheduler) executeWave(spans []waveSpan, weights []int, ctrl *runCon
 			}
 		}
 	})
+}
+
+// spanHeightSort co-sorts a wave's spans and weights by each span's
+// tallest thread height, descending. The spans' frontier slices were
+// already sorted tallest-first, so frontier[start] carries the maximum.
+type spanHeightSort struct {
+	spans   []waveSpan
+	weights []int
+	d       *DepScheduler
+}
+
+func (s *spanHeightSort) Len() int { return len(s.spans) }
+
+func (s *spanHeightSort) Less(i, j int) bool {
+	return s.d.heights[s.d.frontier[s.spans[i].start]] > s.d.heights[s.d.frontier[s.spans[j].start]]
+}
+
+func (s *spanHeightSort) Swap(i, j int) {
+	s.spans[i], s.spans[j] = s.spans[j], s.spans[i]
+	s.weights[i], s.weights[j] = s.weights[j], s.weights[i]
+}
+
+// computeHeights fills heights[id] with the longest dependence path from
+// thread id down through its dependents — the amount of serial work its
+// completion unblocks. Dependence edges only point from lower to higher
+// IDs (a dependence must name an already-forked thread), so one
+// descending-ID pass settles every height.
+func (d *DepScheduler) computeHeights() {
+	n := len(d.threads)
+	if cap(d.heights) < n {
+		d.heights = make([]int32, n)
+	} else {
+		d.heights = d.heights[:n]
+		for i := range d.heights {
+			d.heights[i] = 0
+		}
+	}
+	for id := n - 1; id >= 0; id-- {
+		h := int32(0)
+		for _, dep := range d.threads[id].dependents {
+			if hh := d.heights[dep] + 1; hh > h {
+				h = hh
+			}
+		}
+		d.heights[id] = h
+	}
+}
+
+// serialBinOrder is the bin visit order for the serial executor: nil (the
+// identity, allocation order) normally; under CriticalPathFirst, bins
+// sorted by their tallest thread's height descending, so every round of
+// the scan reaches the bins holding the longest remaining chains first.
+func (d *DepScheduler) serialBinOrder() []int {
+	if !d.critical {
+		return nil
+	}
+	maxH := make([]int32, len(d.bins))
+	for bi, b := range d.bins {
+		for _, id := range b.queue {
+			if h := d.heights[id]; h > maxH[bi] {
+				maxH[bi] = h
+			}
+		}
+	}
+	order := make([]int, len(d.bins))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return maxH[order[a]] > maxH[order[b]] })
+	return order
 }
 
 // runWaveBin executes one wave bin's threads, recovering a thread panic

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestGuardTreeThroughput is the regression tripwire for hierarchical
+// dispatch: on the same skewed workload, routing a parallel run through
+// the bin tree (topology-aware segments plus per-level stealing) must not
+// fall below the flat segmented dispatcher. The tree exists to *add*
+// locality on hierarchical machines; if its bookkeeping ever costs more
+// than it recovers, this guard fails the build loudly instead of the
+// regression surfacing months later in a benchmark record.
+//
+// It measures real throughput, so it is opt-in: set GUARD_TREE=1 (make
+// guard-tree) on a quiet multicore host; it skips on a single CPU where
+// parallel dispatch cannot express the difference. Best-of-3 with a 5%
+// allowance absorbs scheduler noise, as in the other guards.
+func TestGuardTreeThroughput(t *testing.T) {
+	if os.Getenv("GUARD_TREE") == "" {
+		t.Skip("set GUARD_TREE=1 to run the tree-vs-flat dispatch throughput guard")
+	}
+	if runtime.NumCPU() < 2 {
+		t.Skipf("host has %d CPU; parallel dispatch needs at least 2", runtime.NumCPU())
+	}
+	workers := runtime.NumCPU()
+	if workers > 16 {
+		workers = 16
+	}
+	topo, err := ParseTopology(fmt.Sprintf("64k:2,8m:%d", workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200_000
+	data := make([]int64, 1<<16) // read-shared by all threads
+	sink := make([]int64, n)     // one disjoint write slot per thread
+	measure := func(topo *Topology) float64 {
+		best := 0.0
+		for rep := 0; rep < 3; rep++ {
+			s := New(Config{CacheSize: 2 << 20, BlockSize: 1 << 14, Workers: workers, Topology: topo})
+			for i := 0; i < n; i++ {
+				s.Fork(func(a1, _ int) {
+					// A cache-touching body so dispatch cost is measured
+					// against real work, not an empty function call.
+					base := (a1 * 61) & (len(data) - 64)
+					sum := int64(0)
+					for j := 0; j < 64; j++ {
+						sum += data[base+j]
+					}
+					sink[a1] = sum
+				}, i, 0, uint64(i%(8+i%29))<<14, 0, 0)
+			}
+			start := time.Now()
+			s.Run(false)
+			elapsed := time.Since(start)
+			s.Close()
+			if rate := float64(n) / elapsed.Seconds(); rate > best {
+				best = rate
+			}
+		}
+		return best
+	}
+	measure(nil) // warm the page cache and branch predictors off the record
+	flat := measure(nil)
+	tree := measure(topo)
+	ratio := tree / flat
+	t.Logf("flat %12.0f threads/sec, tree(%s) %12.0f threads/sec (%.2fx)", flat, topo, tree, ratio)
+	if ratio < 0.95 {
+		t.Errorf("hierarchical dispatch runs at %.2fx of flat (%.0f vs %.0f threads/sec): tree bookkeeping has regressed",
+			ratio, tree, flat)
+	}
+}

@@ -92,18 +92,16 @@ func (g *binSegment) next() (int, bool) {
 	}
 }
 
-// maxTake bounds a single chunked claim. Small enough that work exposed
-// to thieves shrinks in fine steps near the end of a run, large enough
-// that a long segment costs one CAS per sixteen bins instead of one each.
-const maxTake = 16
-
 // take claims a contiguous run of the segment's lowest unclaimed indexes:
-// an eighth of the remainder, at least one, at most maxTake. Batching the
-// claim cuts dispatch to one atomic per chunk of bins while leaving the
-// bulk of the segment in the shared word where stealHalf can still get at
-// it — claimed bins are the owner's, exactly as if next() had claimed
-// them one by one.
-func (g *binSegment) take() (lo, hi int, ok bool) {
+// an eighth of the remainder, at least one, at most chunk (the
+// Config.StealChunk knob, or the owning level's override under a
+// hierarchical topology). Batching the claim cuts dispatch to one atomic
+// per chunk of bins while leaving the bulk of the segment in the shared
+// word where stealHalf can still get at it — claimed bins are the
+// owner's, exactly as if next() had claimed them one by one. A small
+// chunk keeps the work exposed to thieves shrinking in fine steps near
+// the end of a run; a large one amortizes the CAS over longer runs.
+func (g *binSegment) take(chunk int) (lo, hi int, ok bool) {
 	for {
 		v := g.bounds.Load()
 		l, h := unpackRange(v)
@@ -111,8 +109,8 @@ func (g *binSegment) take() (lo, hi int, ok bool) {
 			return 0, 0, false
 		}
 		n := (h - l + 7) / 8
-		if n > maxTake {
-			n = maxTake
+		if n > chunk {
+			n = chunk
 		}
 		if g.bounds.CompareAndSwap(v, packRange(l+n, h)) {
 			return l, l + n, true
@@ -133,15 +131,30 @@ func (g *binSegment) remaining() int {
 // leaving the lower half (at least one index) to the owner so the owner
 // keeps advancing through adjacent bins.
 func (g *binSegment) stealHalf() (lo, hi int, ok bool) {
+	return g.detachUpper(func(l, h int) int { return l + (h-l+1)/2 })
+}
+
+// detachUpper atomically detaches the upper part [cut, hi) of the
+// segment's remaining range, where cut = compute(lo, hi) clamped so the
+// owner keeps at least one index and the thief gets at least one. The
+// hierarchical steal policies are all instances of this: a narrow steal
+// computes hi-chunk, a wide steal computes the nearest subtree boundary.
+func (g *binSegment) detachUpper(compute func(lo, hi int) int) (lo, hi int, ok bool) {
 	for {
 		v := g.bounds.Load()
 		l, h := unpackRange(v)
 		if h-l <= 1 {
 			return 0, 0, false
 		}
-		mid := l + (h-l+1)/2
-		if g.bounds.CompareAndSwap(v, packRange(l, mid)) {
-			return mid, h, true
+		cut := compute(l, h)
+		if cut <= l {
+			cut = l + 1
+		}
+		if cut >= h {
+			cut = h - 1
+		}
+		if g.bounds.CompareAndSwap(v, packRange(l, cut)) {
+			return cut, h, true
 		}
 	}
 }
@@ -158,9 +171,15 @@ func (s *Scheduler) runParallel(ctx context.Context, order []*bin) error {
 		workers = len(order)
 	}
 	ctrl := newRunControl(ctx)
-	if s.cfg.Dispatch == DispatchAtomic {
+	switch {
+	case s.cfg.Dispatch == DispatchAtomic:
 		s.runAtomic(order, workers, ctrl)
-	} else {
+	case s.cfg.Topology != nil:
+		// Hierarchical dispatch: tree-aligned segments with per-level
+		// stealing. A 1-level topology reproduces the flat segmented
+		// dispatch exactly (see tree.go and tree_dispatch.go).
+		s.runTree(order, workers, ctrl)
+	default:
 		s.runSegmented(order, workers, ctrl)
 	}
 	return ctrl.err()
@@ -185,13 +204,14 @@ func (s *Scheduler) runSegmented(order []*bin, workers int, ctrl *runControl) {
 		}
 		segs[i].bounds.Store(packRange(starts[i], hi))
 	}
+	chunk := s.cfg.StealChunk
 	s.fanOut(len(segs), "run", func(self int) {
 		for {
 			start := s.met.now()
 			sp := s.met.span(self, "drain")
 			bins, threads := 0, 0
 			for !ctrl.halted() {
-				lo, hi, ok := segs[self].take()
+				lo, hi, ok := segs[self].take(chunk)
 				if !ok {
 					break
 				}

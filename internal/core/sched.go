@@ -120,7 +120,10 @@ func New(cfg Config) *Scheduler {
 	if cfg.GroupSize <= 0 {
 		cfg.GroupSize = DefaultGroupSize
 	}
-	s := &Scheduler{cfg: cfg, met: newSchedObs(cfg.Obs)}
+	if cfg.StealChunk <= 0 {
+		cfg.StealChunk = DefaultStealChunk
+	}
+	s := &Scheduler{cfg: cfg, met: newSchedObs(cfg.Obs, cfg.Topology)}
 	s.Init(cfg.BlockSize, uint64(cfg.HashDim))
 	return s
 }
@@ -182,6 +185,10 @@ func (s *Scheduler) HashDim() int { return s.hashDim }
 // Workers returns the configured parallel-run worker count; values below
 // two mean Run executes serially on the calling goroutine.
 func (s *Scheduler) Workers() int { return s.cfg.Workers }
+
+// Topology returns the cache topology parallel runs schedule against;
+// nil means flat single-level dispatch.
+func (s *Scheduler) Topology() *Topology { return s.cfg.Topology }
 
 // ConcurrentFork reports whether the scheduler was built with
 // Config.ParallelFork, i.e. whether Fork may be called from multiple

@@ -1,0 +1,162 @@
+package core
+
+// Hierarchical parallel dispatch. The flat segmented dispatcher cuts the
+// bin tour into one contiguous segment per worker and rebalances by
+// halving the largest remaining segment — a single-level policy. With a
+// multi-level Config.Topology, the tour is first grouped into the bin
+// tree (tree.go): initial segments are cut along subtree boundaries so
+// every worker cluster sharing a cache walks whole bubbles, and an idle
+// worker steals by tree distance — nearest victims first, with a width
+// policy per level:
+//
+//   - innermost level (victim shares the thief's L1 cluster): steal
+//     narrow — a chunk of at most the level's StealChunk bins off the
+//     victim's tail, so siblings fine-tune load without evicting each
+//     other's bubbles;
+//   - middle levels: steal half the victim's remainder, the flat policy;
+//   - outermost level (victim shares only the last-level cache): steal
+//     wide — the upper part of the victim's range cut at the nearest
+//     subtree boundary of the level below, so the stolen work is a run
+//     of whole bubbles the thief's own cluster can then share.
+//
+// Splitting is lazy, as in BubbleSched: a stolen range larger than the
+// thief's innermost capacity is not re-partitioned at steal time — the
+// thief starts draining it front-to-back and its idle cluster siblings
+// carve their own chunks off the tail through the same per-level policy.
+//
+// A 1-level topology degenerates to the flat dispatcher exactly: the
+// initial cut is PartitionWeights over individual bins and every steal
+// is a half-steal from the largest victim (stealTree's top==0 case),
+// which is stealInto verbatim.
+
+// runTree executes bins across workers under a hierarchical topology.
+// Containment and cancellation follow runSegmented: every worker checks
+// the shared runControl once per bin.
+func (s *Scheduler) runTree(order []*bin, workers int, ctrl *runControl) {
+	topo := s.cfg.Topology
+	weights := make([]int, len(order))
+	for i, b := range order {
+		weights[i] = b.threads
+	}
+	tree := buildBinTree(len(order), s.binFootprint(), topo)
+	s.met.treeShape(tree)
+	asn := topoAssign(weights, workers, tree)
+	segs := make([]binSegment, len(asn))
+	for i, r := range asn {
+		segs[i].bounds.Store(packRange(r.lo, r.hi))
+	}
+	takeChunk := topo.stealChunkAt(0, s.cfg.StealChunk)
+	s.fanOut(len(segs), "run", func(self int) {
+		prov := -1 // provenance of the current segment: -1 home, else steal level
+		for {
+			start := s.met.now()
+			sp := s.met.span(self, "drain")
+			bins, threads := 0, 0
+			for !ctrl.halted() {
+				lo, hi, ok := segs[self].take(takeChunk)
+				if !ok {
+					break
+				}
+				for i := lo; i < hi && !ctrl.halted(); i++ {
+					n, perr := s.runBinContained(order[i], i, self, "run")
+					threads += n
+					bins++
+					if perr != nil {
+						ctrl.record(perr)
+						break
+					}
+				}
+			}
+			s.met.threadsRun.Add(self, uint64(threads))
+			s.met.treeDrain(self, prov, bins)
+			s.met.drainDone(self, start, bins, sp)
+			if ctrl.halted() {
+				return
+			}
+			lvl, stolen, ok := s.stealTree(segs, self, workers, tree)
+			if !ok {
+				return
+			}
+			prov = lvl
+			s.met.treeSteal(self, lvl, stolen)
+		}
+	})
+}
+
+// stealTree refills segs[self] (which the caller has drained) from the
+// nearest level that still has work: for each level from the innermost
+// out, the victim is the worker with the most remaining bins among those
+// whose closest shared cache with the thief is that level, and the steal
+// width follows the level policy described in the package comment. Like
+// stealInto, only a slot's owner refills it, so "no victim with more
+// than one bin left at any level" is a safe exit condition.
+func (s *Scheduler) stealTree(segs []binSegment, self, workers int, tree *binTree) (level, bins int, ok bool) {
+	topo := s.cfg.Topology
+	top := topo.Levels() - 1
+	for l := 0; l <= top; l++ {
+		for {
+			victim, best := -1, 1
+			for v := range segs {
+				if v == self || topo.sharedLevel(self, v, workers) != l {
+					continue
+				}
+				if r := segs[v].remaining(); r > best {
+					victim, best = v, r
+				}
+			}
+			if victim < 0 {
+				break // no work at this level; look one level out
+			}
+			var lo, hi int
+			var got bool
+			switch {
+			case top == 0:
+				// Flat degenerate case: the half-steal the linear
+				// dispatcher always performed.
+				lo, hi, got = segs[victim].stealHalf()
+			case l == 0:
+				chunk := topo.stealChunkAt(0, s.cfg.StealChunk)
+				lo, hi, got = segs[victim].detachUpper(func(vlo, vhi int) int {
+					n := (vhi - vlo) / 2
+					if n > chunk {
+						n = chunk
+					}
+					if n < 1 {
+						n = 1
+					}
+					return vhi - n
+				})
+			case l == top:
+				lo, hi, got = segs[victim].detachUpper(func(vlo, vhi int) int {
+					return tree.alignSteal(l-1, vlo, vhi)
+				})
+			default:
+				lo, hi, got = segs[victim].stealHalf()
+			}
+			if got {
+				segs[self].bounds.Store(packRange(lo, hi))
+				return l, hi - lo, true
+			}
+			// Lost the race to the victim's own progress; rescan the level.
+		}
+	}
+	return 0, 0, false
+}
+
+// binFootprint estimates one bin's data footprint: the block volume its
+// hints span — per-dimension block size times hint dimensions — which is
+// what the bin tree measures level capacities against.
+func (s *Scheduler) binFootprint() uint64 {
+	b := s.cfg.BlockSize
+	d := uint64(s.cfg.Dims)
+	if d == 0 {
+		d = MaxHints
+	}
+	if b == 0 {
+		return 1
+	}
+	if b > ^uint64(0)/d {
+		return ^uint64(0)
+	}
+	return b * d
+}

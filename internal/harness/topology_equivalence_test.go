@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"threadsched/internal/core"
+)
+
+// TestGoldenEquivalenceTopology extends the equivalence contract to
+// hierarchical scheduling: a Config carrying a 1-level topology (the
+// degenerate case of the bin tree) must reproduce the flat simulation
+// results bit for bit — stats for every app, and a byte-identical
+// rendered table — because the 1-level tree partition is defined to be
+// the flat partition. A multi-level topology must also change nothing
+// here: these simulated runs are single-worker, so dispatch never forks,
+// and the tour itself is topology-independent.
+func TestGoldenEquivalenceTopology(t *testing.T) {
+	oneLevel, err := core.ParseTopology("2m:64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := core.ParseTopology("32k:2,256k:8,2m:32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range eqApps() {
+		app := app
+		t.Run(app.name, func(t *testing.T) {
+			t.Parallel()
+			flat := eqConfig()
+			flat.Mode = ModeSerial
+			want := app.run(flat)
+			if want.Summary.L2.Misses == 0 {
+				t.Fatalf("degenerate golden baseline: %+v", want.Summary.L2)
+			}
+			for _, topo := range []*core.Topology{oneLevel, multi} {
+				c := eqConfig()
+				c.Mode = ModeSerial
+				c.Topology = topo
+				requireSameResult(t, "topology="+topo.String(), want, app.run(c))
+			}
+		})
+	}
+}
+
+// TestGoldenEquivalenceTopologyTable pins the end-to-end render: Table 7
+// under a 1-level topology is byte-identical to the flat render.
+func TestGoldenEquivalenceTopologyTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the SOR miss-table simulations twice")
+	}
+	flat := eqConfig()
+	flat.Mode = ModeSerial
+	want := flat.Table7(nil).String()
+	if !strings.Contains(want, "L2") {
+		t.Fatalf("degenerate golden table render:\n%s", want)
+	}
+	topo, err := core.ParseTopology("2m:64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := eqConfig()
+	c.Mode = ModeSerial
+	c.Topology = topo
+	if got := c.Table7(nil).String(); got != want {
+		t.Errorf("1-level topology render diverges from flat:\n--- flat ---\n%s\n--- topology ---\n%s", want, got)
+	}
+}

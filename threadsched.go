@@ -56,7 +56,23 @@ type (
 	RunStats = core.RunStats
 	// Dispatch selects how a parallel Run hands bins to workers.
 	Dispatch = core.Dispatch
+	// Topology describes a cache hierarchy for hierarchical scheduling
+	// (Config.Topology); nil keeps the flat single-level dispatch.
+	Topology = core.Topology
+	// TopoLevel is one cache level of a Topology, innermost first.
+	TopoLevel = core.TopoLevel
 )
+
+// NewTopology validates cache levels (innermost first) and builds a
+// Topology for Config.Topology.
+func NewTopology(levels ...TopoLevel) (*Topology, error) {
+	return core.NewTopology(levels...)
+}
+
+// ParseTopology parses a "32k:2,256k:8,8m:64"-style topology spec
+// (capacity:workers[:stealchunk] per level, innermost first); "" and
+// "flat" yield nil, the flat dispatch.
+func ParseTopology(spec string) (*Topology, error) { return core.ParseTopology(spec) }
 
 // Tour orders for Config.Tour.
 const (
