@@ -3,9 +3,13 @@
 #   make check   — the full tier-1 gate: build, vet, tests, and the race
 #                  suites (core concurrency + trace pipeline + golden
 #                  equivalence of the batched/parallel simulation paths)
+#   make serve-smoke — end-to-end daemon smoke: boot cmd/tracesimd, push
+#                  jobs through it with cmd/loadgen, require every one to
+#                  complete, then drain it with SIGTERM
 #   make fuzz-smoke — short bursts of the trace-format fuzzers (reader
 #                  robustness + chunk/trailer integrity oracle + sharded
 #                  decode differential + sliced-simulation differential)
+#                  plus the daemon's request-decode fuzzer
 #   make guard-pipeline — the opt-in throughput tripwire: fails if the
 #                  batched or pipelined reference-stream path falls below
 #                  the serial path
@@ -35,9 +39,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race fuzz-smoke guard-pipeline guard-replay guard-tree bench bench-core bench-sim bench-apps bench-replay json timeline
+.PHONY: check build vet test race serve-smoke fuzz-smoke guard-pipeline guard-replay guard-tree bench bench-core bench-sim bench-apps bench-replay json timeline
 
-check: build vet test race
+check: build vet test race serve-smoke
 
 build:
 	$(GO) build ./...
@@ -49,9 +53,9 @@ test:
 	$(GO) test -timeout 10m ./...
 
 race:
-	$(GO) test -race -timeout 10m ./internal/core/... ./internal/trace/... ./internal/obs/... ./internal/fault/... ./internal/sim/...
+	$(GO) test -race -timeout 10m ./internal/core/... ./internal/trace/... ./internal/obs/... ./internal/fault/... ./internal/sim/... ./internal/server/...
 	$(GO) test -race -timeout 10m -run 'Parallel|Exact|Threaded' ./internal/apps/...
-	$(GO) test -race -timeout 10m -run 'TestGoldenEquivalence|TestRunJobs|TestReplayBench' ./internal/harness/
+	$(GO) test -race -timeout 10m -run 'TestGoldenEquivalence|TestRunJobs|TestReplayBench|TestRunJob|TestConfigReuse|TestPipelinedJob' ./internal/harness/
 
 # Short deterministic-corpus + 10s random bursts of the trace fuzzers;
 # enough to catch format regressions without a dedicated fuzz farm.
@@ -60,6 +64,21 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzChunkTrailer -fuzztime 10s ./internal/trace/
 	$(GO) test -run '^$$' -fuzz FuzzShardedDecode -fuzztime 10s ./internal/trace/
 	$(GO) test -run '^$$' -fuzz FuzzSliceRouter -fuzztime 10s ./internal/sim/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeRequest -fuzztime 10s ./internal/server/
+
+# End-to-end daemon smoke: boot the daemon on a local port, complete a
+# small batch of jobs through the HTTP API under concurrency, then drain
+# with SIGTERM. Part of `make check`, so kept small and quick.
+SMOKE_ADDR ?= 127.0.0.1:18080
+serve-smoke:
+	@mkdir -p bin
+	$(GO) build -o bin/tracesimd ./cmd/tracesimd
+	$(GO) build -o bin/loadgen ./cmd/loadgen
+	@./bin/tracesimd -addr $(SMOKE_ADDR) -workers 2 -queue 64 & pid=$$!; \
+	sleep 1; \
+	./bin/loadgen -addr http://$(SMOKE_ADDR) -jobs 40 -concurrency 8 -min-completions 40 \
+		|| { kill $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid; wait $$pid
 
 # Opt-in perf regression guard (real throughput measurement, so not part
 # of the default test run): the batched and pipelined paths must not fall

@@ -1,0 +1,179 @@
+// Command loadgen drives a running tracesimd daemon with concurrent
+// job submissions and reports the latency distribution, so the serving
+// stack's admission control and backpressure can be measured rather
+// than guessed at:
+//
+//	tracesimd -addr :8080 &
+//	loadgen -addr http://127.0.0.1:8080 -jobs 1000 -concurrency 64
+//
+// Each worker loops: submit one job, block on /wait until it goes
+// terminal, record the submit-to-terminal latency. 429 responses are
+// counted and retried after the server's Retry-After hint — they are
+// backpressure working, not errors. The run fails (exit 1) if fewer
+// than -min-completions jobs finish in state "done".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type status struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error"`
+}
+
+type counters struct {
+	done, failed, cancelled, rejected, errors atomic.Uint64
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+		jobs        = flag.Int("jobs", 1000, "total jobs to complete or reject")
+		concurrency = flag.Int("concurrency", 64, "concurrent submitters")
+		kind        = flag.String("kind", "matmul", "job kind")
+		variant     = flag.String("variant", "threaded", "job variant")
+		size        = flag.String("size", "", "job size override (quick/scaled)")
+		tenants     = flag.Int("tenants", 4, "distinct tenant names to submit under")
+		waitMS      = flag.Int("wait-ms", 60000, "per-job wait timeout")
+		minDone     = flag.Int("min-completions", 0, "fail unless at least this many jobs complete")
+	)
+	flag.Parse()
+
+	body := map[string]any{"kind": *kind, "variant": *variant}
+	if *size != "" {
+		body["size"] = *size
+	}
+
+	var (
+		next atomic.Int64
+		cnt  counters
+		mu   sync.Mutex
+		lats []time.Duration
+	)
+	client := &http.Client{Timeout: time.Duration(*waitMS+10000) * time.Millisecond}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				n := next.Add(1)
+				if n > int64(*jobs) {
+					return
+				}
+				b := make(map[string]any, len(body)+1)
+				for k, v := range body {
+					b[k] = v
+				}
+				b["tenant"] = fmt.Sprintf("t%d", int(n)%*tenants)
+				if d, ok := runOne(client, *addr, b, *waitMS, &cnt); ok {
+					mu.Lock()
+					lats = append(lats, d)
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	done := cnt.done.Load()
+	fmt.Printf("loadgen: %d jobs in %v (%.1f jobs/s)\n", *jobs, wall.Round(time.Millisecond), float64(*jobs)/wall.Seconds())
+	fmt.Printf("  done %d  failed %d  cancelled %d  rejected-429 %d (retried)  errors %d\n",
+		done, cnt.failed.Load(), cnt.cancelled.Load(), cnt.rejected.Load(), cnt.errors.Load())
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		pct := func(p float64) time.Duration { return lats[int(p*float64(len(lats)-1))] }
+		fmt.Printf("  submit-to-done latency: p50 %v  p90 %v  p99 %v  max %v\n",
+			pct(0.50).Round(time.Millisecond), pct(0.90).Round(time.Millisecond),
+			pct(0.99).Round(time.Millisecond), lats[len(lats)-1].Round(time.Millisecond))
+	}
+	if int(done) < *minDone {
+		log.Fatalf("loadgen: only %d completions, need %d", done, *minDone)
+	}
+}
+
+// runOne submits one job (retrying through 429 backpressure) and waits
+// for it to go terminal, returning its submit-to-terminal latency.
+func runOne(client *http.Client, addr string, body map[string]any, waitMS int, cnt *counters) (time.Duration, bool) {
+	raw, _ := json.Marshal(body)
+	start := time.Now()
+	var st status
+	for {
+		resp, err := client.Post(addr+"/v1/jobs", "application/json", strings.NewReader(string(raw)))
+		if err != nil {
+			cnt.errors.Add(1)
+			return 0, false
+		}
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			cnt.rejected.Add(1)
+			time.Sleep(retryAfter(resp))
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			log.Printf("loadgen: submit: %d %s", resp.StatusCode, strings.TrimSpace(string(b)))
+			cnt.errors.Add(1)
+			return 0, false
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			cnt.errors.Add(1)
+			return 0, false
+		}
+		break
+	}
+	for {
+		resp, err := client.Get(addr + "/v1/jobs/" + st.ID + "/wait?timeout_ms=" + strconv.Itoa(waitMS))
+		if err != nil {
+			cnt.errors.Add(1)
+			return 0, false
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			cnt.errors.Add(1)
+			return 0, false
+		}
+		switch st.State {
+		case "done":
+			cnt.done.Add(1)
+			return time.Since(start), true
+		case "failed":
+			cnt.failed.Add(1)
+			log.Printf("loadgen: job %s failed: %s", st.ID, st.Error)
+			return 0, false
+		case "cancelled":
+			cnt.cancelled.Add(1)
+			return 0, false
+		}
+		// still queued/running past the wait timeout: keep waiting
+	}
+}
+
+func retryAfter(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return time.Duration(n) * time.Second
+		}
+	}
+	return 500 * time.Millisecond
+}

@@ -1,0 +1,104 @@
+// Command tracesimd is the simulation daemon: a long-running HTTP
+// service that multiplexes simulation and experiment jobs from many
+// tenants onto one shared scheduler/simulator pool (internal/server).
+//
+//	tracesimd -addr :8080 -size quick -workers 4
+//
+// Submit jobs with POST /v1/jobs (see internal/server.Request for the
+// JSON shape), poll GET /v1/jobs/{id} or block on /v1/jobs/{id}/wait,
+// scrape GET /metrics, probe GET /healthz. SIGINT/SIGTERM triggers a
+// graceful drain: admission stops (503), queued and running jobs
+// finish (bounded by -drain-timeout, after which they are cancelled),
+// then the HTTP listener shuts down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"threadsched/internal/fault"
+	"threadsched/internal/harness"
+	"threadsched/internal/obs"
+	"threadsched/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		size        = flag.String("size", "quick", "base geometry: quick or scaled")
+		workers     = flag.Int("workers", 0, "simulation pool size (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 256, "admitted-job queue depth")
+		rate        = flag.Float64("rate", 0, "per-tenant admission rate, jobs/s (0 = unlimited)")
+		burst       = flag.Int("burst", 64, "per-tenant token-bucket burst")
+		deadline    = flag.Duration("deadline", time.Minute, "default per-job deadline")
+		maxDeadline = flag.Duration("max-deadline", 5*time.Minute, "per-job deadline cap")
+		tracks      = flag.Int("tracks", 8, "obs metric tracks")
+		drainBudget = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget before cancel-all")
+		faultSeed   = flag.Uint64("fault-seed", 0, "served-job fault injection seed")
+		faultProb   = flag.Float64("fault-prob", 0, "served-job panic probability (0 = injection off)")
+	)
+	flag.Parse()
+
+	var base harness.Config
+	switch *size {
+	case "quick":
+		base = harness.Quick()
+	case "scaled":
+		base = harness.Scaled()
+	default:
+		log.Fatalf("tracesimd: unknown -size %q (want quick or scaled)", *size)
+	}
+	var inj *fault.Injector
+	if *faultProb > 0 {
+		inj = fault.New(fault.Config{
+			Seed: *faultSeed,
+			Prob: map[fault.Site]float64{fault.ServedJob: *faultProb},
+		})
+		log.Printf("tracesimd: served-job fault injection on (p=%g, seed=%d)", *faultProb, *faultSeed)
+	}
+
+	srv := server.New(server.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		TenantRate:      *rate,
+		TenantBurst:     *burst,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		Harness:         base,
+		Obs:             obs.New(*tracks),
+		Inject:          inj,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Printf("tracesimd: signal received, draining (budget %v)", *drainBudget)
+		dctx, cancel := context.WithTimeout(context.Background(), *drainBudget)
+		defer cancel()
+		if err := srv.Drain(dctx); err != nil {
+			log.Printf("tracesimd: drain: %v", err)
+		} else {
+			log.Printf("tracesimd: drain complete")
+		}
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		_ = httpSrv.Shutdown(sctx)
+	}()
+
+	log.Printf("tracesimd: serving %s geometry on %s", *size, *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("tracesimd: %v", err)
+	}
+}

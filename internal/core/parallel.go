@@ -230,7 +230,7 @@ func (s *Scheduler) runSegmented(order []*bin, workers int, ctrl *runControl) {
 			if ctrl.halted() {
 				return
 			}
-			if !stealInto(segs, self) {
+			if !stealInto(segs, self, ctrl) {
 				return
 			}
 			s.met.steals.Inc(self)
@@ -242,9 +242,11 @@ func (s *Scheduler) runSegmented(order []*bin, workers int, ctrl *runControl) {
 // (which the caller has drained). Only the slot's owner refills it, so a
 // worker that returns false and exits leaves its slot empty forever and
 // every non-empty slot still has an active owner — that is what makes
-// "no victim with more than one bin left" a safe exit condition.
-func stealInto(segs []binSegment, self int) bool {
-	for {
+// "no victim with more than one bin left" a safe exit condition. The
+// rescan loop re-checks the run control so a cancelled or panicked run
+// cannot keep a thief spinning against racing victims past the halt.
+func stealInto(segs []binSegment, self int, ctrl *runControl) bool {
+	for !ctrl.halted() {
 		victim, best := -1, 1
 		for i := range segs {
 			if i == self {
@@ -263,6 +265,7 @@ func stealInto(segs []binSegment, self int) bool {
 		}
 		// Lost the race to the victim's own progress; rescan.
 	}
+	return false
 }
 
 // runAtomic is the legacy dispatch kept as a comparison baseline: workers

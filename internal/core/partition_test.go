@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -145,6 +146,7 @@ func TestSegmentsClaimEachIndexOnce(t *testing.T) {
 		segs[i].bounds.Store(packRange(starts[i], hi))
 	}
 	claimed := make([]int32, n)
+	ctrl := newRunControl(context.Background())
 	var wg sync.WaitGroup
 	for w := 0; w < len(segs); w++ {
 		wg.Add(1)
@@ -155,7 +157,7 @@ func TestSegmentsClaimEachIndexOnce(t *testing.T) {
 					claimed[i]++
 					continue
 				}
-				if !stealInto(segs, self) {
+				if !stealInto(segs, self, ctrl) {
 					return
 				}
 			}

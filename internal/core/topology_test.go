@@ -90,10 +90,10 @@ func TestTopologyClustering(t *testing.T) {
 		t.Errorf("clusterSize(1, workers=3) = %d, want 3", got)
 	}
 	cases := []struct{ a, b, want int }{
-		{0, 1, 0},  // same L1 pair
-		{0, 2, 1},  // same L2 quad, different L1
-		{0, 4, 2},  // different L2
-		{5, 6, 1},  // workers 4-7 share an L2; 5 and 6 split across L1 pairs... 4|5 and 6|7
+		{0, 1, 0}, // same L1 pair
+		{0, 2, 1}, // same L2 quad, different L1
+		{0, 4, 2}, // different L2
+		{5, 6, 1}, // workers 4-7 share an L2; 5 and 6 split across L1 pairs... 4|5 and 6|7
 		{14, 15, 0},
 	}
 	for _, c := range cases {

@@ -73,7 +73,7 @@ func (s *Scheduler) runTree(order []*bin, workers int, ctrl *runControl) {
 			if ctrl.halted() {
 				return
 			}
-			lvl, stolen, ok := s.stealTree(segs, self, workers, tree)
+			lvl, stolen, ok := s.stealTree(segs, self, workers, tree, ctrl)
 			if !ok {
 				return
 			}
@@ -89,12 +89,14 @@ func (s *Scheduler) runTree(order []*bin, workers int, ctrl *runControl) {
 // whose closest shared cache with the thief is that level, and the steal
 // width follows the level policy described in the package comment. Like
 // stealInto, only a slot's owner refills it, so "no victim with more
-// than one bin left at any level" is a safe exit condition.
-func (s *Scheduler) stealTree(segs []binSegment, self, workers int, tree *binTree) (level, bins int, ok bool) {
+// than one bin left at any level" is a safe exit condition. The per-level
+// rescan loop re-checks the run control so a halted run cannot keep a
+// thief spinning against racing victims.
+func (s *Scheduler) stealTree(segs []binSegment, self, workers int, tree *binTree, ctrl *runControl) (level, bins int, ok bool) {
 	topo := s.cfg.Topology
 	top := topo.Levels() - 1
 	for l := 0; l <= top; l++ {
-		for {
+		for !ctrl.halted() {
 			victim, best := -1, 1
 			for v := range segs {
 				if v == self || topo.sharedLevel(self, v, workers) != l {

@@ -47,6 +47,12 @@ const (
 	// TraceCorrupt fires on an encoded trace, flipping one deterministic
 	// bit (CorruptByte) or cutting the byte stream short (TruncateAt).
 	TraceCorrupt Site = "trace-corrupt"
+	// ServedJob fires inside a job served by the simulation daemon
+	// (internal/server), panicking through the harness JobSpec hook;
+	// occurrence index = the job's admission sequence number. The server
+	// fault tests use it to prove one tenant's panicking job is contained
+	// to that job's error response.
+	ServedJob Site = "served-job"
 )
 
 // Config parameterizes an Injector. The zero value never fires.

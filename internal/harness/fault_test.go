@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"threadsched/internal/sim"
 )
 
 func okJob(key string) simJob {
@@ -99,6 +101,43 @@ func TestRunJobsContextStopsNewJobs(t *testing.T) {
 		if len(out) != 0 {
 			t.Fatalf("Parallel=%d: %d jobs ran under a done context", par, len(out))
 		}
+	}
+}
+
+// TestRunJobsCancelledMidRun is the regression test for the SIGINT
+// crash: when Config.Context is cancelled *while a job is running*, the
+// cancel-aware CPU unwinds the job with a panic chain ending in
+// *sim.CancelledError. runJobs must classify that as the context door
+// closing — stop dispatching and return the results gathered so far —
+// not re-panic it at the caller (which turned a clean interrupt into a
+// process crash). Exercises both the serial and parallel paths.
+func TestRunJobsCancelledMidRun(t *testing.T) {
+	for _, par := range []int{0, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		jobs := []simJob{
+			{key: "ok", what: "ok", run: func() SimResult { return SimResult{} }},
+			{key: "cut", what: "cut", run: func() SimResult {
+				cancel()
+				panic(&sim.CancelledError{Err: ctx.Err()})
+			}},
+			okJob("after"),
+		}
+		perr, out := recoverJobs(Config{Context: ctx, Parallel: par}, jobs)
+		if perr != nil {
+			t.Fatalf("Parallel=%d: cancellation re-panicked: %v", par, perr)
+		}
+		if _, ok := out["cut"]; ok {
+			t.Errorf("Parallel=%d: cancelled job produced a result", par)
+		}
+		if par == 0 {
+			if _, ok := out["ok"]; !ok {
+				t.Errorf("Parallel=0: pre-cancel result dropped: %v", out)
+			}
+			if _, ok := out["after"]; ok {
+				t.Errorf("Parallel=0: job after cancellation still ran")
+			}
+		}
+		cancel()
 	}
 }
 

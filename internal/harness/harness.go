@@ -105,11 +105,13 @@ type Config struct {
 	// observable for the hierarchical sweeps.
 	Topology *core.Topology
 
-	// Context, when non-nil, bounds every table this Config runs: once it
-	// is done, no further simulation job starts (jobs already running
-	// finish — individual simulations are not interruptible), so a table
-	// rendered after cancellation covers only the jobs that completed.
-	// Nil means run to completion.
+	// Context, when non-nil, bounds every table this Config runs — and
+	// every job inside it, mid-run: once the context is done, no further
+	// simulation job starts, and running jobs cancel at their next
+	// emission boundary (the CPU panics with a *sim.CancelledError, which
+	// the per-job containment converts into an error; see RunJob). A
+	// table rendered after cancellation covers only the jobs that
+	// completed. Nil means run to completion.
 	Context context.Context
 }
 
@@ -212,13 +214,41 @@ func (c Config) simulate(m machine.Machine, fn runner) SimResult {
 	track := c.Obs.AcquireTrack()
 	if c.Mode == ModePipelined {
 		pipe = trace.NewPipeline(h, 0, 0).Observe(c.Obs, track)
+		if c.Context != nil {
+			pipe.WithContext(c.Context)
+		}
 		rec = pipe
 	}
 	cpu := sim.NewCPU(rec).Observe(c.Obs, track)
+	if c.Context != nil {
+		// Mid-run cancellation: once the context is done, the CPU panics
+		// with a *sim.CancelledError at its next emission boundary, and
+		// the per-job containment (runJobContained) converts it into an
+		// error instead of a completed-but-meaningless result.
+		cpu.WithCancel(c.Context)
+	}
 	if c.Mode != ModeSerial {
 		cpu.Buffer(0)
 	}
 	as := vm.NewAddressSpace()
+	closed := false
+	if pipe != nil {
+		defer func() {
+			if closed {
+				return
+			}
+			// The job is unwinding — a thread panic or a cancellation —
+			// without having closed the pipeline. Release the consumer
+			// goroutine, or it parks on the ring forever: in a server
+			// running thousands of jobs, every contained panic would leak
+			// a goroutine and its chunk buffers. The bound keeps even a
+			// consumer wedged inside the hierarchy from hanging the
+			// unwind.
+			ctx, stop := context.WithTimeout(context.Background(), 5*time.Second)
+			defer stop()
+			_ = pipe.CloseContext(ctx)
+		}()
+	}
 	var start time.Time
 	if c.Obs.Enabled() {
 		start = time.Now()
@@ -226,9 +256,11 @@ func (c Config) simulate(m machine.Machine, fn runner) SimResult {
 	sched := fn(cpu, as)
 	cpu.Flush()
 	if pipe != nil {
+		closed = true
 		// A consumer failure means the hierarchy missed references and
 		// every number below is wrong; treat it like any other job panic
 		// so runJobs contains it instead of rendering a corrupt table.
+		// A cancelled pipeline reports the context error the same way.
 		if err := pipe.Close(); err != nil {
 			panic(err)
 		}
@@ -292,7 +324,9 @@ func (e *JobPanicError) Error() string {
 // identical at any parallelism. A job panic quiesces the table (running
 // jobs finish, queued ones are skipped) and then re-panics on the calling
 // goroutine with a *JobPanicError; a done Config.Context stops new jobs
-// from starting, returning the results gathered so far.
+// from starting AND interrupts running ones mid-simulation (the CPU's
+// cancellation panic classifies as a cancel, not a failure), returning
+// the results gathered so far.
 func (c Config) runJobs(prog Progress, jobs []simJob) map[string]SimResult {
 	ctx := c.Context
 	if ctx == nil {
@@ -307,6 +341,9 @@ func (c Config) runJobs(prog Progress, jobs []simJob) map[string]SimResult {
 			prog.printf("%s", j.what)
 			r, perr := c.runJobContained(j)
 			if perr != nil {
+				if cancelCause(perr.Value) != nil {
+					break
+				}
 				panic(perr)
 			}
 			out[j.key] = r
@@ -332,6 +369,12 @@ func (c Config) runJobs(prog Progress, jobs []simJob) map[string]SimResult {
 			prog.printf("%s", j.what)
 			r, perr := c.runJobContained(j)
 			if perr != nil {
+				// A cancellation unwinding as a panic is the context door
+				// closing, not a job failure: drop the partial job and let
+				// the ctx.Err() gate stop the rest.
+				if cancelCause(perr.Value) != nil {
+					return
+				}
 				failed.Store(true)
 				mu.Lock()
 				if first == nil {

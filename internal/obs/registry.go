@@ -145,9 +145,10 @@ func (c *Counter) Add(track int, n uint64) {
 func (c *Counter) Inc(track int) { c.Add(track, 1) }
 
 // Gauge records a last-written value per track plus the per-track high
-// watermark. Each track is expected to have a single writer (its
-// worker); concurrent writers to one track may lose a watermark update
-// but never corrupt state.
+// watermark. Tracks may have concurrent writers (a server hands out
+// tracks modulo the shard count, so two jobs can share one): the current
+// value is last-writer-wins and the watermark is maintained with a CAS
+// loop, so no update is ever lost.
 type Gauge struct {
 	name   string
 	tracks int
@@ -161,8 +162,27 @@ func (g *Gauge) Set(track int, v uint64) {
 	}
 	i := clampTrack(track, g.tracks) * stride
 	atomic.StoreUint64(&g.cells[i], v)
-	if v > atomic.LoadUint64(&g.cells[i+1]) {
-		atomic.StoreUint64(&g.cells[i+1], v)
+	casMax(&g.cells[i+1], v)
+}
+
+// casMax raises *p to v if v is larger, retrying on contention so a
+// concurrent smaller write can never overwrite a larger one.
+func casMax(p *uint64, v uint64) {
+	for {
+		cur := atomic.LoadUint64(p)
+		if v <= cur || atomic.CompareAndSwapUint64(p, cur, v) {
+			return
+		}
+	}
+}
+
+// casMin lowers *p to v if v is smaller, retrying on contention.
+func casMin(p *uint64, v uint64) {
+	for {
+		cur := atomic.LoadUint64(p)
+		if v >= cur || atomic.CompareAndSwapUint64(p, cur, v) {
+			return
+		}
 	}
 }
 
@@ -182,7 +202,10 @@ const (
 // in bucket bits.Len64(v), i.e. bucket b holds values in [2^(b-1), 2^b).
 // Suited to the latencies and sizes this package records, where relative
 // resolution matters and observations span many orders of magnitude.
-// Like Gauge, min/max assume a single writer per track.
+// Like Gauge, each track supports concurrent writers: min/max use CAS
+// loops, and the count cell is written last (and read first by Snapshot)
+// so a concurrent scrape never reports more observations than it can
+// account for in the buckets.
 type Histogram struct {
 	name   string
 	tracks int
@@ -197,21 +220,20 @@ func newHistogram(name string, tracks int) *Histogram {
 	return h
 }
 
-// Observe records v on the track.
+// Observe records v on the track. The count cell is updated last so that
+// a concurrent Snapshot (which reads it first) sees count <= bucket
+// total: every counted observation already has its bucket, sum, and
+// min/max in place.
 func (h *Histogram) Observe(track int, v uint64) {
 	if h == nil {
 		return
 	}
 	i := clampTrack(track, h.tracks) * hSlots
-	atomic.AddUint64(&h.cells[i+hCount], 1)
 	atomic.AddUint64(&h.cells[i+hSum], v)
-	if v < atomic.LoadUint64(&h.cells[i+hMin]) {
-		atomic.StoreUint64(&h.cells[i+hMin], v)
-	}
-	if v > atomic.LoadUint64(&h.cells[i+hMax]) {
-		atomic.StoreUint64(&h.cells[i+hMax], v)
-	}
+	casMin(&h.cells[i+hMin], v)
+	casMax(&h.cells[i+hMax], v)
 	atomic.AddUint64(&h.cells[i+hBuckets+bits.Len64(v)], 1)
+	atomic.AddUint64(&h.cells[i+hCount], 1)
 }
 
 // Snapshot is the merged, JSON-serializable state of a registry at one
@@ -259,7 +281,12 @@ type Bucket struct {
 
 // Snapshot merges every metric's shards. It may run concurrently with
 // recording; each cell is read atomically, so totals are consistent per
-// metric to within in-flight updates.
+// metric to within in-flight updates. For histograms the per-track count
+// is read before the buckets while Observe publishes it last, so a
+// snapshot's Count never exceeds its bucket total, Min <= Max whenever
+// Count > 0, and gauge/histogram extrema reflect every completed
+// observation (the CAS loops in Set/Observe cannot lose them). The
+// scrape-under-load tests pin these invariants.
 func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return Snapshot{}

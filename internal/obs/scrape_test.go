@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestHistogramConcurrentExtrema is the regression test for the
+// load-then-store races in Histogram.Observe's min/max update: two
+// writers sharing a track (the server's AcquireTrack-modulo pattern)
+// could interleave so that a larger value was stored over a smaller one
+// after the smaller writer had already checked, permanently corrupting
+// the extrema. With the CAS loops, the global min and max must survive
+// any interleaving.
+func TestHistogramConcurrentExtrema(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const (
+		writers = 4
+		perOp   = 200_000
+	)
+	reg := NewRegistry(1) // one track: every writer shares it
+	h := reg.Histogram("x")
+	var next atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perOp; i++ {
+				// Monotonically increasing observations: the final max must
+				// be the last value handed out, and the min the first.
+				h.Observe(0, next.Add(1))
+			}
+		}()
+	}
+	wg.Wait()
+	s := reg.Snapshot()
+	hs := s.Histograms[0]
+	total := uint64(writers * perOp)
+	if hs.Count != total {
+		t.Fatalf("count = %d, want %d", hs.Count, total)
+	}
+	if hs.Min != 1 {
+		t.Fatalf("min = %d, want 1 (lost-update race)", hs.Min)
+	}
+	if hs.Max != total {
+		t.Fatalf("max = %d, want %d (lost-update race)", hs.Max, total)
+	}
+	if hs.Sum != total*(total+1)/2 {
+		t.Fatalf("sum = %d, want %d", hs.Sum, total*(total+1)/2)
+	}
+}
+
+// TestGaugeConcurrentWatermark is the same regression for Gauge.Set's
+// watermark.
+func TestGaugeConcurrentWatermark(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const (
+		writers = 4
+		perOp   = 200_000
+	)
+	reg := NewRegistry(1)
+	g := reg.Gauge("depth")
+	var next atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perOp; i++ {
+				g.Set(0, next.Add(1))
+			}
+		}()
+	}
+	wg.Wait()
+	s := reg.Snapshot()
+	if max := s.Gauges[0].Max; max != writers*perOp {
+		t.Fatalf("watermark = %d, want %d (lost-update race)", max, writers*perOp)
+	}
+}
+
+// TestSnapshotUnderLoadConsistency scrapes continuously while writers
+// hammer a shared-track histogram — the daemon's /metrics pattern — and
+// asserts every snapshot is internally consistent: count never exceeds
+// the bucket total (Observe publishes count last, Snapshot reads it
+// first), min <= max whenever count > 0, and the mean lies within the
+// observed extrema.
+func TestSnapshotUnderLoadConsistency(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	reg := NewRegistry(2)
+	h := reg.Histogram("lat")
+	g := reg.Gauge("inflight")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v := uint64(w + 1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(w, v)
+				g.Set(w, v)
+				v = v*1664525 + 1013904223 // LCG: values across many buckets
+			}
+		}(w)
+	}
+	for i := 0; i < 2_000; i++ {
+		s := reg.Snapshot()
+		for _, hs := range s.Histograms {
+			var bucketTotal uint64
+			for _, b := range hs.Buckets {
+				bucketTotal += b.Count
+			}
+			if hs.Count > bucketTotal {
+				t.Fatalf("scrape %d: count %d > bucket total %d (torn snapshot)", i, hs.Count, bucketTotal)
+			}
+			if hs.Count > 0 {
+				if hs.Min > hs.Max {
+					t.Fatalf("scrape %d: min %d > max %d", i, hs.Min, hs.Max)
+				}
+				// Sum may run ahead of Count (it is written first), so the
+				// mean can transiently exceed the true mean — but it can
+				// never fall below the observed minimum.
+				if hs.Mean < float64(hs.Min) {
+					t.Fatalf("scrape %d: mean %f < min %d", i, hs.Mean, hs.Min)
+				}
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

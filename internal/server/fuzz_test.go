@@ -1,0 +1,30 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeRequest hammers the daemon's only untrusted input surface:
+// whatever bytes arrive, DecodeRequest must return cleanly — never
+// panic — and anything it accepts must satisfy its own validator (the
+// invariant Submit relies on to skip re-checking).
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add([]byte(`{"kind":"matmul"}`))
+	f.Add([]byte(`{"kind":"table","variant":"table3"}`))
+	f.Add([]byte(`{"kind":"sor","tenant":"a","size":"scaled","mode":"pipeline","sor_n":201,"sor_iters":8,"deadline_ms":5000}`))
+	f.Add([]byte(`{"kind":"nbody","machine":"modern","steps":2,"block":64}`))
+	f.Add([]byte(`{"kind":"matmul","matmul_n":-1}`))
+	f.Add([]byte(`{"kind":"matmul"}{"kind":"sor"}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRequest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := req.validate(); verr != nil {
+			t.Fatalf("accepted request fails its own validator: %v (input %q)", verr, data)
+		}
+	})
+}

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"threadsched/internal/harness"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /v1/jobs               submit a Request; 202 + Status, or
+//	                            400 (bad request/spec), 429 + Retry-After
+//	                            (rate limit or full queue), 503 (draining)
+//	GET  /v1/jobs/{id}          poll a job's Status
+//	GET  /v1/jobs/{id}/wait     block until terminal or ?timeout_ms
+//	POST /v1/jobs/{id}/cancel   request cancellation
+//	GET  /healthz               liveness + load (503 while draining)
+//	GET  /metrics               the obs registry snapshot as JSON
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/wait", s.handleWait)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	req, err := DecodeRequest(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.Submit(req)
+	if err != nil {
+		var rej *RejectError
+		switch {
+		case errors.As(err, &rej):
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(rej.RetryAfter)))
+			writeError(w, rej.StatusCode, err)
+		case errors.Is(err, ErrBadRequest), errors.Is(err, harness.ErrBadJobSpec):
+			writeError(w, http.StatusBadRequest, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("server: no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleWait(w http.ResponseWriter, r *http.Request) {
+	timeout := 30 * time.Second
+	if q := r.URL.Query().Get("timeout_ms"); q != "" {
+		n, err := strconv.ParseInt(q, 10, 64)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, errors.New("server: bad timeout_ms"))
+			return
+		}
+		timeout = time.Duration(n) * time.Millisecond
+		if timeout > 2*time.Minute {
+			timeout = 2 * time.Minute
+		}
+	}
+	st, ok := s.Wait(r.PathValue("id"), timeout)
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("server: no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("server: no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	queued, inflight := s.Load()
+	body := map[string]any{
+		"status":      "ok",
+		"draining":    s.Draining(),
+		"queue_depth": queued,
+		"inflight":    inflight,
+	}
+	code := http.StatusOK
+	if s.Draining() {
+		body["status"] = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.cfg.Obs.Snapshot().WriteJSON(w); err != nil {
+		// Headers are gone; nothing to do but drop the connection.
+		return
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// retryAfterSeconds renders a backoff as a whole-second Retry-After
+// value, rounding up so "try again in 200ms" never becomes "now".
+func retryAfterSeconds(d time.Duration) int {
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

@@ -1,0 +1,527 @@
+// Package server multiplexes simulation jobs from many tenants onto one
+// shared harness: a bounded job queue feeding a fixed worker pool, with
+// per-tenant token-bucket admission, per-job deadlines wired into the
+// harness's context-cancellation paths, panic containment (a tenant's
+// exploding job becomes that job's error response; the pool keeps
+// serving), and graceful drain. cmd/tracesimd wraps it in an HTTP
+// daemon; the package itself is transport-agnostic and fully testable
+// in-process.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"threadsched/internal/fault"
+	"threadsched/internal/harness"
+	"threadsched/internal/obs"
+)
+
+// Job states, in lifecycle order. Terminal states are done, failed, and
+// cancelled.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// Config parameterizes a Server. The zero value gets sensible defaults
+// from New: one worker per CPU, a 256-deep queue, no rate limit, a
+// one-minute default deadline, and the harness Quick geometry.
+type Config struct {
+	// Workers is the size of the shared simulation pool.
+	Workers int
+	// QueueDepth bounds the number of admitted-but-unstarted jobs; a
+	// full queue rejects with 429 + Retry-After.
+	QueueDepth int
+	// TenantRate is each tenant's sustained admission rate in jobs per
+	// second; <= 0 disables rate limiting.
+	TenantRate float64
+	// TenantBurst is the token-bucket capacity (burst size) per tenant.
+	TenantBurst int
+	// DefaultDeadline bounds jobs that do not ask for a deadline;
+	// MaxDeadline clamps jobs that ask for more.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// Retention bounds how many terminal jobs stay pollable; the oldest
+	// terminal jobs are evicted beyond it (live jobs are never evicted).
+	Retention int
+	// Harness is the base simulation geometry requests start from.
+	Harness harness.Config
+	// Obs receives both the server's metrics (server.*) and, unless the
+	// harness config carries its own, the per-job simulation metrics.
+	Obs *obs.Obs
+	// Inject, when enabled, fires the fault.ServedJob site inside served
+	// kernel jobs (occurrence index = admission sequence number) — the
+	// containment tests' way to make one tenant's job panic on demand.
+	Inject *fault.Injector
+}
+
+// Job is one admitted request. All mutable fields are guarded by the
+// server's mutex; done closes exactly once, on the transition to a
+// terminal state.
+type Job struct {
+	ID     string
+	Tenant string
+
+	what       string
+	seq        uint64
+	spec       harness.JobSpec
+	experiment string // non-empty: RunExperiment instead of RunJob
+	cfg        harness.Config
+	deadline   time.Duration
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	state     string
+	errText   string
+	panicked  bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	result    *Result
+	table     string
+}
+
+// bucket is one tenant's token bucket, guarded by the server's mutex.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Server is the shared simulation pool. Create with New; shut down with
+// Drain.
+type Server struct {
+	cfg   Config
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	seq      uint64
+	inflight int
+	jobs     map[string]*Job
+	order    []string
+	tenants  map[string]*bucket
+
+	cSubmitted   *obs.Counter
+	cRejRate     *obs.Counter
+	cRejQueue    *obs.Counter
+	cRejDraining *obs.Counter
+	cCompleted   *obs.Counter
+	cFailed      *obs.Counter
+	cCancelled   *obs.Counter
+	cPanics      *obs.Counter
+	gQueueDepth  *obs.Gauge
+	gInflight    *obs.Gauge
+	hQueueWait   *obs.Histogram
+	hJobWall     *obs.Histogram
+}
+
+// drainKillWait bounds the post-cancel wait in Drain. Cancellation
+// latency is itself bounded (one emission chunk plus one bin of
+// threads; see the harness cancel-latency test), so this only fires if
+// a job has wedged outside every cancellation point.
+const drainKillWait = 10 * time.Second
+
+// New builds the server and starts its worker pool. The returned server
+// accepts Submit calls immediately.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = defaultWorkers()
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.TenantBurst <= 0 {
+		cfg.TenantBurst = 64
+	}
+	if cfg.DefaultDeadline <= 0 {
+		cfg.DefaultDeadline = time.Minute
+	}
+	if cfg.MaxDeadline <= 0 {
+		cfg.MaxDeadline = 5 * time.Minute
+	}
+	if cfg.Retention <= 0 {
+		cfg.Retention = 8192
+	}
+	if cfg.Harness.MatmulN == 0 {
+		cfg.Harness = harness.Quick()
+	}
+	if cfg.Obs != nil && cfg.Harness.Obs == nil {
+		cfg.Harness.Obs = cfg.Obs
+	}
+	s := &Server{
+		cfg:     cfg,
+		queue:   make(chan *Job, cfg.QueueDepth),
+		jobs:    make(map[string]*Job),
+		tenants: make(map[string]*bucket),
+	}
+	reg := cfg.Obs.Registry() // nil registry hands out no-op handles
+	s.cSubmitted = reg.Counter("server.submitted")
+	s.cRejRate = reg.Counter("server.rejected.rate")
+	s.cRejQueue = reg.Counter("server.rejected.queue")
+	s.cRejDraining = reg.Counter("server.rejected.draining")
+	s.cCompleted = reg.Counter("server.completed")
+	s.cFailed = reg.Counter("server.failed")
+	s.cCancelled = reg.Counter("server.cancelled")
+	s.cPanics = reg.Counter("server.panics")
+	s.gQueueDepth = reg.Gauge("server.queue_depth")
+	s.gInflight = reg.Gauge("server.inflight")
+	s.hQueueWait = reg.Histogram("server.queue_wait_ns")
+	s.hJobWall = reg.Histogram("server.job_wall_ns")
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker(i)
+	}
+	return s
+}
+
+// Submit validates and admits one request. On success the job is queued
+// and its initial Status returned; on failure the error is a
+// *RejectError (backpressure: rate limit, full queue, or draining), or
+// wraps harness.ErrBadJobSpec / ErrBadRequest (the request names no
+// runnable simulation).
+func (s *Server) Submit(req Request) (Status, error) {
+	cfg := req.harnessConfig(s.cfg.Harness)
+	spec := req.spec()
+	if err := cfg.ValidateJob(spec); err != nil {
+		return Status{}, err
+	}
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	if deadline > s.cfg.MaxDeadline {
+		deadline = s.cfg.MaxDeadline
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = "anon"
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.cRejDraining.Inc(0)
+		return Status{}, &RejectError{StatusCode: 503, Reason: "draining", RetryAfter: time.Second}
+	}
+	if wait, ok := s.takeTokenLocked(tenant); !ok {
+		s.cRejRate.Inc(0)
+		return Status{}, &RejectError{StatusCode: 429, Reason: "rate", RetryAfter: wait}
+	}
+	n := s.seq + 1
+	j := &Job{
+		ID:        fmt.Sprintf("j%06d", n),
+		Tenant:    tenant,
+		seq:       n,
+		spec:      spec,
+		cfg:       cfg,
+		deadline:  deadline,
+		done:      make(chan struct{}),
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	if spec.Kind == harness.JobTable {
+		j.experiment = spec.Variant
+		j.what = "table/" + j.experiment
+	} else {
+		j.what = spec.What()
+	}
+	if inj := s.cfg.Inject; inj.Enabled() && j.experiment == "" {
+		seq := n
+		j.spec.Hook = func() { inj.MaybePanic(fault.ServedJob, seq) }
+	}
+	j.ctx, j.cancel = context.WithCancel(context.Background())
+	select {
+	case s.queue <- j:
+	default:
+		s.refundTokenLocked(tenant)
+		s.cRejQueue.Inc(0)
+		return Status{}, &RejectError{StatusCode: 429, Reason: "queue", RetryAfter: 500 * time.Millisecond}
+	}
+	s.seq = n
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.evictLocked()
+	s.cSubmitted.Inc(0)
+	s.gQueueDepth.Set(0, uint64(len(s.queue)))
+	return j.statusLocked(time.Now()), nil
+}
+
+// Get returns a job's current status.
+func (s *Server) Get(id string) (Status, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Status{}, false
+	}
+	return j.statusLocked(time.Now()), true
+}
+
+// Wait blocks until the job reaches a terminal state or the timeout
+// elapses, then returns its current status either way.
+func (s *Server) Wait(id string, timeout time.Duration) (Status, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Status{}, false
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-j.done:
+	case <-t.C:
+	}
+	return s.Get(id)
+}
+
+// Cancel requests cancellation: a queued job goes terminal immediately;
+// a running job is cancelled through its context and goes terminal when
+// the harness unwinds (bounded latency). Terminal jobs are unaffected.
+func (s *Server) Cancel(id string) (Status, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Status{}, false
+	}
+	j.cancel()
+	if j.state == StateQueued {
+		j.state = StateCancelled
+		j.errText = "cancelled before start"
+		j.finished = time.Now()
+		s.cCancelled.Inc(0)
+		close(j.done)
+	}
+	return j.statusLocked(time.Now()), true
+}
+
+// Draining reports whether the server has stopped admitting jobs.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Load returns the current queue depth and in-flight job count.
+func (s *Server) Load() (queued, inflight int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue), s.inflight
+}
+
+// Drain stops admission, lets queued and running jobs finish, and
+// returns when the pool is idle. If ctx expires first, every live job
+// is cancelled and Drain waits (briefly, bounded) for the pool to
+// unwind, returning ctx's error.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		j.cancel()
+	}
+	s.mu.Unlock()
+	select {
+	case <-done:
+		return ctx.Err()
+	case <-time.After(drainKillWait):
+		return fmt.Errorf("server: drain: pool still busy after cancel-all: %w", ctx.Err())
+	}
+}
+
+// worker is one pool goroutine: it serves jobs until the queue is
+// closed and empty (drain).
+func (s *Server) worker(track int) {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.gQueueDepth.Set(0, uint64(len(s.queue)))
+		s.runJob(track, j)
+	}
+}
+
+// runJob executes one job under its deadline and classifies the
+// outcome. The harness guarantees RunJob/RunExperiment never panic, so
+// a worker survives any job.
+func (s *Server) runJob(track int, j *Job) {
+	s.mu.Lock()
+	if j.state != StateQueued { // cancelled while queued
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	s.inflight++
+	s.gInflight.Set(0, uint64(s.inflight))
+	s.mu.Unlock()
+	s.hQueueWait.Observe(track, uint64(j.started.Sub(j.submitted)))
+
+	ctx, cancel := context.WithTimeout(j.ctx, j.deadline)
+	defer cancel()
+	var (
+		res  harness.SimResult
+		text string
+		err  error
+	)
+	if j.experiment != "" {
+		text, err = j.cfg.RunExperiment(ctx, j.experiment)
+	} else {
+		res, err = j.cfg.RunJob(ctx, j.spec)
+	}
+
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.finished = now
+	s.inflight--
+	s.gInflight.Set(0, uint64(s.inflight))
+	s.hJobWall.Observe(track, uint64(now.Sub(j.started)))
+	switch {
+	case err == nil:
+		j.state = StateDone
+		if j.experiment != "" {
+			j.table = text
+		} else {
+			j.result = resultOf(res)
+		}
+		s.cCompleted.Inc(track)
+	case errors.Is(err, context.Canceled):
+		j.state = StateCancelled
+		j.errText = "cancelled"
+		s.cCancelled.Inc(track)
+	case errors.Is(err, context.DeadlineExceeded):
+		j.state = StateFailed
+		j.errText = "deadline exceeded"
+		s.cFailed.Inc(track)
+	default:
+		j.state = StateFailed
+		j.errText = err.Error()
+		var jpe *harness.JobPanicError
+		if errors.As(err, &jpe) {
+			j.panicked = true
+			s.cPanics.Inc(track)
+		}
+		s.cFailed.Inc(track)
+	}
+	close(j.done)
+}
+
+// takeTokenLocked draws one admission token for tenant, refilling by
+// elapsed time first. On failure it returns the wait until a token
+// accrues.
+func (s *Server) takeTokenLocked(tenant string) (time.Duration, bool) {
+	if s.cfg.TenantRate <= 0 {
+		return 0, true
+	}
+	now := time.Now()
+	burst := float64(s.cfg.TenantBurst)
+	b := s.tenants[tenant]
+	if b == nil {
+		b = &bucket{tokens: burst, last: now}
+		s.tenants[tenant] = b
+	}
+	b.tokens = min(burst, b.tokens+now.Sub(b.last).Seconds()*s.cfg.TenantRate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	return time.Duration((1 - b.tokens) / s.cfg.TenantRate * float64(time.Second)), false
+}
+
+// refundTokenLocked returns a token taken for a submit that was then
+// rejected for a different reason (full queue).
+func (s *Server) refundTokenLocked(tenant string) {
+	if s.cfg.TenantRate <= 0 {
+		return
+	}
+	if b := s.tenants[tenant]; b != nil {
+		b.tokens = min(float64(s.cfg.TenantBurst), b.tokens+1)
+	}
+}
+
+// evictLocked drops the oldest terminal jobs beyond the retention
+// bound. A live job at the head stops eviction — live jobs are never
+// evicted, whatever the retention pressure.
+func (s *Server) evictLocked() {
+	for len(s.order) > s.cfg.Retention {
+		j := s.jobs[s.order[0]]
+		if j != nil {
+			switch j.state {
+			case StateDone, StateFailed, StateCancelled:
+			default:
+				return
+			}
+			delete(s.jobs, j.ID)
+		}
+		s.order = s.order[1:]
+	}
+}
+
+// statusLocked renders the job's externally visible state; the caller
+// holds the server mutex.
+func (j *Job) statusLocked(now time.Time) Status {
+	st := Status{
+		ID:     j.ID,
+		Tenant: j.Tenant,
+		What:   j.what,
+		State:  j.state,
+		Error:  j.errText,
+		Panic:  j.panicked,
+		Result: j.result,
+		Table:  j.table,
+	}
+	switch {
+	case j.state == StateQueued:
+		st.QueueMS = ms(now.Sub(j.submitted))
+	case j.started.IsZero(): // cancelled while queued
+		st.QueueMS = ms(j.finished.Sub(j.submitted))
+	default:
+		st.QueueMS = ms(j.started.Sub(j.submitted))
+		end := j.finished
+		if end.IsZero() {
+			end = now
+		}
+		st.RunMS = ms(end.Sub(j.started))
+	}
+	return st
+}
+
+func defaultWorkers() int {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return n
+	}
+	return 1
+}
+
+func ms(d time.Duration) int64 {
+	if d < 0 {
+		return 0
+	}
+	return d.Milliseconds()
+}

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"threadsched/internal/trace"
+)
+
+// cancelCheckStride is how many unbuffered emits pass between context
+// checks. Buffered CPUs check once per drained chunk instead, which is
+// the same order of granularity (trace.DefaultChunk references).
+const cancelCheckStride = 4096
+
+// CancelledError is the panic value a cancel-aware CPU raises when its
+// context expires mid-workload. It unwraps to the context's error, so
+// errors.Is(err, context.Canceled) and errors.Is(err,
+// context.DeadlineExceeded) see through it — including when it surfaces
+// wrapped inside a *core.ThreadPanicError (cancellation hit inside a
+// scheduled thread body) or a harness *JobPanicError.
+type CancelledError struct {
+	// Err is the context's error at the moment of cancellation.
+	Err error
+}
+
+// Error describes the cancellation.
+func (e *CancelledError) Error() string { return fmt.Sprintf("sim: run cancelled: %v", e.Err) }
+
+// Unwrap exposes the context error.
+func (e *CancelledError) Unwrap() error { return e.Err }
+
+// WithCancel makes the CPU cancellation-aware and returns it: once ctx is
+// done, the next emission boundary — a buffer drain on a buffered CPU,
+// every cancelCheckStride references on an unbuffered one — panics with a
+// *CancelledError. A panic (rather than an error return) is what lets one
+// hook cancel every workload variant mid-run: the kernels' inner loops
+// stay untouched, the scheduler's per-thread containment converts it into
+// a halted run, and the harness's per-job containment converts it into a
+// job error. The worst-case cancel latency is therefore one chunk of
+// references plus one bin of threads (bounded by the cancel-latency test
+// in the harness). A nil ctx leaves the CPU non-cancellable.
+func (c *CPU) WithCancel(ctx context.Context) *CPU {
+	c.ctx = ctx
+	return c
+}
+
+// checkCancel panics with a *CancelledError if the CPU's context is done.
+func (c *CPU) checkCancel() {
+	if c.ctx != nil {
+		if err := c.ctx.Err(); err != nil {
+			panic(&CancelledError{Err: err})
+		}
+	}
+}
+
+// recordCancellable is the unbuffered emission path: one Record per
+// reference, with a context check every cancelCheckStride emissions.
+func (c *CPU) recordCancellable(r trace.Ref) {
+	c.rec.Record(r)
+	c.mRefs.Inc(c.obsTrack)
+	if c.ctx == nil {
+		return
+	}
+	c.sinceCheck++
+	if c.sinceCheck >= cancelCheckStride {
+		c.sinceCheck = 0
+		c.checkCancel()
+	}
+}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"threadsched/internal/cache"
 	"threadsched/internal/trace"
 )
@@ -58,9 +60,22 @@ func (s *ShardedHierarchy) Shard(i int) *cache.Hierarchy { return s.shards[i] }
 // types it, or a consumer failure — all shard state is reset so no
 // partial statistics survive, and the error is returned.
 func (s *ShardedHierarchy) Replay(f *trace.MemFile, workers int) error {
+	return s.ReplayContext(context.Background(), f, workers)
+}
+
+// ReplayContext is Replay bounded by ctx: the coordinator checks the
+// context once per scattered chunk, so a cancelled replay stops within
+// one decode chunk, resets all shard state, and returns ctx's error. A
+// replay that stalls while a consumer is blocked mid-chunk is bounded by
+// the same chunk granularity — the scatter callback runs between chunks,
+// and the fan's queues drain once the coordinator stops feeding them.
+func (s *ShardedHierarchy) ReplayContext(ctx context.Context, f *trace.MemFile, workers int) error {
 	s.Reset()
 	err := f.ForEachSliced(workers, len(s.shards),
 		func(fan *trace.SliceFan, refs []trace.Ref) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			s.router.Scatter(refs, &s.tally, fan.Emit)
 			return nil
 		},

@@ -15,6 +15,8 @@
 package sim
 
 import (
+	"context"
+
 	"threadsched/internal/obs"
 	"threadsched/internal/trace"
 	"threadsched/internal/vm"
@@ -57,6 +59,11 @@ type CPU struct {
 	Instructions uint64
 	// TextBase is the base address of the simulated text segment.
 	TextBase uint64
+	// ctx, when non-nil, cancels the run at emission boundaries (see
+	// WithCancel in cancel.go); sinceCheck strides the unbuffered path's
+	// context checks.
+	ctx        context.Context
+	sinceCheck int
 }
 
 // NewCPU returns a CPU recording to rec; a nil rec discards references
@@ -113,6 +120,7 @@ func (c *CPU) Flush() {
 // records in place, and the CPU would append after them — emitting
 // oversized batches that replay stale references.
 func (c *CPU) drain() {
+	c.checkCancel()
 	c.mRefs.Add(c.obsTrack, uint64(len(c.buf)))
 	if c.ex != nil {
 		c.buf = c.ex.Exchange(c.buf)[:0]
@@ -125,8 +133,7 @@ func (c *CPU) drain() {
 // emit delivers one reference, through the buffer when batching.
 func (c *CPU) emit(r trace.Ref) {
 	if c.buf == nil {
-		c.rec.Record(r)
-		c.mRefs.Inc(c.obsTrack)
+		c.recordCancellable(r)
 		return
 	}
 	c.buf = append(c.buf, r)

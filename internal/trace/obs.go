@@ -49,20 +49,47 @@ func (p *Pipeline) Observe(o *obs.Obs, track int) *Pipeline {
 
 // send ships one chunk into the ring. The observed path tries a
 // non-blocking send first purely to detect back-pressure: a full ring
-// counts a stall, then blocks exactly as the disabled path does.
+// counts a stall, then blocks exactly as the disabled path does. With
+// WithContext attached, a blocked send also watches the context, so a
+// cancelled producer cannot stall indefinitely behind a full ring; once
+// cancelled, chunks are discarded.
 func (p *Pipeline) send(chunk []Ref) {
-	if p.met.o == nil {
-		p.ch <- chunk
+	if p.noteCancel() {
 		return
 	}
+	if p.met.o == nil {
+		p.sendBlocking(chunk)
+		return
+	}
+	sent := true
 	select {
 	case p.ch <- chunk:
 	default:
 		p.met.stalls.Inc(p.met.track)
-		p.ch <- chunk
+		sent = p.sendBlocking(chunk)
+	}
+	if !sent {
+		return
 	}
 	p.met.chunks.Inc(p.met.track)
 	p.met.depth.Set(p.met.track, uint64(len(p.ch)))
+}
+
+// sendBlocking parks the producer until the ring has room — or, with a
+// context attached, until cancellation, which latches the discard state
+// and drops the chunk.
+func (p *Pipeline) sendBlocking(chunk []Ref) bool {
+	if p.ctx == nil {
+		p.ch <- chunk
+		return true
+	}
+	select {
+	case p.ch <- chunk:
+		return true
+	case <-p.ctx.Done():
+		p.noteCancel()
+		return false
+	}
 }
 
 // drainChunk delivers one chunk to dst on the consumer side, timing it

@@ -53,6 +53,12 @@ type Pipeline struct {
 	failed atomic.Bool
 	mu     sync.Mutex
 	perr   *ConsumerPanicError
+	// Producer-side cancellation (see WithContext): once ctx expires,
+	// cancelled flips, chunks are discarded instead of shipped, and cerr
+	// carries ctx's error to Close/Err.
+	ctx       context.Context
+	cancelled atomic.Bool
+	cerr      error
 	// met is the optional observability attachment (see Observe); its
 	// zero value is the disabled state.
 	met pipeObs
@@ -154,6 +160,9 @@ func (p *Pipeline) drainSafe(chunk []Ref) {
 // containment (a dst panic flips failed; later chunks are discarded) and
 // the same pipe.chunks accounting.
 func (p *Pipeline) flushInline(chunk []Ref) {
+	if p.noteCancel() {
+		return
+	}
 	if p.met.o != nil {
 		p.met.chunks.Inc(p.met.track)
 	}
@@ -162,16 +171,53 @@ func (p *Pipeline) flushInline(chunk []Ref) {
 	}
 }
 
-// Err returns the consumer's failure, if any, without closing the
-// pipeline. A non-nil return means dst panicked and every reference since
-// has been discarded.
+// WithContext bounds the producer side of the pipeline by ctx and returns
+// the pipeline. Without it, a producer blocked on a full ring waits for
+// the consumer indefinitely — a cancelled job could stall forever behind
+// a slow or wedged destination. With it, a blocked send returns as soon
+// as ctx is done, the pipeline flips to a discard state (further chunks
+// are dropped, exactly as after a consumer panic), and Close/Err report
+// ctx's error; a consumer panic still takes precedence, since it
+// explains the state better. Like Observe, WithContext must be called
+// before the first record. A nil ctx leaves cancellation off.
+func (p *Pipeline) WithContext(ctx context.Context) *Pipeline {
+	p.ctx = ctx
+	return p
+}
+
+// noteCancel reports whether the pipeline's context is done, latching the
+// error for Close/Err the first time it is observed.
+func (p *Pipeline) noteCancel() bool {
+	if p.ctx == nil {
+		return false
+	}
+	if p.cancelled.Load() {
+		return true
+	}
+	err := p.ctx.Err()
+	if err == nil {
+		return false
+	}
+	p.mu.Lock()
+	if p.cerr == nil {
+		p.cerr = err
+	}
+	p.mu.Unlock()
+	p.cancelled.Store(true)
+	return true
+}
+
+// Err returns the pipeline's failure, if any, without closing it. A
+// *ConsumerPanicError means dst panicked; a context error means the
+// producer was cancelled mid-stream. Either way every reference since has
+// been discarded.
 func (p *Pipeline) Err() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.perr != nil {
 		return p.perr
 	}
-	return nil
+	return p.cerr
 }
 
 // Record implements Recorder on the producer side.
@@ -280,7 +326,7 @@ func (p *Pipeline) CloseContext(ctx context.Context) error {
 	}
 	var ctxErr error
 	p.close.Do(func() {
-		if len(p.cur) > 0 {
+		if len(p.cur) > 0 && !p.noteCancel() {
 			select {
 			case p.ch <- p.cur:
 				if p.met.o != nil {
@@ -289,8 +335,8 @@ func (p *Pipeline) CloseContext(ctx context.Context) error {
 			case <-ctx.Done():
 				ctxErr = ctx.Err()
 			}
-			p.cur = nil
 		}
+		p.cur = nil
 		close(p.ch)
 	})
 	if ctxErr != nil {

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// wedgedRecorder blocks inside Record until released — a stand-in for a
+// consumer stuck in a slow destination.
+type wedgedRecorder struct {
+	entered chan struct{} // closed once Record has been entered
+	release chan struct{}
+}
+
+func (w *wedgedRecorder) Record(Ref) {
+	select {
+	case <-w.entered:
+	default:
+		close(w.entered)
+	}
+	<-w.release
+}
+
+// TestPipelineCancelUnblocksProducer is the regression test for the
+// producer-side cancellation gap: before WithContext, a producer blocked
+// on a full ring waited for the consumer unconditionally, so a cancelled
+// job wedged behind a stuck consumer could never observe ctx.Done(). The
+// producer must now return promptly on cancellation and the pipeline must
+// report the context error.
+func TestPipelineCancelUnblocksProducer(t *testing.T) {
+	dst := &wedgedRecorder{entered: make(chan struct{}), release: make(chan struct{})}
+	defer close(dst.release)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Explicit depth 1 forces the concurrent ring even at GOMAXPROCS=1.
+	p := NewPipeline(dst, 8, 1).WithContext(ctx)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Enough to fill the producer's chunk, the ring slot, and block:
+		// the consumer wedges on the first delivered reference.
+		for i := 0; i < 10_000; i++ {
+			p.Record(Ref{Kind: Load, Addr: uint64(i), Size: 8})
+		}
+	}()
+
+	// Wait until the consumer is provably wedged, then give the producer a
+	// moment to fill the ring and block in send.
+	select {
+	case <-dst.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("consumer never entered dst")
+	}
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("producer still blocked 5s after cancellation")
+	}
+	if err := p.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err() = %v, want context.Canceled", err)
+	}
+	// CloseContext must not block behind the still-wedged consumer.
+	if err := p.CloseContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CloseContext = %v, want context.Canceled", err)
+	}
+}
+
+// TestPipelineInlineCancelDiscards pins the inline mode's counterpart:
+// after cancellation, flushes are discarded and the context error is
+// reported, matching the concurrent ring's behavior.
+func TestPipelineInlineCancelDiscards(t *testing.T) {
+	var got Counts
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Pipeline{dst: &got, chunk: 4, done: make(chan struct{}), inline: true}
+	p.WithContext(ctx)
+	p.RecordBatch([]Ref{{Kind: Load, Addr: 1, Size: 8}})
+	before := got.Total()
+	cancel()
+	p.RecordBatch([]Ref{{Kind: Load, Addr: 2, Size: 8}})
+	if got.Total() != before {
+		t.Fatalf("inline pipeline delivered references after cancellation")
+	}
+	if err := p.Close(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Close = %v, want context.Canceled", err)
+	}
+}
