@@ -6,10 +6,16 @@
 #   make serve-smoke — end-to-end daemon smoke: boot cmd/tracesimd, push
 #                  jobs through it with cmd/loadgen, require every one to
 #                  complete, then drain it with SIGTERM
+#   make crash-smoke — the kill -9 chaos gate: boot a journaled daemon,
+#                  SIGKILL it mid-batch, tear the journal tail, restart,
+#                  and require every pre-crash job ID to resolve (with
+#                  its original result, or as failed-interrupted) and
+#                  idempotent resubmits to dedupe — under -race
 #   make fuzz-smoke — short bursts of the trace-format fuzzers (reader
 #                  robustness + chunk/trailer integrity oracle + sharded
 #                  decode differential + sliced-simulation differential)
-#                  plus the daemon's request-decode fuzzer
+#                  plus the daemon's request-decode fuzzer and the job
+#                  journal's replay fuzzer
 #   make guard-pipeline — the opt-in throughput tripwire: fails if the
 #                  batched or pipelined reference-stream path falls below
 #                  the serial path
@@ -39,9 +45,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race serve-smoke fuzz-smoke guard-pipeline guard-replay guard-tree bench bench-core bench-sim bench-apps bench-replay json timeline
+.PHONY: check build vet test race serve-smoke crash-smoke fuzz-smoke guard-pipeline guard-replay guard-tree bench bench-core bench-sim bench-apps bench-replay json timeline
 
-check: build vet test race serve-smoke
+check: build vet test race serve-smoke crash-smoke
 
 build:
 	$(GO) build ./...
@@ -53,7 +59,7 @@ test:
 	$(GO) test -timeout 10m ./...
 
 race:
-	$(GO) test -race -timeout 10m ./internal/core/... ./internal/trace/... ./internal/obs/... ./internal/fault/... ./internal/sim/... ./internal/server/...
+	$(GO) test -race -timeout 10m ./internal/core/... ./internal/trace/... ./internal/obs/... ./internal/fault/... ./internal/sim/... ./internal/server/... ./internal/journal/...
 	$(GO) test -race -timeout 10m -run 'Parallel|Exact|Threaded' ./internal/apps/...
 	$(GO) test -race -timeout 10m -run 'TestGoldenEquivalence|TestRunJobs|TestReplayBench|TestRunJob|TestConfigReuse|TestPipelinedJob' ./internal/harness/
 
@@ -65,6 +71,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzShardedDecode -fuzztime 10s ./internal/trace/
 	$(GO) test -run '^$$' -fuzz FuzzSliceRouter -fuzztime 10s ./internal/sim/
 	$(GO) test -run '^$$' -fuzz FuzzDecodeRequest -fuzztime 10s ./internal/server/
+	$(GO) test -run '^$$' -fuzz FuzzJournalReplay -fuzztime 10s ./internal/journal/
 
 # End-to-end daemon smoke: boot the daemon on a local port, complete a
 # small batch of jobs through the HTTP API under concurrency, then drain
@@ -79,6 +86,14 @@ serve-smoke:
 	./bin/loadgen -addr http://$(SMOKE_ADDR) -jobs 40 -concurrency 8 -min-completions 40 \
 		|| { kill $$pid 2>/dev/null; exit 1; }; \
 	kill -TERM $$pid; wait $$pid
+
+# Kill -9 chaos gate (part of `make check`): the whole crash →
+# torn-tail → restart → audit cycle lives in TestCrashSmoke, which
+# re-execs the test binary as a real daemon process, so -race rides
+# along. Gated behind CRASH_SMOKE=1 so a bare `go test ./...` stays
+# fast and process-free.
+crash-smoke:
+	CRASH_SMOKE=1 $(GO) test -race -count=1 -run TestCrashSmoke -timeout 5m -v ./cmd/tracesimd/
 
 # Opt-in perf regression guard (real throughput measurement, so not part
 # of the default test run): the batched and pipelined paths must not fall

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"syscall"
+	"time"
+)
+
+// Retry backoff bounds: exponential from base, capped so a long outage
+// polls every few seconds instead of growing unboundedly quiet.
+const (
+	backoffBase = 100 * time.Millisecond
+	backoffCap  = 5 * time.Second
+)
+
+// backoff returns the sleep before retry number attempt (0-based):
+// full-jitter capped exponential — uniform over (0, min(cap,
+// base·2^attempt)] — with the server's Retry-After hint, when present,
+// as a floor. Jitter decorrelates the retry herd after a restart;
+// the floor keeps us honest about explicit backpressure.
+func backoff(attempt int, floor time.Duration, rng *rand.Rand) time.Duration {
+	ceil := backoffBase << uint(attempt)
+	if ceil > backoffCap || ceil <= 0 { // <= 0: shift overflowed
+		ceil = backoffCap
+	}
+	d := time.Duration(rng.Int63n(int64(ceil))) + 1
+	if d < floor {
+		d = floor
+	}
+	return d
+}
+
+// isTransient reports whether a transport error is worth retrying: the
+// connection died or never opened (daemon crashed or is restarting),
+// as opposed to a malformed request or a local bug. HTTP-level
+// rejections never reach here — they arrive as status codes.
+func isTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

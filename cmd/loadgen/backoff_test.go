@@ -1,0 +1,130 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestBackoffCappedAndJittered(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for attempt := 0; attempt < 64; attempt++ {
+		ceil := backoffBase << uint(attempt)
+		if ceil > backoffCap || ceil <= 0 {
+			ceil = backoffCap
+		}
+		for i := 0; i < 100; i++ {
+			d := backoff(attempt, 0, rng)
+			if d <= 0 || d > ceil {
+				t.Fatalf("attempt %d: backoff %v outside (0, %v]", attempt, d, ceil)
+			}
+		}
+	}
+	// Distinct draws at the same attempt: it actually jitters.
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 32; i++ {
+		seen[backoff(3, 0, rng)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("backoff(3) returned a constant across 32 draws")
+	}
+}
+
+func TestBackoffHonorsRetryAfterFloor(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		if d := backoff(0, 2*time.Second, rng); d < 2*time.Second {
+			t.Fatalf("backoff below Retry-After floor: %v", d)
+		}
+	}
+	// A floor above the cap wins: the server's hint is authoritative.
+	if d := backoff(0, 10*time.Second, rng); d != 10*time.Second {
+		t.Fatalf("floor above cap: got %v, want 10s", d)
+	}
+}
+
+func TestIsTransient(t *testing.T) {
+	transient := []error{
+		io.EOF,
+		io.ErrUnexpectedEOF,
+		syscall.ECONNREFUSED,
+		syscall.ECONNRESET,
+		syscall.EPIPE,
+		fmt.Errorf("wrapped: %w", syscall.ECONNREFUSED),
+		&net.OpError{Op: "dial", Err: syscall.ECONNREFUSED},
+	}
+	for _, err := range transient {
+		if !isTransient(err) {
+			t.Errorf("isTransient(%v) = false, want true", err)
+		}
+	}
+	permanent := []error{
+		nil,
+		errors.New("no such host"),
+		syscall.EINVAL,
+	}
+	for _, err := range permanent {
+		if isTransient(err) {
+			t.Errorf("isTransient(%v) = true, want false", err)
+		}
+	}
+}
+
+// TestRunOneRetriesThroughRefused points runOne at a dead port until a
+// real server appears there, proving transient transport errors are
+// retried rather than counted as failures.
+func TestRunOneRetriesThroughRefused(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // now refusing connections
+
+	var submits atomic.Int64
+	start := make(chan struct{})
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		mux := http.NewServeMux()
+		mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+			submits.Add(1)
+			w.WriteHeader(http.StatusAccepted)
+			fmt.Fprintf(w, `{"id":"j1","state":"queued"}`)
+		})
+		mux.HandleFunc("GET /v1/jobs/j1/wait", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintf(w, `{"id":"j1","state":"done"}`)
+		})
+		srv := httptest.NewUnstartedServer(mux)
+		l2, err := net.Listen("tcp", addr)
+		if err != nil {
+			close(start)
+			return
+		}
+		srv.Listener = l2
+		srv.Start()
+		close(start)
+	}()
+
+	var cnt counters
+	rng := rand.New(rand.NewSource(3))
+	client := &http.Client{Timeout: 5 * time.Second}
+	_, ok := runOne(client, "http://"+addr, map[string]any{"kind": "matmul"}, 1000, &cnt, rng, nil, 20)
+	<-start
+	if !ok {
+		t.Fatalf("runOne failed despite server coming up (errors=%d)", cnt.errors.Load())
+	}
+	if cnt.done.Load() != 1 {
+		t.Fatalf("done = %d, want 1", cnt.done.Load())
+	}
+	if cnt.retried.Load() == 0 {
+		t.Fatalf("no transport retries counted while port was refusing")
+	}
+}

@@ -7,19 +7,30 @@
 //	loadgen -addr http://127.0.0.1:8080 -jobs 1000 -concurrency 64
 //
 // Each worker loops: submit one job, block on /wait until it goes
-// terminal, record the submit-to-terminal latency. 429 responses are
-// counted and retried after the server's Retry-After hint — they are
-// backpressure working, not errors. The run fails (exit 1) if fewer
-// than -min-completions jobs finish in state "done".
+// terminal, record the submit-to-terminal latency. 429/503 responses
+// are counted and retried with capped jittered exponential backoff
+// (the server's Retry-After hint is a floor) — they are backpressure
+// working, not errors. Transient transport errors (connection refused
+// or reset, EOF: the daemon crashing or restarting under us) are
+// retried the same way, up to -retries times. With -idempotency set,
+// every job carries a deterministic idempotency key, so a retry that
+// crosses a daemon crash dedupes onto the surviving job instead of
+// running twice. -ids-file records every accepted job ID, one per
+// line, for post-restart audits (the crash-smoke gate's evidence).
+// The run fails (exit 1) if fewer than -min-completions jobs finish
+// in state "done".
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -29,13 +40,14 @@ import (
 )
 
 type status struct {
-	ID    string `json:"id"`
-	State string `json:"state"`
-	Error string `json:"error"`
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Error   string `json:"error"`
+	Deduped bool   `json:"deduped"`
 }
 
 type counters struct {
-	done, failed, cancelled, rejected, errors atomic.Uint64
+	done, failed, cancelled, rejected, retried, deduped, errors atomic.Uint64
 }
 
 func main() {
@@ -49,12 +61,39 @@ func main() {
 		tenants     = flag.Int("tenants", 4, "distinct tenant names to submit under")
 		waitMS      = flag.Int("wait-ms", 60000, "per-job wait timeout")
 		minDone     = flag.Int("min-completions", 0, "fail unless at least this many jobs complete")
+		retries     = flag.Int("retries", 8, "max transient transport-error retries per request")
+		idemPrefix  = flag.String("idempotency", "", "idempotency key prefix: job n submits key <prefix>-<n>, so crash-retries dedupe (empty = no keys)")
+		idsFile     = flag.String("ids-file", "", "append every accepted job ID to this file, one per line")
+		seed        = flag.Int64("seed", 0, "backoff jitter seed (0 = time-based)")
 	)
 	flag.Parse()
 
 	body := map[string]any{"kind": *kind, "variant": *variant}
 	if *size != "" {
 		body["size"] = *size
+	}
+
+	var recordID func(string)
+	if *idsFile != "" {
+		f, err := os.OpenFile(*idsFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("loadgen: ids-file: %v", err)
+		}
+		defer f.Close()
+		bw := bufio.NewWriter(f)
+		defer bw.Flush()
+		var fmu sync.Mutex
+		recordID = func(id string) {
+			fmu.Lock()
+			fmt.Fprintln(bw, id)
+			bw.Flush() // the audit file must survive our own death too
+			fmu.Unlock()
+		}
+	}
+
+	baseSeed := *seed
+	if baseSeed == 0 {
+		baseSeed = time.Now().UnixNano()
 	}
 
 	var (
@@ -70,17 +109,21 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			rng := rand.New(rand.NewSource(baseSeed + int64(w)))
 			for {
 				n := next.Add(1)
 				if n > int64(*jobs) {
 					return
 				}
-				b := make(map[string]any, len(body)+1)
+				b := make(map[string]any, len(body)+2)
 				for k, v := range body {
 					b[k] = v
 				}
 				b["tenant"] = fmt.Sprintf("t%d", int(n)%*tenants)
-				if d, ok := runOne(client, *addr, b, *waitMS, &cnt); ok {
+				if *idemPrefix != "" {
+					b["idempotency_key"] = fmt.Sprintf("%s-%d", *idemPrefix, n)
+				}
+				if d, ok := runOne(client, *addr, b, *waitMS, &cnt, rng, recordID, *retries); ok {
 					mu.Lock()
 					lats = append(lats, d)
 					mu.Unlock()
@@ -93,8 +136,9 @@ func main() {
 
 	done := cnt.done.Load()
 	fmt.Printf("loadgen: %d jobs in %v (%.1f jobs/s)\n", *jobs, wall.Round(time.Millisecond), float64(*jobs)/wall.Seconds())
-	fmt.Printf("  done %d  failed %d  cancelled %d  rejected-429 %d (retried)  errors %d\n",
-		done, cnt.failed.Load(), cnt.cancelled.Load(), cnt.rejected.Load(), cnt.errors.Load())
+	fmt.Printf("  done %d  failed %d  cancelled %d  rejected-429/503 %d (retried)  transport-retries %d  deduped %d  errors %d\n",
+		done, cnt.failed.Load(), cnt.cancelled.Load(), cnt.rejected.Load(),
+		cnt.retried.Load(), cnt.deduped.Load(), cnt.errors.Load())
 	if len(lats) > 0 {
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 		pct := func(p float64) time.Duration { return lats[int(p*float64(len(lats)-1))] }
@@ -107,15 +151,25 @@ func main() {
 	}
 }
 
-// runOne submits one job (retrying through 429 backpressure) and waits
-// for it to go terminal, returning its submit-to-terminal latency.
-func runOne(client *http.Client, addr string, body map[string]any, waitMS int, cnt *counters) (time.Duration, bool) {
+// runOne submits one job (retrying through 429/503 backpressure and,
+// up to maxRetries times, through transient transport errors) and
+// waits for it to go terminal, returning its submit-to-terminal
+// latency. recordID, when non-nil, is called with every accepted or
+// deduped job ID before the wait begins.
+func runOne(client *http.Client, addr string, body map[string]any, waitMS int, cnt *counters, rng *rand.Rand, recordID func(string), maxRetries int) (time.Duration, bool) {
 	raw, _ := json.Marshal(body)
 	start := time.Now()
 	var st status
-	for {
+	transport := 0
+	for attempt := 0; ; attempt++ {
 		resp, err := client.Post(addr+"/v1/jobs", "application/json", strings.NewReader(string(raw)))
 		if err != nil {
+			if isTransient(err) && transport < maxRetries {
+				transport++
+				cnt.retried.Add(1)
+				time.Sleep(backoff(attempt, 0, rng))
+				continue
+			}
 			cnt.errors.Add(1)
 			return 0, false
 		}
@@ -123,10 +177,11 @@ func runOne(client *http.Client, addr string, body map[string]any, waitMS int, c
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			cnt.rejected.Add(1)
-			time.Sleep(retryAfter(resp))
+			time.Sleep(backoff(attempt, retryAfter(resp), rng))
 			continue
 		}
-		if resp.StatusCode != http.StatusAccepted {
+		// 200 = deduped onto an existing job via idempotency key.
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
 			b, _ := io.ReadAll(resp.Body)
 			resp.Body.Close()
 			log.Printf("loadgen: submit: %d %s", resp.StatusCode, strings.TrimSpace(string(b)))
@@ -136,20 +191,54 @@ func runOne(client *http.Client, addr string, body map[string]any, waitMS int, c
 		err = json.NewDecoder(resp.Body).Decode(&st)
 		resp.Body.Close()
 		if err != nil {
+			if isTransient(err) && transport < maxRetries {
+				transport++
+				cnt.retried.Add(1)
+				time.Sleep(backoff(attempt, 0, rng))
+				continue
+			}
 			cnt.errors.Add(1)
 			return 0, false
 		}
+		if st.Deduped {
+			cnt.deduped.Add(1)
+		}
 		break
 	}
-	for {
+	if recordID != nil {
+		recordID(st.ID)
+	}
+	transport = 0
+	for attempt := 0; ; attempt++ {
 		resp, err := client.Get(addr + "/v1/jobs/" + st.ID + "/wait?timeout_ms=" + strconv.Itoa(waitMS))
 		if err != nil {
+			if isTransient(err) && transport < maxRetries {
+				transport++
+				cnt.retried.Add(1)
+				time.Sleep(backoff(attempt, 0, rng))
+				continue
+			}
 			cnt.errors.Add(1)
 			return 0, false
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			// Recovering after a restart: the job routes come back once
+			// replay finishes.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			cnt.retried.Add(1)
+			time.Sleep(backoff(attempt, retryAfter(resp), rng))
+			continue
 		}
 		err = json.NewDecoder(resp.Body).Decode(&st)
 		resp.Body.Close()
 		if err != nil {
+			if isTransient(err) && transport < maxRetries {
+				transport++
+				cnt.retried.Add(1)
+				time.Sleep(backoff(attempt, 0, rng))
+				continue
+			}
 			cnt.errors.Add(1)
 			return 0, false
 		}

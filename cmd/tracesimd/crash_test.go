@@ -1,0 +1,278 @@
+// The crash-smoke chaos gate: boot a real tracesimd process with a
+// journal, drive a batch through it, kill -9 mid-batch, smear a torn
+// half-record onto the journal tail (the write that was in flight when
+// the power died), restart, and audit the recovery promise:
+//
+//   - every job ID accepted before the crash still resolves — terminal
+//     jobs with their original results, in-flight jobs as
+//     failed(interrupted);
+//   - idempotent resubmits dedupe onto the surviving jobs (no job runs
+//     twice);
+//   - the torn final record is tolerated and counted, not fatal.
+//
+// The child daemon is this test binary re-exec'd (TestMain dispatches
+// to main() under TRACESIMD_CRASH_CHILD=1), so `go test -race` crash-
+// tests the same code the production binary runs, race detector and
+// all. Gated behind CRASH_SMOKE=1 because it boots real processes and
+// real disks: `make crash-smoke` (part of `make check`) sets it.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("TRACESIMD_CRASH_CHILD") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+type smokeStatus struct {
+	ID      string          `json:"id"`
+	State   string          `json:"state"`
+	Error   string          `json:"error"`
+	Deduped bool            `json:"deduped"`
+	Result  json.RawMessage `json:"result"`
+}
+
+func TestCrashSmoke(t *testing.T) {
+	if os.Getenv("CRASH_SMOKE") == "" {
+		t.Skip("set CRASH_SMOKE=1 (make crash-smoke) to run the kill -9 gate")
+	}
+	dir := t.TempDir()
+	addr := freeAddr(t)
+	base := "http://" + addr
+
+	// Phase 1: boot, run a batch to completion, then get a second batch
+	// in flight and kill -9 under it.
+	child := startDaemon(t, addr, dir)
+	waitReady(t, base)
+
+	results := map[string]smokeStatus{} // ID -> pre-crash terminal status
+	keyOf := map[string]string{}        // ID -> idempotency key
+	var ids []string
+	for i := 0; i < 12; i++ {
+		st := smokeSubmit(t, base, fmt.Sprintf(
+			`{"kind":"matmul","variant":"threaded","matmul_n":64,"tenant":"smoke","idempotency_key":"fast-%d"}`, i))
+		ids = append(ids, st.ID)
+		keyOf[st.ID] = fmt.Sprintf("fast-%d", i)
+	}
+	for _, id := range ids {
+		st := smokeWait(t, base, id)
+		if st.State != "done" {
+			t.Fatalf("pre-crash job %s: state %s error %q", id, st.State, st.Error)
+		}
+		results[id] = st
+	}
+	// Slow enough that kill -9 lands while they are queued or running.
+	var inflight []string
+	for i := 0; i < 6; i++ {
+		st := smokeSubmit(t, base, fmt.Sprintf(
+			`{"kind":"matmul","variant":"threaded","matmul_n":512,"tenant":"smoke","idempotency_key":"slow-%d"}`, i))
+		ids = append(ids, st.ID)
+		inflight = append(inflight, st.ID)
+		keyOf[st.ID] = fmt.Sprintf("slow-%d", i)
+	}
+
+	if err := child.Process.Kill(); err != nil { // SIGKILL: no drain, no goodbye
+		t.Fatalf("kill -9: %v", err)
+	}
+	_ = child.Wait()
+
+	// Phase 2: smear a torn half-record onto the journal tail — the
+	// frame whose write the kill interrupted. Valid uvarint length (64),
+	// then far fewer than 64 payload bytes.
+	wal := filepath.Join(dir, "wal.j")
+	f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatalf("journal missing after crash: %v", err)
+	}
+	if _, err := f.Write([]byte{0x40, 0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Phase 3: restart over the same journal and audit.
+	child2 := startDaemon(t, addr, dir)
+	defer func() {
+		_ = child2.Process.Signal(os.Interrupt)
+		_ = child2.Wait()
+	}()
+	waitReady(t, base)
+
+	resolved := 0
+	for _, id := range ids {
+		st := smokeGet(t, base, id)
+		switch {
+		case st == nil:
+			t.Errorf("pre-crash job %s does not resolve after restart", id)
+			continue
+		case st.State == "done":
+			if pre, ok := results[id]; ok && !bytes.Equal(pre.Result, st.Result) {
+				t.Errorf("job %s result drifted across crash:\n before %s\n after  %s", id, pre.Result, st.Result)
+			}
+		case st.State == "failed" && strings.HasPrefix(st.Error, "interrupted"):
+			// In flight at crash time: resolved, honestly.
+		default:
+			t.Errorf("job %s after restart: state %s error %q", id, st.State, st.Error)
+			continue
+		}
+		resolved++
+	}
+	if resolved != len(ids) {
+		t.Fatalf("%d/%d pre-crash job IDs resolve after restart", resolved, len(ids))
+	}
+
+	// No job runs twice: a client retrying through the crash dedupes
+	// onto the job the first accept promised.
+	for _, id := range ids {
+		st := smokeSubmit(t, base, fmt.Sprintf(
+			`{"kind":"matmul","variant":"threaded","tenant":"smoke","idempotency_key":"%s"}`, keyOf[id]))
+		if !st.Deduped || st.ID != id {
+			t.Errorf("resubmit of %s: deduped=%v id=%s (job would run twice)", keyOf[id], st.Deduped, st.ID)
+		}
+	}
+
+	// The torn final record was tolerated and counted.
+	counters := smokeCounters(t, base)
+	if counters["server.journal.torn_tail"] < 1 {
+		t.Errorf("server.journal.torn_tail = %d, want >= 1", counters["server.journal.torn_tail"])
+	}
+	if counters["server.journal.replayed"] == 0 {
+		t.Errorf("server.journal.replayed = 0 after a populated restart")
+	}
+	if counters["server.journal.requeued"] != 0 {
+		t.Errorf("server.journal.requeued = %d without -requeue-interrupted", counters["server.journal.requeued"])
+	}
+}
+
+func startDaemon(t *testing.T, addr, dir string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0],
+		"-addr", addr, "-journal", dir, "-fsync", "always",
+		"-size", "quick", "-workers", "2", "-drain-timeout", "5s")
+	cmd.Env = append(os.Environ(), "TRACESIMD_CRASH_CHILD=1")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start daemon: %v", err)
+	}
+	return cmd
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func waitReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("daemon not ready within 30s")
+}
+
+func smokeSubmit(t *testing.T, base, body string) smokeStatus {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	var st smokeStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("submit decode: %v", err)
+	}
+	return st
+}
+
+func smokeWait(t *testing.T, base, id string) smokeStatus {
+	t.Helper()
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id + "/wait?timeout_ms=60000")
+		if err != nil {
+			t.Fatalf("wait %s: %v", id, err)
+		}
+		var st smokeStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("wait %s decode: %v", id, err)
+		}
+		switch st.State {
+		case "done", "failed", "cancelled":
+			return st
+		}
+	}
+}
+
+// smokeGet returns nil when the ID does not resolve (404 or transport
+// failure) — the failure the crash gate exists to catch.
+func smokeGet(t *testing.T, base, id string) *smokeStatus {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var st smokeStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil
+	}
+	return &st
+}
+
+func smokeCounters(t *testing.T, base string) map[string]uint64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Total uint64 `json:"total"`
+		} `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("metrics decode: %v", err)
+	}
+	out := make(map[string]uint64, len(snap.Counters))
+	for _, c := range snap.Counters {
+		out[c.Name] = c.Total
+	}
+	return out
+}

@@ -2,14 +2,23 @@
 // service that multiplexes simulation and experiment jobs from many
 // tenants onto one shared scheduler/simulator pool (internal/server).
 //
-//	tracesimd -addr :8080 -size quick -workers 4
+//	tracesimd -addr :8080 -size quick -workers 4 -journal /var/lib/tracesimd
 //
 // Submit jobs with POST /v1/jobs (see internal/server.Request for the
 // JSON shape), poll GET /v1/jobs/{id} or block on /v1/jobs/{id}/wait,
-// scrape GET /metrics, probe GET /healthz. SIGINT/SIGTERM triggers a
-// graceful drain: admission stops (503), queued and running jobs
-// finish (bounded by -drain-timeout, after which they are cancelled),
-// then the HTTP listener shuts down.
+// scrape GET /metrics, probe GET /healthz (liveness) and /readyz
+// (readiness). SIGINT/SIGTERM triggers a graceful drain: admission
+// stops (503), queued and running jobs finish (bounded by
+// -drain-timeout, after which they are cancelled), then the HTTP
+// listener shuts down.
+//
+// With -journal set, every job state transition is appended to a
+// crash-safe write-ahead log and replayed on the next boot: terminal
+// jobs stay answerable across restarts (even kill -9), jobs that were
+// in flight come back as failed(interrupted) — or requeued with
+// -requeue-interrupted — and idempotency-keyed resubmits dedupe onto
+// the surviving jobs. The listener comes up before replay, answering
+// /healthz live and /readyz 503 until recovery completes.
 package main
 
 import (
@@ -42,6 +51,12 @@ func main() {
 		drainBudget = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget before cancel-all")
 		faultSeed   = flag.Uint64("fault-seed", 0, "served-job fault injection seed")
 		faultProb   = flag.Float64("fault-prob", 0, "served-job panic probability (0 = injection off)")
+
+		journalDir    = flag.String("journal", "", "job journal directory (empty = in-memory only, state lost on restart)")
+		fsyncPolicy   = flag.String("fsync", "interval", "journal fsync policy: always, interval, or none")
+		fsyncInterval = flag.Duration("fsync-interval", 100*time.Millisecond, "journal flush period under -fsync interval")
+		compactEvery  = flag.Int("journal-compact", 4096, "journal records between snapshot compactions")
+		requeue       = flag.Bool("requeue-interrupted", false, "requeue jobs that were in flight at crash time instead of failing them as interrupted")
 	)
 	flag.Parse()
 
@@ -64,21 +79,42 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		TenantRate:      *rate,
-		TenantBurst:     *burst,
-		DefaultDeadline: *deadline,
-		MaxDeadline:     *maxDeadline,
-		Harness:         base,
-		Obs:             obs.New(*tracks),
-		Inject:          inj,
+		Workers:              *workers,
+		QueueDepth:           *queue,
+		TenantRate:           *rate,
+		TenantBurst:          *burst,
+		DefaultDeadline:      *deadline,
+		MaxDeadline:          *maxDeadline,
+		Harness:              base,
+		Obs:                  obs.New(*tracks),
+		Inject:               inj,
+		JournalDir:           *journalDir,
+		JournalFsync:         *fsyncPolicy,
+		JournalFsyncInterval: *fsyncInterval,
+		JournalCompactEvery:  *compactEvery,
+		RequeueInterrupted:   *requeue,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+
+	// Recover in the background so the listener comes up first: during
+	// replay the daemon answers /healthz (live) and 503s /readyz and the
+	// job routes, which is exactly what a restart orchestrator wants.
+	go func() {
+		start := time.Now()
+		if err := srv.Recover(); err != nil {
+			// An unopenable journal is a deployment error; serving without
+			// the promised durability would be worse than not serving.
+			log.Fatalf("tracesimd: journal recovery: %v", err)
+		}
+		if *journalDir != "" {
+			log.Printf("tracesimd: journal recovery complete in %v (dir %s, fsync %s)",
+				time.Since(start).Round(time.Millisecond), *journalDir, *fsyncPolicy)
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

@@ -53,6 +53,19 @@ const (
 	// fault tests use it to prove one tenant's panicking job is contained
 	// to that job's error response.
 	ServedJob Site = "served-job"
+	// JournalTornWrite fires in the job journal's append path
+	// (internal/journal), writing only a deterministic prefix of the
+	// framed record before failing — a crash mid-write. Occurrence
+	// index = the append sequence number since the journal was opened.
+	JournalTornWrite Site = "journal-torn-write"
+	// JournalFsync fires in the journal's fsync path, turning the sync
+	// into an I/O error without losing the buffered write; occurrence
+	// index = the fsync sequence number.
+	JournalFsync Site = "journal-fsync"
+	// JournalFull fires before a journal append touches the disk,
+	// failing it cleanly the way ENOSPC would; occurrence index = the
+	// append sequence number.
+	JournalFull Site = "journal-full"
 )
 
 // Config parameterizes an Injector. The zero value never fires.

@@ -1,0 +1,79 @@
+package journal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzJournalReplay feeds arbitrary bytes to the replayer as a live-log
+// file. Replay must never panic, must never fabricate records (every
+// returned record round-trips through the frame encoder to a prefix of
+// the input), and a journal opened over the debris must stay usable:
+// one append, one reopen, and the appended record is the replay's tail.
+func FuzzJournalReplay(f *testing.F) {
+	// Seeds: empty, header-only, one whole record, a torn record, a
+	// flipped bit, record-then-garbage, and a wrong-generation file.
+	f.Add([]byte{})
+	f.Add(header(0))
+	f.Add(appendFrame(header(0), []byte("hello")))
+	whole := appendFrame(header(3), []byte("first"))
+	f.Add(appendFrame(whole, []byte("second"))[:len(whole)+3])
+	flipped := append([]byte(nil), whole...)
+	flipped[len(flipped)-2] ^= 0x10
+	f.Add(flipped)
+	f.Add(append(appendFrame(header(1), []byte("ok")), 0xff, 0x00, 0x7f))
+	f.Add([]byte("GTRC\x02not a journal"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, walName)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		gen, recs, torn, goodOff, err := readFile(path)
+		if err != nil {
+			t.Fatalf("readFile on fuzz input: %v", err)
+		}
+		// Accepted records must be reconstructible: re-framing them in
+		// order reproduces the file prefix up to goodOff.
+		if goodOff >= 0 && !torn {
+			buf := header(gen)
+			for _, r := range recs {
+				buf = appendFrame(buf, r)
+			}
+			if int64(len(buf)) != goodOff || !bytes.Equal(buf, data[:goodOff]) {
+				t.Fatalf("accepted records do not round-trip: %d records, goodOff %d", len(recs), goodOff)
+			}
+		}
+
+		j, rep, err := Open(Options{Dir: dir, Fsync: FsyncNone})
+		if err != nil {
+			t.Fatalf("Open over fuzz debris: %v", err)
+		}
+		if len(rep.Tail) != len(recs) {
+			t.Fatalf("Open replayed %d records, readFile %d", len(rep.Tail), len(recs))
+		}
+		if err := j.Append([]byte("post-debris")); err != nil {
+			t.Fatalf("append after fuzz debris: %v", err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		j2, rep2, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		defer j2.Close()
+		if rep2.TornTail {
+			t.Fatal("tear reported after truncating repair")
+		}
+		if n := len(rep2.Tail); n != len(recs)+1 {
+			t.Fatalf("reopen replayed %d records, want %d", n, len(recs)+1)
+		}
+		if got := rep2.Tail[len(rep2.Tail)-1]; string(got) != "post-debris" {
+			t.Fatalf("appended record came back as %q", got)
+		}
+	})
+}

@@ -1,0 +1,588 @@
+// Package journal is a durable write-ahead log for serving state: an
+// append-only file of CRC32-framed, length-prefixed records with a
+// configurable fsync policy, periodic snapshot compaction, and a
+// corruption-tolerant replayer.
+//
+// The format copies the discipline of trace format v2 (internal/trace):
+// every record is self-checking, and a file cut off mid-write — the
+// normal result of kill -9 — is detected and tolerated. Replay stops
+// cleanly at the first torn or corrupt frame and reports how much it
+// recovered, instead of refusing to start; the daemon that owns the
+// journal decides what the surviving records mean.
+//
+// On-disk layout inside the journal directory:
+//
+//	snapshot.j   the last compaction's full-state snapshot (optional)
+//	wal.j        records appended since that snapshot
+//	snapshot.tmp in-flight compaction output (ignored and removed on open)
+//
+// Both files share one format:
+//
+//	header:  "TSJL" version uvarint generation
+//	record:  uvarint payloadLen (>0) | payload | crc32
+//
+// Each CRC32 (IEEE, little-endian) covers the record's length varint and
+// payload, so a flipped bit anywhere in a frame fails its checksum and a
+// tail cut anywhere inside a frame is detected as torn. The generation
+// counter makes compaction crash-safe: Compact writes the new snapshot
+// (write-to-temp, fsync, rename) before truncating the live log, both at
+// generation g+1, so a crash between the two steps leaves a stale wal
+// whose generation no longer matches — replay discards it rather than
+// re-applying records the snapshot already contains.
+//
+// Payloads are opaque bytes: the journal guarantees durability and
+// framing, the owner defines record semantics.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"threadsched/internal/fault"
+)
+
+// Format constants.
+const (
+	// Magic identifies a journal file.
+	Magic = "TSJL"
+	// FormatVersion is the journal format this package reads and writes.
+	FormatVersion = 1
+	// MaxRecord bounds one record's payload; a corrupted length varint
+	// must not be trusted with an arbitrary allocation.
+	MaxRecord = 1 << 22
+)
+
+// File names inside the journal directory.
+const (
+	walName      = "wal.j"
+	snapshotName = "snapshot.j"
+	snapshotTmp  = "snapshot.tmp"
+)
+
+// Fsync policies. The trade-off is the usual one: FsyncAlways bounds
+// loss to zero completed appends at one fsync per append; FsyncInterval
+// bounds loss to one interval; FsyncNone leaves flushing to the OS.
+const (
+	FsyncAlways   = "always"
+	FsyncInterval = "interval"
+	FsyncNone     = "none"
+)
+
+var (
+	// ErrBroken reports an append to a journal whose tail is no longer
+	// trustworthy (a previous append tore mid-frame). The journal stays
+	// open for reads/stats but refuses further writes; the owner should
+	// degrade to read-only serving.
+	ErrBroken = errors.New("journal: broken by torn write")
+	// ErrClosed reports use after Close.
+	ErrClosed = errors.New("journal: closed")
+	// errFull is what an injected disk-full append failure returns.
+	errFull = errors.New("journal: injected disk full")
+)
+
+// Options parameterizes Open.
+type Options struct {
+	// Dir is the journal directory; created if missing.
+	Dir string
+	// Fsync is FsyncAlways, FsyncInterval, or FsyncNone ("" = interval).
+	Fsync string
+	// Interval is the FsyncInterval flush period (default 100ms).
+	Interval time.Duration
+	// CompactEvery is advisory: SinceCompact lets the owner poll it, but
+	// the journal never compacts on its own (only the owner can render
+	// the full state a snapshot needs). Default 4096.
+	CompactEvery int
+	// OnFsync, when non-nil, observes every fsync of the live log with
+	// its duration and outcome — the hook the server uses to feed its
+	// journal.fsync_ns histogram without this package importing obs.
+	OnFsync func(d time.Duration, err error)
+	// Inject enables the deterministic crash sites in the write path
+	// (fault.JournalTornWrite, fault.JournalFsync, fault.JournalFull).
+	Inject *fault.Injector
+}
+
+// Replayed is what Open recovered from the directory.
+type Replayed struct {
+	// Snapshot and Tail are the decoded record payloads, in append
+	// order: the snapshot's full-state records first, then the live
+	// log's records since that snapshot. Records() concatenates them.
+	Snapshot [][]byte
+	Tail     [][]byte
+	// TornSnapshot and TornTail report that the corresponding file ended
+	// in a torn or corrupt frame; the decoded prefix is still returned.
+	TornSnapshot bool
+	TornTail     bool
+	// StaleTail reports a live log discarded wholesale because its
+	// generation predates the snapshot — the footprint of a crash
+	// between a compaction's snapshot rename and its log truncation.
+	StaleTail bool
+	// Generation is the recovered compaction generation.
+	Generation uint64
+}
+
+// Records returns snapshot + tail in replay order.
+func (r Replayed) Records() [][]byte {
+	out := make([][]byte, 0, len(r.Snapshot)+len(r.Tail))
+	out = append(out, r.Snapshot...)
+	return append(out, r.Tail...)
+}
+
+// Stats is a point-in-time view of the journal's write-side counters.
+type Stats struct {
+	Appends     uint64 // records successfully appended since Open
+	AppendFails uint64 // appends that returned an error
+	Fsyncs      uint64 // fsyncs of the live log
+	Compactions uint64 // successful Compact calls
+	WalBytes    int64  // current live-log size
+}
+
+// Journal is an open write-ahead log. Methods are safe for concurrent
+// use; appends are serialized internally.
+type Journal struct {
+	opts Options
+
+	mu     sync.Mutex
+	f      *os.File
+	off    int64 // current wal size (append offset)
+	gen    uint64
+	seq    uint64 // append occurrence counter (fault-site index)
+	fseq   uint64 // fsync occurrence counter
+	since  int    // appends since the last compaction
+	stats  Stats
+	dirty  bool // unsynced bytes outstanding
+	broken bool
+	closed bool
+
+	tick *time.Ticker
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Open creates or recovers the journal in opts.Dir, replaying whatever
+// the directory holds. A torn tail is not an error: the decoded prefix
+// comes back in Replayed and the file is truncated back to its last
+// whole record so new appends extend a clean tail.
+func Open(opts Options) (*Journal, Replayed, error) {
+	if opts.Fsync == "" {
+		opts.Fsync = FsyncInterval
+	}
+	switch opts.Fsync {
+	case FsyncAlways, FsyncInterval, FsyncNone:
+	default:
+		return nil, Replayed{}, fmt.Errorf("journal: unknown fsync policy %q", opts.Fsync)
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 100 * time.Millisecond
+	}
+	if opts.CompactEvery <= 0 {
+		opts.CompactEvery = 4096
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, Replayed{}, err
+	}
+	// A snapshot.tmp is an interrupted compaction that never reached its
+	// rename: never valid state, always discarded.
+	_ = os.Remove(filepath.Join(opts.Dir, snapshotTmp))
+
+	var rep Replayed
+	snapGen, snapRecs, snapTorn, snapOff, err := readFile(filepath.Join(opts.Dir, snapshotName))
+	if err != nil {
+		return nil, Replayed{}, err
+	}
+	snapExists := snapOff >= 0
+	rep.Snapshot, rep.TornSnapshot = snapRecs, snapTorn
+	rep.Generation = snapGen
+
+	walPath := filepath.Join(opts.Dir, walName)
+	walGen, walRecs, walTorn, goodOff, err := readFile(walPath)
+	if err != nil {
+		return nil, Replayed{}, err
+	}
+	if !snapExists && goodOff >= 0 {
+		// No snapshot to anchor a generation check (none was ever
+		// written, or it was removed externally): adopt the log's own
+		// generation and replay it whole.
+		snapGen = walGen
+		rep.Generation = walGen
+	}
+	j := &Journal{opts: opts, gen: snapGen}
+	switch {
+	case goodOff < 0:
+		// No live log (or an unreadable header): start one fresh at the
+		// snapshot's generation.
+		if walTorn {
+			rep.TornTail = true
+		}
+		if err := j.createWal(walPath); err != nil {
+			return nil, Replayed{}, err
+		}
+	case walGen != snapGen:
+		// Stale log from a compaction interrupted between snapshot rename
+		// and log truncation: the snapshot already contains these records.
+		rep.StaleTail = true
+		if err := j.createWal(walPath); err != nil {
+			return nil, Replayed{}, err
+		}
+	default:
+		rep.Tail, rep.TornTail = walRecs, walTorn
+		if walTorn {
+			// Cut the torn frame off so appends extend a clean tail.
+			if err := os.Truncate(walPath, goodOff); err != nil {
+				return nil, Replayed{}, err
+			}
+		}
+		f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, Replayed{}, err
+		}
+		j.f, j.off = f, goodOff
+	}
+	j.stats.WalBytes = j.off
+	if opts.Fsync == FsyncInterval {
+		j.tick = time.NewTicker(opts.Interval)
+		j.stop = make(chan struct{})
+		j.done = make(chan struct{})
+		go j.flusher()
+	}
+	return j, rep, nil
+}
+
+// createWal starts an empty live log at the journal's current
+// generation, replacing whatever was at path.
+func (j *Journal) createWal(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	hdr := header(j.gen)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	j.f, j.off = f, int64(len(hdr))
+	return syncDir(j.opts.Dir)
+}
+
+// flusher is the FsyncInterval background goroutine.
+func (j *Journal) flusher() {
+	defer close(j.done)
+	for {
+		select {
+		case <-j.tick.C:
+			_ = j.Sync()
+		case <-j.stop:
+			return
+		}
+	}
+}
+
+// Append frames payload and writes it to the live log, fsyncing per the
+// journal's policy. An error means the record is not durably promised:
+// a torn write additionally poisons the journal (ErrBroken thereafter),
+// because the on-disk tail now ends mid-frame.
+func (j *Journal) Append(payload []byte) error {
+	if len(payload) == 0 || len(payload) > MaxRecord {
+		return fmt.Errorf("journal: record payload size %d out of range (0, %d]", len(payload), MaxRecord)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if j.broken {
+		return ErrBroken
+	}
+	n := j.seq
+	j.seq++
+	if j.opts.Inject.Fires(fault.JournalFull, n) {
+		j.stats.AppendFails++
+		return errFull
+	}
+	frame := appendFrame(nil, payload)
+	if cut, ok := j.opts.Inject.TruncateAt(fault.JournalTornWrite, n, frame, 0); ok {
+		// Crash mid-write: a prefix of the frame reaches the disk, the
+		// rest never will. The tail is now torn; poison the journal.
+		if _, err := j.f.Write(frame[:cut]); err == nil {
+			j.off += int64(cut)
+			j.stats.WalBytes = j.off
+		}
+		j.broken = true
+		j.stats.AppendFails++
+		return fmt.Errorf("%w (injected at append %d)", ErrBroken, n)
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		// A short write leaves an undiagnosable tail; poison.
+		j.broken = true
+		j.stats.AppendFails++
+		return err
+	}
+	j.off += int64(len(frame))
+	j.stats.WalBytes = j.off
+	j.dirty = true
+	j.stats.Appends++
+	j.since++
+	if j.opts.Fsync == FsyncAlways {
+		if err := j.syncLocked(); err != nil {
+			j.stats.AppendFails++
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync flushes the live log to stable storage (a no-op when nothing is
+// dirty).
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed || j.f == nil || !j.dirty {
+		return nil
+	}
+	return j.syncLocked()
+}
+
+func (j *Journal) syncLocked() error {
+	n := j.fseq
+	j.fseq++
+	start := time.Now()
+	var err error
+	if j.opts.Inject.Fires(fault.JournalFsync, n) {
+		err = fmt.Errorf("journal: injected fsync failure (fsync %d)", n)
+	} else {
+		err = j.f.Sync()
+	}
+	j.stats.Fsyncs++
+	if err == nil {
+		j.dirty = false
+	}
+	if j.opts.OnFsync != nil {
+		j.opts.OnFsync(time.Since(start), err)
+	}
+	return err
+}
+
+// Compact atomically replaces the snapshot with state (the owner's full
+// current state, one record per entry) and truncates the live log, both
+// at a new generation. On return every record in state is durable and
+// the live log is empty; on error the previous snapshot + log remain
+// valid (the failed snapshot.tmp is discarded on next Open).
+func (j *Journal) Compact(state [][]byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if j.broken {
+		return ErrBroken
+	}
+	gen := j.gen + 1
+	tmp := filepath.Join(j.opts.Dir, snapshotTmp)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	buf := header(gen)
+	for _, rec := range state {
+		if len(rec) == 0 || len(rec) > MaxRecord {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("journal: snapshot record size %d out of range (0, %d]", len(rec), MaxRecord)
+		}
+		buf = appendFrame(buf, rec)
+	}
+	if _, err := f.Write(buf); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(j.opts.Dir, snapshotName)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncDir(j.opts.Dir); err != nil {
+		return err
+	}
+	// The snapshot is durable at gen; recreate the live log at gen. A
+	// crash before the recreate completes leaves a stale-generation log
+	// that replay discards.
+	old := j.f
+	j.gen = gen
+	if err := j.createWal(filepath.Join(j.opts.Dir, walName)); err != nil {
+		j.broken = true // snapshot advanced but the log did not: stop writes
+		return err
+	}
+	if old != nil {
+		old.Close()
+	}
+	j.since = 0
+	j.dirty = false
+	j.stats.Compactions++
+	j.stats.WalBytes = j.off
+	return nil
+}
+
+// SinceCompact returns the number of records appended since the last
+// compaction (or since Open), for the owner's compaction trigger.
+func (j *Journal) SinceCompact() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.since
+}
+
+// CompactEvery echoes the advisory threshold from Options.
+func (j *Journal) CompactEvery() int { return j.opts.CompactEvery }
+
+// Broken reports whether the journal has refused writes since a torn
+// append.
+func (j *Journal) Broken() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.broken
+}
+
+// Generation returns the current compaction generation.
+func (j *Journal) Generation() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.gen
+}
+
+// Stats returns the write-side counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stats
+}
+
+// Close flushes and closes the journal. Safe to call twice.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	var err error
+	if j.f != nil {
+		if j.dirty && !j.broken {
+			err = j.f.Sync()
+		}
+		if cerr := j.f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	tick, stop, done := j.tick, j.stop, j.done
+	j.mu.Unlock()
+	if tick != nil {
+		tick.Stop()
+		close(stop)
+		<-done
+	}
+	return err
+}
+
+// header renders the file header for a generation.
+func header(gen uint64) []byte {
+	b := make([]byte, 0, len(Magic)+1+binary.MaxVarintLen64)
+	b = append(b, Magic...)
+	b = append(b, FormatVersion)
+	return binary.AppendUvarint(b, gen)
+}
+
+// appendFrame appends one framed record (length varint | payload | crc32
+// over both) to buf.
+func appendFrame(buf, payload []byte) []byte {
+	start := len(buf)
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	crc := crc32.ChecksumIEEE(buf[start:])
+	return binary.LittleEndian.AppendUint32(buf, crc)
+}
+
+// readFile decodes one journal file. Returns goodOff = -1 when the file
+// is absent or its header is unusable (the caller recreates it); torn
+// reports a file that ended inside a frame or whose last frame failed
+// its checksum — the decoded prefix is still returned, and goodOff is
+// the offset just past the last whole record.
+func readFile(path string) (gen uint64, recs [][]byte, torn bool, goodOff int64, err error) {
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		if errors.Is(rerr, os.ErrNotExist) {
+			return 0, nil, false, -1, nil
+		}
+		return 0, nil, false, -1, rerr
+	}
+	hdrLen := len(Magic) + 1
+	if len(data) < hdrLen || string(data[:len(Magic)]) != Magic || data[len(Magic)] != FormatVersion {
+		// Unreadable header: a crash during file creation (or something
+		// that is not a journal). Nothing recoverable.
+		return 0, nil, true, -1, nil
+	}
+	g, n := canonUvarint(data[hdrLen:])
+	if n <= 0 {
+		return 0, nil, true, -1, nil
+	}
+	off := hdrLen + n
+	gen = g
+	for off < len(data) {
+		l, n := canonUvarint(data[off:])
+		if n <= 0 || l == 0 || l > MaxRecord {
+			return gen, recs, true, int64(off), nil
+		}
+		end := off + n + int(l)
+		if end+4 > len(data) {
+			return gen, recs, true, int64(off), nil
+		}
+		want := binary.LittleEndian.Uint32(data[end : end+4])
+		if crc32.ChecksumIEEE(data[off:end]) != want {
+			return gen, recs, true, int64(off), nil
+		}
+		rec := make([]byte, l)
+		copy(rec, data[off+n:end])
+		recs = append(recs, rec)
+		off = end + 4
+	}
+	return gen, recs, false, int64(off), nil
+}
+
+// canonUvarint decodes a minimally-encoded uvarint, returning n <= 0
+// for truncated, overlong, and zero-padded encodings alike. The
+// journal's writer only emits minimal varints, so a non-minimal one is
+// damage — and rejecting it keeps replay's invariant that every
+// accepted record re-frames to the exact bytes on disk.
+func canonUvarint(b []byte) (uint64, int) {
+	v, n := binary.Uvarint(b)
+	if n > 0 && n != len(binary.AppendUvarint(nil, v)) {
+		return 0, -n
+	}
+	return v, n
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable (best-effort on platforms where directories reject fsync).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, errors.ErrUnsupported) {
+		return err
+	}
+	return nil
+}

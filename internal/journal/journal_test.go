@@ -1,0 +1,428 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"threadsched/internal/fault"
+)
+
+func mustOpen(t *testing.T, opts Options) (*Journal, Replayed) {
+	t.Helper()
+	j, rep, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", opts.Dir, err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j, rep
+}
+
+func rec(i int) []byte { return []byte(fmt.Sprintf("record-%04d", i)) }
+
+func appendN(t *testing.T, j *Journal, from, n int) {
+	t.Helper()
+	for i := from; i < from+n; i++ {
+		if err := j.Append(rec(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+func wantRecords(t *testing.T, got [][]byte, from, n int) {
+	t.Helper()
+	if len(got) != n {
+		t.Fatalf("got %d records, want %d", len(got), n)
+	}
+	for i, r := range got {
+		if !bytes.Equal(r, rec(from+i)) {
+			t.Fatalf("record %d = %q, want %q", i, r, rec(from+i))
+		}
+	}
+}
+
+// A fresh journal round-trips its records through a reopen, in order.
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, rep := mustOpen(t, Options{Dir: dir, Fsync: FsyncAlways})
+	if len(rep.Records()) != 0 || rep.TornTail {
+		t.Fatalf("fresh dir replayed %+v", rep)
+	}
+	appendN(t, j, 0, 25)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rep = mustOpen(t, Options{Dir: dir})
+	if rep.TornTail || rep.TornSnapshot || rep.StaleTail {
+		t.Fatalf("clean reopen flagged damage: %+v", rep)
+	}
+	wantRecords(t, rep.Records(), 0, 25)
+}
+
+// Replay after a torn tail: a file cut mid-frame yields every whole
+// record, flags the tear, and leaves the journal appendable — the
+// truncated tail must not resurface in later replays.
+func TestReplayAfterTornTail(t *testing.T) {
+	for _, cut := range []int{1, 5, 11} { // bytes removed from the tail
+		t.Run(fmt.Sprintf("cut%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			j, _ := mustOpen(t, Options{Dir: dir, Fsync: FsyncAlways})
+			appendN(t, j, 0, 10)
+			j.Close()
+
+			path := filepath.Join(dir, walName)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data[:len(data)-cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			j2, rep := mustOpen(t, Options{Dir: dir, Fsync: FsyncAlways})
+			if !rep.TornTail {
+				t.Fatal("torn tail not reported")
+			}
+			wantRecords(t, rep.Records(), 0, 9)
+			// The tail is clean again: appends extend it and replay sees
+			// the surviving prefix plus the new records, nothing else.
+			appendN(t, j2, 9, 3) // re-append the lost record and two more
+			j2.Close()
+			_, rep = mustOpen(t, Options{Dir: dir})
+			if rep.TornTail {
+				t.Fatal("tear reported after truncating repair")
+			}
+			wantRecords(t, rep.Records(), 0, 12)
+		})
+	}
+}
+
+// A flipped bit mid-file stops replay at the damaged frame (corruption
+// tolerance means never replaying garbage, not recovering it).
+func TestReplayStopsAtCorruptFrame(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, Options{Dir: dir, Fsync: FsyncAlways})
+	appendN(t, j, 0, 10)
+	j.Close()
+
+	path := filepath.Join(dir, walName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rep := mustOpen(t, Options{Dir: dir})
+	if !rep.TornTail {
+		t.Fatal("corrupt frame not reported")
+	}
+	if n := len(rep.Records()); n >= 10 {
+		t.Fatalf("replayed %d records through a corrupt frame", n)
+	}
+	for i, r := range rep.Records() {
+		if !bytes.Equal(r, rec(i)) {
+			t.Fatalf("surviving record %d = %q, want %q", i, r, rec(i))
+		}
+	}
+}
+
+// Snapshot + tail replay is equivalent to the full record stream: after
+// Compact(state), a reopen returns exactly state then the post-compact
+// appends.
+func TestSnapshotTailEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, Options{Dir: dir, Fsync: FsyncAlways})
+	appendN(t, j, 0, 50)
+	// The owner's folded state: say records 10..29 survived folding.
+	var state [][]byte
+	for i := 10; i < 30; i++ {
+		state = append(state, rec(i))
+	}
+	if err := j.Compact(state); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if got := j.SinceCompact(); got != 0 {
+		t.Fatalf("SinceCompact after compact = %d", got)
+	}
+	appendN(t, j, 30, 5)
+	j.Close()
+
+	_, rep := mustOpen(t, Options{Dir: dir})
+	if rep.TornTail || rep.TornSnapshot || rep.StaleTail {
+		t.Fatalf("damage flagged: %+v", rep)
+	}
+	wantRecords(t, rep.Snapshot, 10, 20)
+	wantRecords(t, rep.Tail, 30, 5)
+	wantRecords(t, rep.Records(), 10, 25)
+	if rep.Generation != 1 {
+		t.Fatalf("generation = %d, want 1", rep.Generation)
+	}
+}
+
+// A stale live log — the footprint of a crash between a compaction's
+// snapshot rename and its log truncation — is discarded, not replayed on
+// top of the snapshot that already contains its records.
+func TestStaleTailDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, Options{Dir: dir, Fsync: FsyncAlways})
+	appendN(t, j, 0, 10)
+	if err := j.Compact([][]byte{rec(100)}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Reconstruct the pre-compaction log: generation 0 with old records.
+	buf := header(0)
+	for i := 0; i < 10; i++ {
+		buf = appendFrame(buf, rec(i))
+	}
+	if err := os.WriteFile(filepath.Join(dir, walName), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, rep := mustOpen(t, Options{Dir: dir, Fsync: FsyncAlways})
+	if !rep.StaleTail {
+		t.Fatal("stale tail not reported")
+	}
+	if len(rep.Tail) != 0 {
+		t.Fatalf("stale tail replayed %d records", len(rep.Tail))
+	}
+	wantRecords(t, rep.Snapshot, 100, 1)
+	// The recreated log carries the snapshot's generation: post-recovery
+	// appends replay normally.
+	appendN(t, j2, 200, 1)
+	j2.Close()
+	_, rep = mustOpen(t, Options{Dir: dir})
+	if rep.StaleTail || len(rep.Tail) != 1 || !bytes.Equal(rep.Tail[0], rec(200)) {
+		t.Fatalf("post-recovery replay: %+v", rep)
+	}
+}
+
+// An interrupted compaction's snapshot.tmp is discarded on open and
+// never treated as state.
+func TestSnapshotTmpDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, Options{Dir: dir, Fsync: FsyncAlways})
+	appendN(t, j, 0, 3)
+	j.Close()
+	if err := os.WriteFile(filepath.Join(dir, snapshotTmp), []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rep := mustOpen(t, Options{Dir: dir})
+	wantRecords(t, rep.Records(), 0, 3)
+	if _, err := os.Stat(filepath.Join(dir, snapshotTmp)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("snapshot.tmp survived open")
+	}
+}
+
+// Concurrent appends during compaction, under the owner-lock protocol
+// (state built and Compact called under the same lock that serializes
+// appends): every acknowledged record is in exactly one of snapshot or
+// tail after replay.
+func TestConcurrentAppendDuringCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, Options{Dir: dir, Fsync: FsyncInterval, Interval: time.Millisecond})
+
+	var (
+		ownerMu sync.Mutex // the owner's serialization, as in internal/server
+		state   [][]byte
+		wg      sync.WaitGroup
+	)
+	const writers, perWriter = 4, 50
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				ownerMu.Lock()
+				r := []byte(fmt.Sprintf("w%d-%04d", w, i))
+				if err := j.Append(r); err != nil {
+					ownerMu.Unlock()
+					t.Errorf("append: %v", err)
+					return
+				}
+				state = append(state, r)
+				ownerMu.Unlock()
+			}
+		}(w)
+	}
+	compacted := 0
+	for i := 0; i < 10; i++ {
+		time.Sleep(2 * time.Millisecond)
+		ownerMu.Lock()
+		snap := make([][]byte, len(state))
+		copy(snap, state)
+		if err := j.Compact(snap); err != nil {
+			t.Errorf("compact: %v", err)
+		} else {
+			compacted++
+		}
+		ownerMu.Unlock()
+	}
+	wg.Wait()
+	if compacted == 0 {
+		t.Fatal("no compaction ran")
+	}
+	j.Close()
+
+	_, rep := mustOpen(t, Options{Dir: dir})
+	if rep.TornTail || rep.TornSnapshot || rep.StaleTail {
+		t.Fatalf("damage flagged: %+v", rep)
+	}
+	got := rep.Records()
+	if len(got) != writers*perWriter {
+		t.Fatalf("replayed %d records, want %d", len(got), writers*perWriter)
+	}
+	ownerMu.Lock()
+	defer ownerMu.Unlock()
+	for i, r := range got {
+		if !bytes.Equal(r, state[i]) {
+			t.Fatalf("record %d = %q, want %q", i, r, state[i])
+		}
+	}
+}
+
+// Seeded fault crash matrix: a torn write at the first, a middle, and
+// the last record. Records before the tear survive replay; the journal
+// is poisoned after the tear and writable again after reopen.
+func TestFaultCrashMatrix(t *testing.T) {
+	const n = 20
+	for _, at := range []uint64{0, n / 2, n - 1} {
+		t.Run(fmt.Sprintf("torn-at-%d", at), func(t *testing.T) {
+			dir := t.TempDir()
+			inj := fault.New(fault.Config{
+				Seed: 42,
+				At:   map[fault.Site][]uint64{fault.JournalTornWrite: {at}},
+			})
+			j, _ := mustOpen(t, Options{Dir: dir, Fsync: FsyncAlways, Inject: inj})
+			var tornAt = -1
+			for i := 0; i < n; i++ {
+				err := j.Append(rec(i))
+				switch {
+				case uint64(i) == at:
+					if !errors.Is(err, ErrBroken) {
+						t.Fatalf("append %d: err = %v, want ErrBroken", i, err)
+					}
+					tornAt = i
+				case tornAt >= 0:
+					if !errors.Is(err, ErrBroken) {
+						t.Fatalf("append %d after tear: err = %v, want ErrBroken", i, err)
+					}
+				default:
+					if err != nil {
+						t.Fatalf("append %d: %v", i, err)
+					}
+				}
+			}
+			if !j.Broken() {
+				t.Fatal("journal not marked broken")
+			}
+			if err := j.Compact(nil); !errors.Is(err, ErrBroken) {
+				t.Fatalf("compact on broken journal: %v", err)
+			}
+			j.Close()
+
+			j2, rep := mustOpen(t, Options{Dir: dir, Fsync: FsyncAlways})
+			if !rep.TornTail {
+				t.Fatal("torn tail not reported on reopen")
+			}
+			wantRecords(t, rep.Records(), 0, int(at))
+			appendN(t, j2, int(at), 1)
+			j2.Close()
+			_, rep = mustOpen(t, Options{Dir: dir})
+			wantRecords(t, rep.Records(), 0, int(at)+1)
+		})
+	}
+}
+
+// An injected disk-full failure fails that append cleanly: nothing is
+// written, the journal is not poisoned, and later appends land.
+func TestFaultDiskFull(t *testing.T) {
+	dir := t.TempDir()
+	inj := fault.New(fault.Config{
+		Seed: 7,
+		At:   map[fault.Site][]uint64{fault.JournalFull: {1}},
+	})
+	j, _ := mustOpen(t, Options{Dir: dir, Fsync: FsyncAlways, Inject: inj})
+	if err := j.Append(rec(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(rec(99)); err == nil {
+		t.Fatal("disk-full append succeeded")
+	}
+	if j.Broken() {
+		t.Fatal("clean append failure poisoned the journal")
+	}
+	if err := j.Append(rec(1)); err != nil {
+		t.Fatalf("append after disk-full: %v", err)
+	}
+	j.Close()
+	_, rep := mustOpen(t, Options{Dir: dir})
+	wantRecords(t, rep.Records(), 0, 2)
+}
+
+// An injected fsync failure under FsyncAlways surfaces as the append's
+// error; the record itself reached the file, so replay may include it —
+// the promise broken is durability, not framing.
+func TestFaultFsyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	inj := fault.New(fault.Config{
+		Seed: 7,
+		At:   map[fault.Site][]uint64{fault.JournalFsync: {1}},
+	})
+	j, _ := mustOpen(t, Options{Dir: dir, Fsync: FsyncAlways, Inject: inj})
+	if err := j.Append(rec(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(rec(1)); err == nil {
+		t.Fatal("fsync failure not surfaced")
+	}
+	if j.Broken() {
+		t.Fatal("fsync failure poisoned the journal (frame is whole)")
+	}
+	st := j.Stats()
+	if st.AppendFails != 1 {
+		t.Fatalf("AppendFails = %d, want 1", st.AppendFails)
+	}
+	j.Close()
+	_, rep := mustOpen(t, Options{Dir: dir})
+	if rep.TornTail {
+		t.Fatal("whole frames flagged as torn")
+	}
+	wantRecords(t, rep.Records(), 0, 2)
+}
+
+// Oversized and empty payloads are rejected before touching the disk.
+func TestPayloadBounds(t *testing.T) {
+	j, _ := mustOpen(t, Options{Dir: t.TempDir()})
+	if err := j.Append(nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+	if err := j.Append(make([]byte, MaxRecord+1)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+	if st := j.Stats(); st.Appends != 0 {
+		t.Fatalf("rejected payloads counted: %+v", st)
+	}
+}
+
+// Close is idempotent and the interval flusher shuts down cleanly.
+func TestCloseIdempotent(t *testing.T) {
+	j, _ := mustOpen(t, Options{Dir: t.TempDir(), Fsync: FsyncInterval, Interval: time.Millisecond})
+	appendN(t, j, 0, 3)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := j.Append(rec(9)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+}

@@ -12,14 +12,22 @@ import (
 
 // Handler returns the daemon's HTTP API:
 //
-//	POST /v1/jobs               submit a Request; 202 + Status, or
+//	POST /v1/jobs               submit a Request; 202 + Status (200 when
+//	                            an idempotency key deduped it), or
 //	                            400 (bad request/spec), 429 + Retry-After
-//	                            (rate limit or full queue), 503 (draining)
+//	                            (rate limit or full queue), 503 (not
+//	                            ready, degraded read-only, or draining)
 //	GET  /v1/jobs/{id}          poll a job's Status
 //	GET  /v1/jobs/{id}/wait     block until terminal or ?timeout_ms
 //	POST /v1/jobs/{id}/cancel   request cancellation
 //	GET  /healthz               liveness + load (503 while draining)
+//	GET  /readyz                readiness: 503 until journal replay has
+//	                            completed and the pool is admitting
 //	GET  /metrics               the obs registry snapshot as JSON
+//
+// Job routes answer 503 + Retry-After (not 404) until recovery replay
+// completes: during replay the daemon is live but cannot yet know which
+// job IDs it is responsible for.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -27,8 +35,20 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/wait", s.handleWait)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// notReady answers 503 + Retry-After on job routes until recovery
+// replay completes, reporting whether it wrote a response.
+func (s *Server) notReady(w http.ResponseWriter) bool {
+	if s.Ready() {
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, errors.New("server: recovering, not ready"))
+	return true
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -51,10 +71,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	if st.Deduped {
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
 	writeJSON(w, http.StatusAccepted, st)
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	if s.notReady(w) {
+		return
+	}
 	st, ok := s.Get(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, errors.New("server: no such job"))
@@ -76,6 +103,9 @@ func (s *Server) handleWait(w http.ResponseWriter, r *http.Request) {
 			timeout = 2 * time.Minute
 		}
 	}
+	if s.notReady(w) {
+		return
+	}
 	st, ok := s.Wait(r.PathValue("id"), timeout)
 	if !ok {
 		writeError(w, http.StatusNotFound, errors.New("server: no such job"))
@@ -85,6 +115,9 @@ func (s *Server) handleWait(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if s.notReady(w) {
+		return
+	}
 	st, ok := s.Cancel(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, errors.New("server: no such job"))
@@ -93,20 +126,58 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// handleHealth is the liveness probe: it answers as soon as the
+// listener is up — including during journal replay — and only fails
+// once the daemon is draining toward exit.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	queued, inflight := s.Load()
+	degraded, reason := s.Degraded()
 	body := map[string]any{
 		"status":      "ok",
+		"ready":       s.Ready(),
 		"draining":    s.Draining(),
+		"degraded":    degraded,
 		"queue_depth": queued,
 		"inflight":    inflight,
 	}
+	if degraded {
+		body["degraded_reason"] = reason
+	}
 	code := http.StatusOK
-	if s.Draining() {
+	switch {
+	case s.Draining():
 		body["status"] = "draining"
 		code = http.StatusServiceUnavailable
+	case !s.Ready():
+		body["status"] = "recovering"
+	case degraded:
+		body["status"] = "degraded"
 	}
 	writeJSON(w, code, body)
+}
+
+// handleReady is the readiness probe: 503 until recovery replay has
+// completed and the pool is admitting, 503 again once draining.
+// Degraded read-only mode stays ready — polls are still served; only
+// submits are rejected, per-request, with their own 503.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	degraded, _ := s.Degraded()
+	body := map[string]any{
+		"ready":    s.Ready(),
+		"draining": s.Draining(),
+		"degraded": degraded,
+	}
+	switch {
+	case s.Draining():
+		body["status"] = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+	case !s.Ready():
+		body["status"] = "recovering"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+	default:
+		body["status"] = "ready"
+		writeJSON(w, http.StatusOK, body)
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,365 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"sort"
+	"time"
+
+	"threadsched/internal/fault"
+	"threadsched/internal/harness"
+	"threadsched/internal/journal"
+)
+
+// The server's journal records: one JSON payload per job state
+// transition, framed and checksummed by internal/journal. Replay folds
+// them in append order; the fold is tolerant of records for unknown
+// jobs (their accept record fell past a torn tail) and of duplicates.
+const (
+	opAccept = "accept" // job admitted: identity + original request
+	opRun    = "run"    // job left the queue
+	opDone   = "done"   // terminal: completed with a result or table
+	opFail   = "fail"   // terminal: failed (error text, panic flag)
+	opCancel = "cancel" // terminal: cancelled
+	opEvict  = "evict"  // tombstone: retention evicted a terminal job
+	opSnap   = "snap"   // compaction snapshot: one job's full state
+)
+
+// interruptedError is the error text of a job that was queued or
+// running when the daemon died; clients distinguish it from real
+// failures by this prefix.
+const interruptedError = "interrupted: daemon restarted mid-job"
+
+// jrec is one journal record. Field presence depends on Op; zero
+// fields are elided from the JSON.
+type jrec struct {
+	Op       string   `json:"op"`
+	ID       string   `json:"id"`
+	Seq      uint64   `json:"seq,omitempty"`
+	Tenant   string   `json:"tenant,omitempty"`
+	What     string   `json:"what,omitempty"`
+	Idem     string   `json:"idem,omitempty"`
+	Req      *Request `json:"req,omitempty"`
+	State    string   `json:"state,omitempty"` // snap only
+	Error    string   `json:"error,omitempty"`
+	Panic    bool     `json:"panic,omitempty"`
+	Result   *Result  `json:"result,omitempty"`
+	Table    string   `json:"table,omitempty"`
+	QueueMS  int64    `json:"queue_ms,omitempty"`
+	RunMS    int64    `json:"run_ms,omitempty"`
+	SubmitMS int64    `json:"submit_ms,omitempty"`
+}
+
+// appendLocked journals one record. A failed append flips the server
+// into degraded read-only mode (polls keep serving, submits get 503):
+// the durability promise is "accepted means remembered", and a server
+// that cannot remember must stop accepting. No-op without a journal.
+func (s *Server) appendLocked(r jrec) error {
+	if s.jr == nil {
+		return nil
+	}
+	raw, err := json.Marshal(r)
+	if err == nil {
+		err = s.jr.Append(raw)
+	}
+	if err != nil {
+		s.cJAppendErrs.Inc(0)
+		s.degradeLocked("journal append failed: " + err.Error())
+		return err
+	}
+	s.cJAppends.Inc(0)
+	return nil
+}
+
+// degradeLocked enters (sticky) degraded read-only mode.
+func (s *Server) degradeLocked(reason string) {
+	if !s.degraded {
+		s.degraded = true
+		s.degradedReason = reason
+		s.gDegraded.Set(0, 1)
+	}
+}
+
+// acceptRec renders a job's admission record (also the snapshot shape,
+// with Op/State rewritten).
+func acceptRec(j *Job) jrec {
+	r := jrec{
+		Op:       opAccept,
+		ID:       j.ID,
+		Seq:      j.seq,
+		Tenant:   j.Tenant,
+		What:     j.what,
+		Idem:     j.idem,
+		SubmitMS: j.submitted.UnixMilli(),
+	}
+	if j.req.Kind != "" {
+		req := j.req
+		r.Req = &req
+	}
+	return r
+}
+
+// terminalRec renders a job's terminal record; the caller has already
+// set state/errText/result/finished.
+func terminalRec(j *Job) jrec {
+	r := jrec{
+		ID:     j.ID,
+		Error:  j.errText,
+		Panic:  j.panicked,
+		Result: j.result,
+		Table:  j.table,
+	}
+	switch j.state {
+	case StateDone:
+		r.Op = opDone
+	case StateCancelled:
+		r.Op = opCancel
+	default:
+		r.Op = opFail
+	}
+	switch {
+	case j.restored:
+		r.QueueMS, r.RunMS = j.restQueueMS, j.restRunMS
+	case j.started.IsZero(): // cancelled while queued
+		r.QueueMS = ms(j.finished.Sub(j.submitted))
+	default:
+		r.QueueMS = ms(j.started.Sub(j.submitted))
+		r.RunMS = ms(j.finished.Sub(j.started))
+	}
+	return r
+}
+
+// snapRec renders a job's full state for a compaction snapshot.
+func snapRec(j *Job) jrec {
+	var r jrec
+	switch j.state {
+	case StateDone, StateFailed, StateCancelled:
+		r = terminalRec(j)
+		r.Seq, r.Tenant, r.What, r.Idem = j.seq, j.Tenant, j.what, j.idem
+		r.SubmitMS = j.submitted.UnixMilli()
+	default:
+		// Queued or running: the snapshot captures the admission, so a
+		// later crash still resolves the job (as interrupted).
+		r = acceptRec(j)
+	}
+	r.Op, r.State = opSnap, j.state
+	return r
+}
+
+// maybeCompactLocked folds the retained jobs into a snapshot once
+// enough records accumulated since the last one. Compaction failure
+// degrades like an append failure.
+func (s *Server) maybeCompactLocked() {
+	if s.jr == nil || s.jr.SinceCompact() < s.jr.CompactEvery() {
+		return
+	}
+	state := make([][]byte, 0, len(s.order))
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j == nil {
+			continue
+		}
+		raw, err := json.Marshal(snapRec(j))
+		if err != nil {
+			s.cJAppendErrs.Inc(0)
+			s.degradeLocked("journal snapshot encode failed: " + err.Error())
+			return
+		}
+		state = append(state, raw)
+	}
+	if err := s.jr.Compact(state); err != nil {
+		s.cJAppendErrs.Inc(0)
+		s.degradeLocked("journal compaction failed: " + err.Error())
+		return
+	}
+	s.cJCompactions.Inc(0)
+}
+
+// Recover opens the journal (when Config.JournalDir is set), replays it
+// into the job table, resolves jobs that were in flight at crash time,
+// and marks the server ready. Without a journal it just marks ready.
+// Until Recover runs, submits and job reads answer 503 not-ready; call
+// it exactly once, after New and before serving traffic. Safe to call
+// again (no-op).
+func (s *Server) Recover() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.recovered {
+		return nil
+	}
+	if s.cfg.JournalDir == "" {
+		s.recovered = true
+		s.readyLocked()
+		return nil
+	}
+	jr, rep, err := journal.Open(journal.Options{
+		Dir:          s.cfg.JournalDir,
+		Fsync:        s.cfg.JournalFsync,
+		Interval:     s.cfg.JournalFsyncInterval,
+		CompactEvery: s.cfg.JournalCompactEvery,
+		Inject:       s.cfg.Inject,
+		OnFsync: func(d time.Duration, err error) {
+			s.hJFsync.Observe(0, uint64(d))
+			if err != nil {
+				s.cJFsyncErrs.Inc(0)
+			}
+		},
+	})
+	if err != nil {
+		// An unopenable journal directory is a deployment error, not a
+		// torn tail; refusing to start beats serving amnesiac.
+		return err
+	}
+	s.recovered = true
+	s.jr = jr
+	if rep.TornTail {
+		s.cJTornTail.Inc(0)
+	}
+	if rep.TornSnapshot {
+		s.cJTornSnap.Inc(0)
+	}
+	s.replayLocked(rep.Records())
+	s.readyLocked()
+	return nil
+}
+
+func (s *Server) readyLocked() {
+	s.ready.Store(true)
+	s.gReady.Set(0, 1)
+}
+
+// replayLocked folds the journal's records back into the job table.
+func (s *Server) replayLocked(records [][]byte) {
+	folded := make(map[string]*Job, len(records))
+	for _, raw := range records {
+		var r jrec
+		if err := json.Unmarshal(raw, &r); err != nil || r.ID == "" {
+			s.cJBadRecs.Inc(0)
+			continue
+		}
+		s.cJReplayed.Inc(0)
+		switch r.Op {
+		case opAccept, opSnap:
+			j := &Job{
+				ID:        r.ID,
+				Tenant:    r.Tenant,
+				what:      r.What,
+				seq:       r.Seq,
+				idem:      r.Idem,
+				state:     StateQueued,
+				submitted: time.UnixMilli(r.SubmitMS),
+				done:      make(chan struct{}),
+			}
+			if r.Req != nil {
+				j.req = *r.Req
+			}
+			if r.Op == opSnap {
+				j.state = r.State
+				switch r.State {
+				case StateDone, StateFailed, StateCancelled:
+					j.errText, j.panicked = r.Error, r.Panic
+					j.result, j.table = r.Result, r.Table
+					j.restored = true
+					j.restQueueMS, j.restRunMS = r.QueueMS, r.RunMS
+				}
+			}
+			folded[r.ID] = j
+		case opRun:
+			if j := folded[r.ID]; j != nil {
+				j.state = StateRunning
+			}
+		case opDone, opFail, opCancel:
+			j := folded[r.ID]
+			if j == nil {
+				continue
+			}
+			switch r.Op {
+			case opDone:
+				j.state = StateDone
+			case opCancel:
+				j.state = StateCancelled
+			default:
+				j.state = StateFailed
+			}
+			j.errText, j.panicked = r.Error, r.Panic
+			j.result, j.table = r.Result, r.Table
+			j.restored = true
+			j.restQueueMS, j.restRunMS = r.QueueMS, r.RunMS
+		case opEvict:
+			delete(folded, r.ID)
+		default:
+			s.cJBadRecs.Inc(0)
+		}
+	}
+
+	ids := make([]string, 0, len(folded))
+	for id := range folded {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return folded[ids[a]].seq < folded[ids[b]].seq })
+
+	now := time.Now()
+	for _, id := range ids {
+		j := folded[id]
+		if j.seq > s.seq {
+			s.seq = j.seq
+		}
+		switch j.state {
+		case StateDone, StateFailed, StateCancelled:
+			j.restored = true
+			close(j.done)
+		default:
+			// Queued or running at crash time.
+			if s.cfg.RequeueInterrupted && j.req.Kind != "" && len(s.queue) < cap(s.queue) && !s.draining {
+				s.requeueLocked(j)
+				s.cJRequeued.Inc(0)
+			} else {
+				j.state = StateFailed
+				j.errText = interruptedError
+				j.finished = now
+				j.restored = true
+				close(j.done)
+				s.cInterrupted.Inc(0)
+				s.cFailed.Inc(0)
+				// Make the resolution durable so the next restart replays
+				// it as terminal instead of re-deciding.
+				_ = s.appendLocked(terminalRec(j))
+			}
+		}
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+		if j.idem != "" {
+			s.idem[idemKey(j.Tenant, j.idem)] = id
+		}
+	}
+	s.evictLocked()
+	s.maybeCompactLocked()
+}
+
+// requeueLocked puts a restored, not-yet-terminal job back on the
+// queue, rebuilding its runnable spec from the journaled request.
+func (s *Server) requeueLocked(j *Job) {
+	j.cfg = j.req.harnessConfig(s.cfg.Harness)
+	j.spec = j.req.spec()
+	j.experiment = ""
+	if j.spec.Kind == harness.JobTable {
+		j.experiment = j.spec.Variant
+	}
+	if inj := s.cfg.Inject; inj.Enabled() && j.experiment == "" {
+		seq := j.seq
+		j.spec.Hook = func() { inj.MaybePanic(fault.ServedJob, seq) }
+	}
+	j.state = StateQueued
+	j.deadline = s.cfg.DefaultDeadline
+	if j.req.DeadlineMS > 0 {
+		j.deadline = time.Duration(j.req.DeadlineMS) * time.Millisecond
+	}
+	if j.deadline > s.cfg.MaxDeadline {
+		j.deadline = s.cfg.MaxDeadline
+	}
+	j.ctx, j.cancel = context.WithCancel(context.Background())
+	s.queue <- j // room checked by the caller; all senders hold s.mu
+}
+
+// idemKey scopes an idempotency key to its tenant.
+func idemKey(tenant, key string) string { return tenant + "\x00" + key }

@@ -47,6 +47,13 @@ type Request struct {
 	// DeadlineMS bounds the job's run time in milliseconds (0 = the
 	// server's default deadline; clamped to its maximum).
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// IdempotencyKey, when set, dedupes resubmits: a second submit with
+	// the same (tenant, key) returns the existing job's status instead
+	// of running a new job. The mapping is journaled, so dedupe
+	// survives a daemon restart — a client retrying through a crash
+	// cannot double-run its job. Keys are dropped when their job is
+	// evicted from retention.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // Request caps: a shared service cannot let one request submit the
@@ -126,6 +133,9 @@ func (r Request) validate() error {
 	}
 	if len(r.Tenant) > 128 {
 		return fmt.Errorf("%w: tenant name too long", ErrBadRequest)
+	}
+	if len(r.IdempotencyKey) > 256 {
+		return fmt.Errorf("%w: idempotency key too long", ErrBadRequest)
 	}
 	return nil
 }
@@ -233,6 +243,12 @@ type Status struct {
 	// experiment job is done.
 	Result *Result `json:"result,omitempty"`
 	Table  string  `json:"table,omitempty"`
+	// Deduped marks a submit answered from an existing job via its
+	// idempotency key (the HTTP layer returns 200 instead of 202).
+	Deduped bool `json:"deduped,omitempty"`
+	// Restored marks a job rebuilt from the journal after a restart;
+	// its queue/run times are the journaled values.
+	Restored bool `json:"restored,omitempty"`
 }
 
 // RejectError is a typed submit rejection: the HTTP layer maps it onto

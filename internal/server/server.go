@@ -14,10 +14,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"threadsched/internal/fault"
 	"threadsched/internal/harness"
+	"threadsched/internal/journal"
 	"threadsched/internal/obs"
 )
 
@@ -59,8 +61,29 @@ type Config struct {
 	Obs *obs.Obs
 	// Inject, when enabled, fires the fault.ServedJob site inside served
 	// kernel jobs (occurrence index = admission sequence number) — the
-	// containment tests' way to make one tenant's job panic on demand.
+	// containment tests' way to make one tenant's job panic on demand —
+	// and the journal's crash sites (fault.JournalTornWrite /
+	// JournalFsync / JournalFull) inside the journal write path.
 	Inject *fault.Injector
+
+	// JournalDir enables the durable job journal: every job state
+	// transition is appended to a write-ahead log in this directory and
+	// replayed on the next boot, so a restarted daemon still answers for
+	// the job IDs it promised. Empty keeps the pre-journal in-memory
+	// behavior. With a journal configured, the server starts not-ready:
+	// call Recover once to replay and begin admitting.
+	JournalDir string
+	// JournalFsync is the journal's fsync policy: journal.FsyncAlways,
+	// FsyncInterval (default), or FsyncNone.
+	JournalFsync string
+	// JournalFsyncInterval is the FsyncInterval flush period.
+	JournalFsyncInterval time.Duration
+	// JournalCompactEvery triggers snapshot compaction after this many
+	// appended records (default 4096).
+	JournalCompactEvery int
+	// RequeueInterrupted requeues jobs that were queued or running at
+	// crash time instead of resolving them as failed(interrupted).
+	RequeueInterrupted bool
 }
 
 // Job is one admitted request. All mutable fields are guarded by the
@@ -76,6 +99,15 @@ type Job struct {
 	experiment string // non-empty: RunExperiment instead of RunJob
 	cfg        harness.Config
 	deadline   time.Duration
+	idem       string  // idempotency key ("" = none)
+	req        Request // original request, journaled for requeue
+
+	// restored marks a job rebuilt from the journal: its queue/run
+	// times are the journaled values, not live clock math, and a
+	// non-terminal restored job has no harness state until requeued.
+	restored    bool
+	restQueueMS int64
+	restRunMS   int64
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -97,33 +129,56 @@ type bucket struct {
 	last   time.Time
 }
 
-// Server is the shared simulation pool. Create with New; shut down with
-// Drain.
+// Server is the shared simulation pool. Create with New, replay the
+// journal (if any) with Recover, shut down with Drain.
 type Server struct {
 	cfg   Config
 	queue chan *Job
 	wg    sync.WaitGroup
+	ready atomic.Bool
 
-	mu       sync.Mutex
-	draining bool
-	seq      uint64
-	inflight int
-	jobs     map[string]*Job
-	order    []string
-	tenants  map[string]*bucket
+	mu             sync.Mutex
+	draining       bool
+	recovered      bool
+	degraded       bool
+	degradedReason string
+	seq            uint64
+	inflight       int
+	jobs           map[string]*Job
+	order          []string
+	tenants        map[string]*bucket
+	idem           map[string]string // tenant-scoped idempotency key -> job ID
+	jr             *journal.Journal
 
 	cSubmitted   *obs.Counter
 	cRejRate     *obs.Counter
 	cRejQueue    *obs.Counter
 	cRejDraining *obs.Counter
+	cRejNotReady *obs.Counter
+	cRejDegraded *obs.Counter
+	cDeduped     *obs.Counter
 	cCompleted   *obs.Counter
 	cFailed      *obs.Counter
 	cCancelled   *obs.Counter
 	cPanics      *obs.Counter
+	cInterrupted *obs.Counter
 	gQueueDepth  *obs.Gauge
 	gInflight    *obs.Gauge
+	gReady       *obs.Gauge
+	gDegraded    *obs.Gauge
 	hQueueWait   *obs.Histogram
 	hJobWall     *obs.Histogram
+
+	cJAppends     *obs.Counter
+	cJAppendErrs  *obs.Counter
+	cJFsyncErrs   *obs.Counter
+	cJReplayed    *obs.Counter
+	cJBadRecs     *obs.Counter
+	cJTornTail    *obs.Counter
+	cJTornSnap    *obs.Counter
+	cJCompactions *obs.Counter
+	cJRequeued    *obs.Counter
+	hJFsync       *obs.Histogram
 }
 
 // drainKillWait bounds the post-cancel wait in Drain. Cancellation
@@ -132,8 +187,10 @@ type Server struct {
 // a job has wedged outside every cancellation point.
 const drainKillWait = 10 * time.Second
 
-// New builds the server and starts its worker pool. The returned server
-// accepts Submit calls immediately.
+// New builds the server and starts its worker pool. Without a journal
+// the returned server accepts Submit calls immediately; with
+// Config.JournalDir set it starts live-but-not-ready (submits and job
+// reads answer 503) until Recover replays the journal.
 func New(cfg Config) *Server {
 	if cfg.Workers <= 0 {
 		cfg.Workers = defaultWorkers()
@@ -164,25 +221,58 @@ func New(cfg Config) *Server {
 		queue:   make(chan *Job, cfg.QueueDepth),
 		jobs:    make(map[string]*Job),
 		tenants: make(map[string]*bucket),
+		idem:    make(map[string]string),
 	}
 	reg := cfg.Obs.Registry() // nil registry hands out no-op handles
 	s.cSubmitted = reg.Counter("server.submitted")
 	s.cRejRate = reg.Counter("server.rejected.rate")
 	s.cRejQueue = reg.Counter("server.rejected.queue")
 	s.cRejDraining = reg.Counter("server.rejected.draining")
+	s.cRejNotReady = reg.Counter("server.rejected.not_ready")
+	s.cRejDegraded = reg.Counter("server.rejected.degraded")
+	s.cDeduped = reg.Counter("server.deduped")
 	s.cCompleted = reg.Counter("server.completed")
 	s.cFailed = reg.Counter("server.failed")
 	s.cCancelled = reg.Counter("server.cancelled")
 	s.cPanics = reg.Counter("server.panics")
+	s.cInterrupted = reg.Counter("server.interrupted")
 	s.gQueueDepth = reg.Gauge("server.queue_depth")
 	s.gInflight = reg.Gauge("server.inflight")
+	s.gReady = reg.Gauge("server.ready")
+	s.gDegraded = reg.Gauge("server.degraded")
 	s.hQueueWait = reg.Histogram("server.queue_wait_ns")
 	s.hJobWall = reg.Histogram("server.job_wall_ns")
+	s.cJAppends = reg.Counter("server.journal.appends")
+	s.cJAppendErrs = reg.Counter("server.journal.append_errors")
+	s.cJFsyncErrs = reg.Counter("server.journal.fsync_errors")
+	s.cJReplayed = reg.Counter("server.journal.replayed")
+	s.cJBadRecs = reg.Counter("server.journal.bad_records")
+	s.cJTornTail = reg.Counter("server.journal.torn_tail")
+	s.cJTornSnap = reg.Counter("server.journal.torn_snapshot")
+	s.cJCompactions = reg.Counter("server.journal.compactions")
+	s.cJRequeued = reg.Counter("server.journal.requeued")
+	s.hJFsync = reg.Histogram("server.journal.fsync_ns")
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker(i)
 	}
+	if cfg.JournalDir == "" {
+		// No recovery to run: ready now. (Recover stays a no-op.)
+		s.readyLocked()
+	}
 	return s
+}
+
+// Ready reports whether recovery has completed and the server is
+// admitting work.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// Degraded reports read-only mode (journal unwritable mid-run) and its
+// cause.
+func (s *Server) Degraded() (bool, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded, s.degradedReason
 }
 
 // Submit validates and admits one request. On success the job is queued
@@ -210,13 +300,41 @@ func (s *Server) Submit(req Request) (Status, error) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if !s.ready.Load() {
+		s.cRejNotReady.Inc(0)
+		return Status{}, &RejectError{StatusCode: 503, Reason: "not-ready", RetryAfter: time.Second}
+	}
 	if s.draining {
 		s.cRejDraining.Inc(0)
 		return Status{}, &RejectError{StatusCode: 503, Reason: "draining", RetryAfter: time.Second}
 	}
+	// Idempotent resubmit: answered from the job table before admission
+	// control, so a client's crash-retry neither double-runs the job nor
+	// spends tokens or queue slots.
+	if req.IdempotencyKey != "" {
+		if id, ok := s.idem[idemKey(tenant, req.IdempotencyKey)]; ok {
+			if j := s.jobs[id]; j != nil {
+				st := j.statusLocked(time.Now())
+				st.Deduped = true
+				s.cDeduped.Inc(0)
+				return st, nil
+			}
+		}
+	}
+	if s.degraded {
+		s.cRejDegraded.Inc(0)
+		return Status{}, &RejectError{StatusCode: 503, Reason: "degraded", RetryAfter: 5 * time.Second}
+	}
 	if wait, ok := s.takeTokenLocked(tenant); !ok {
 		s.cRejRate.Inc(0)
 		return Status{}, &RejectError{StatusCode: 429, Reason: "rate", RetryAfter: wait}
+	}
+	// Check queue room before journaling the accept: every sender holds
+	// s.mu, so a non-full queue here cannot fill before the send below.
+	if len(s.queue) == cap(s.queue) {
+		s.refundTokenLocked(tenant)
+		s.cRejQueue.Inc(0)
+		return Status{}, &RejectError{StatusCode: 429, Reason: "queue", RetryAfter: 500 * time.Millisecond}
 	}
 	n := s.seq + 1
 	j := &Job{
@@ -226,6 +344,8 @@ func (s *Server) Submit(req Request) (Status, error) {
 		spec:      spec,
 		cfg:       cfg,
 		deadline:  deadline,
+		idem:      req.IdempotencyKey,
+		req:       req,
 		done:      make(chan struct{}),
 		state:     StateQueued,
 		submitted: time.Now(),
@@ -241,17 +361,22 @@ func (s *Server) Submit(req Request) (Status, error) {
 		j.spec.Hook = func() { inj.MaybePanic(fault.ServedJob, seq) }
 	}
 	j.ctx, j.cancel = context.WithCancel(context.Background())
-	select {
-	case s.queue <- j:
-	default:
+	// Journal before admitting: "accepted" means "will still resolve
+	// after a restart", so a job we cannot journal is a job we reject.
+	if err := s.appendLocked(acceptRec(j)); err != nil {
 		s.refundTokenLocked(tenant)
-		s.cRejQueue.Inc(0)
-		return Status{}, &RejectError{StatusCode: 429, Reason: "queue", RetryAfter: 500 * time.Millisecond}
+		s.cRejDegraded.Inc(0)
+		return Status{}, &RejectError{StatusCode: 503, Reason: "degraded", RetryAfter: 5 * time.Second}
 	}
+	s.queue <- j // cannot block: room was checked under s.mu
 	s.seq = n
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
+	if j.idem != "" {
+		s.idem[idemKey(tenant, j.idem)] = j.ID
+	}
 	s.evictLocked()
+	s.maybeCompactLocked()
 	s.cSubmitted.Inc(0)
 	s.gQueueDepth.Set(0, uint64(len(s.queue)))
 	return j.statusLocked(time.Now()), nil
@@ -296,13 +421,17 @@ func (s *Server) Cancel(id string) (Status, bool) {
 	if !ok {
 		return Status{}, false
 	}
-	j.cancel()
+	if j.cancel != nil { // restored terminal jobs have no context
+		j.cancel()
+	}
 	if j.state == StateQueued {
 		j.state = StateCancelled
 		j.errText = "cancelled before start"
 		j.finished = time.Now()
 		s.cCancelled.Inc(0)
 		close(j.done)
+		_ = s.appendLocked(terminalRec(j))
+		s.maybeCompactLocked()
 	}
 	return j.statusLocked(time.Now()), true
 }
@@ -339,20 +468,36 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
+		return s.closeJournal()
 	case <-ctx.Done():
 	}
 	s.mu.Lock()
 	for _, j := range s.jobs {
-		j.cancel()
+		if j.cancel != nil {
+			j.cancel()
+		}
 	}
 	s.mu.Unlock()
 	select {
 	case <-done:
+		_ = s.closeJournal()
 		return ctx.Err()
 	case <-time.After(drainKillWait):
+		_ = s.closeJournal()
 		return fmt.Errorf("server: drain: pool still busy after cancel-all: %w", ctx.Err())
 	}
+}
+
+// closeJournal flushes and closes the journal once the pool is idle
+// (idempotent; nil-safe).
+func (s *Server) closeJournal() error {
+	s.mu.Lock()
+	jr := s.jr
+	s.mu.Unlock()
+	if jr == nil {
+		return nil
+	}
+	return jr.Close()
 }
 
 // worker is one pool goroutine: it serves jobs until the queue is
@@ -378,6 +523,7 @@ func (s *Server) runJob(track int, j *Job) {
 	j.started = time.Now()
 	s.inflight++
 	s.gInflight.Set(0, uint64(s.inflight))
+	_ = s.appendLocked(jrec{Op: opRun, ID: j.ID})
 	s.mu.Unlock()
 	s.hQueueWait.Observe(track, uint64(j.started.Sub(j.submitted)))
 
@@ -429,6 +575,8 @@ func (s *Server) runJob(track int, j *Job) {
 		s.cFailed.Inc(track)
 	}
 	close(j.done)
+	_ = s.appendLocked(terminalRec(j))
+	s.maybeCompactLocked()
 }
 
 // takeTokenLocked draws one admission token for tenant, refilling by
@@ -467,7 +615,9 @@ func (s *Server) refundTokenLocked(tenant string) {
 
 // evictLocked drops the oldest terminal jobs beyond the retention
 // bound. A live job at the head stops eviction — live jobs are never
-// evicted, whatever the retention pressure.
+// evicted, whatever the retention pressure. Each eviction journals a
+// tombstone so replay does not resurrect the job (or its idempotency
+// key).
 func (s *Server) evictLocked() {
 	for len(s.order) > s.cfg.Retention {
 		j := s.jobs[s.order[0]]
@@ -478,6 +628,10 @@ func (s *Server) evictLocked() {
 				return
 			}
 			delete(s.jobs, j.ID)
+			if j.idem != "" {
+				delete(s.idem, idemKey(j.Tenant, j.idem))
+			}
+			_ = s.appendLocked(jrec{Op: opEvict, ID: j.ID})
 		}
 		s.order = s.order[1:]
 	}
@@ -496,7 +650,10 @@ func (j *Job) statusLocked(now time.Time) Status {
 		Result: j.result,
 		Table:  j.table,
 	}
+	st.Restored = j.restored
 	switch {
+	case j.restored:
+		st.QueueMS, st.RunMS = j.restQueueMS, j.restRunMS
 	case j.state == StateQueued:
 		st.QueueMS = ms(now.Sub(j.submitted))
 	case j.started.IsZero(): // cancelled while queued
